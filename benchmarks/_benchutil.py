@@ -1,0 +1,8 @@
+"""Helpers shared by the benchmark modules."""
+
+
+def emit(result) -> None:
+    """Print a reproduced table under the benchmark output (visible with
+    ``pytest -s`` or in captured-output sections)."""
+    print()
+    print(result.to_text())

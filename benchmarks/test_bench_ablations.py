@@ -1,0 +1,157 @@
+"""Ablation benchmarks for HAL's design choices (DESIGN.md call-outs).
+
+Not figures from the paper, but the design knobs §V motivates:
+
+* adaptive vs fixed LBP step (the §V-B optimisation);
+* LBP watermark band width;
+* HLB (hardware) vs SLB (software) vs host-side SLB at the same split;
+* CXL-coherent vs PCIe shared state for a stateful function (§V-C).
+"""
+
+import pytest
+from _benchutil import emit
+
+from repro.core.lbp import LbpConfig
+from repro.exp.report import ExperimentResult
+from repro.exp.server import RunConfig, build_system, run_at_rate
+from repro.net.traffic import ConstantRateGenerator
+
+
+def _run(system, rate, config):
+    generator = ConstantRateGenerator(
+        system.plan, config.spec(rate), system.rng, rate
+    )
+    return system.run(generator, config.duration_s)
+
+
+def test_bench_ablation_lbp_step(benchmark, bench_config):
+    """Adaptive step should shed overload faster -> fewer drops under a
+    rate far above the initial threshold."""
+
+    def run_ablation():
+        result = ExperimentResult(
+            experiment="ablation-lbp-step",
+            title="LBP fixed vs adaptive step at 80 Gbps (NAT)",
+            columns=("variant", "tp_gbps", "p99_us", "drop_rate", "final_th"),
+        )
+        for variant, adaptive in (("fixed", False), ("adaptive", True)):
+            system = build_system(
+                "hal", "nat", bench_config,
+                lbp_config=LbpConfig(adaptive_step=adaptive),
+                initial_threshold_gbps=60.0,  # deliberately too high
+            )
+            m = _run(system, 80.0, bench_config)
+            result.add_row(
+                variant=variant,
+                tp_gbps=m.throughput_gbps,
+                p99_us=m.p99_latency_us,
+                drop_rate=m.drop_rate,
+                final_th=m.extras["fwd_threshold_gbps"],
+            )
+        return result
+
+    result = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    emit(result)
+    fixed, adaptive = result.rows
+    assert adaptive["p99_us"] <= fixed["p99_us"] * 1.5
+
+
+def test_bench_ablation_watermarks(benchmark, bench_config):
+    """Wider watermark bands leave deeper SNIC queues -> higher p99."""
+
+    def run_ablation():
+        result = ExperimentResult(
+            experiment="ablation-watermarks",
+            title="LBP watermark band vs p99 at 60 Gbps (NAT)",
+            columns=("wm_high", "tp_gbps", "p99_us", "snic_share"),
+        )
+        for wm_high in (8, 16, 64, 192):
+            system = build_system(
+                "hal", "nat", bench_config,
+                lbp_config=LbpConfig(wm_low_packets=2, wm_high_packets=wm_high),
+            )
+            m = _run(system, 60.0, bench_config)
+            result.add_row(
+                wm_high=wm_high,
+                tp_gbps=m.throughput_gbps,
+                p99_us=m.p99_latency_us,
+                snic_share=m.snic_share,
+            )
+        return result
+
+    result = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    emit(result)
+    p99 = {row["wm_high"]: row["p99_us"] for row in result.rows}
+    assert p99[192] > p99[8]
+
+
+def test_bench_ablation_balancer_kind(benchmark, bench_config):
+    """HLB vs SLB vs host-side SLB at the same operating point."""
+
+    def run_ablation():
+        result = ExperimentResult(
+            experiment="ablation-balancer",
+            title="Load balancer implementations at 80 Gbps (NAT)",
+            columns=("balancer", "tp_gbps", "p99_us", "drop_rate", "power_w"),
+        )
+        systems = (
+            ("hal", build_system("hal", "nat", bench_config)),
+            (
+                "slb-4c",
+                build_system(
+                    "slb", "nat", bench_config,
+                    fwd_threshold_gbps=41.0, slb_cores=4,
+                ),
+            ),
+            (
+                "host-slb",
+                build_system(
+                    "host-slb", "nat", bench_config, fwd_threshold_gbps=41.0
+                ),
+            ),
+        )
+        for name, system in systems:
+            m = _run(system, 80.0, bench_config)
+            result.add_row(
+                balancer=name,
+                tp_gbps=m.throughput_gbps,
+                p99_us=m.p99_latency_us,
+                drop_rate=m.drop_rate,
+                power_w=m.average_power_w,
+            )
+        return result
+
+    result = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    emit(result)
+    rows = {row["balancer"]: row for row in result.rows}
+    assert rows["hal"]["p99_us"] <= rows["slb-4c"]["p99_us"]
+    assert rows["hal"]["power_w"] <= rows["host-slb"]["power_w"]
+
+
+def test_bench_ablation_state_interconnect(benchmark, bench_config):
+    """§V-C: stateful cooperation needs coherence — PCIe state sharing
+    costs far more stall time than CXL."""
+
+    def run_ablation():
+        result = ExperimentResult(
+            experiment="ablation-interconnect",
+            title="CXL vs PCIe shared state at 80 Gbps (Count)",
+            columns=("interconnect", "tp_gbps", "p99_us", "stall_ms"),
+        )
+        for interconnect in ("cxl", "pcie"):
+            system = build_system(
+                "hal", "count", bench_config, interconnect=interconnect
+            )
+            m = _run(system, 80.0, bench_config)
+            result.add_row(
+                interconnect=interconnect,
+                tp_gbps=m.throughput_gbps,
+                p99_us=m.p99_latency_us,
+                stall_ms=m.extras.get("coherence_stall_s", 0.0) * 1e3,
+            )
+        return result
+
+    result = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    emit(result)
+    rows = {row["interconnect"]: row for row in result.rows}
+    assert rows["pcie"]["stall_ms"] > rows["cxl"]["stall_ms"] * 2

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate the §VII-C HLB cost report."""
+
+from _benchutil import emit
+
+from repro.exp import costs
+
+
+def test_bench_costs(benchmark, bench_config):
+    result = benchmark(costs.run, bench_config)
+    emit(result)
+    metrics = {row["metric"]: row["value"] for row in result.rows}
+    assert metrics["LUTs"] == 13_861
+    assert metrics["added RTT (ns)"] == 800.0

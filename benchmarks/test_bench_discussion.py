@@ -1,0 +1,31 @@
+"""Benchmarks: the §VIII discussion analyses and the validation sweep."""
+
+from _benchutil import emit
+
+from repro.exp.discussion import run_complementary, run_dvfs
+from repro.exp.validation import run as run_validation
+
+
+def test_bench_dvfs(benchmark, bench_config):
+    result = benchmark(run_dvfs, bench_config)
+    emit(result)
+    assert all(row["saved_fraction"] <= 0.02 for row in result.rows)
+
+
+def test_bench_complementary(benchmark, bench_config):
+    result = benchmark.pedantic(
+        run_complementary, args=(bench_config,), rounds=1, iterations=1
+    )
+    emit(result)
+    final = result.rows[-1]
+    assert final["offered_gbps"] == 100.0
+    assert final["tp_gbps"] < 50.0
+
+
+def test_bench_validation(benchmark, bench_config):
+    result = benchmark.pedantic(
+        run_validation, args=(bench_config,), rounds=1, iterations=1
+    )
+    emit(result)
+    verdicts = [row["verdict"] for row in result.rows]
+    assert verdicts.count("OK") >= len(verdicts) - 2

@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Fig. 10 — BlueField-3 CPU vs Sapphire Rapids.
+
+Expected shape (paper §VIII): SPR still wins clearly for the heavy
+software functions (BF-3 up to ~80% lower throughput) while the
+lightweight Count/NAT tie because the 100 Gbps client saturates first.
+"""
+
+from _benchutil import emit
+
+from repro.exp import fig10
+
+
+def test_bench_fig10(benchmark, bench_config):
+    result = benchmark.pedantic(
+        fig10.run, args=(bench_config,), rounds=1, iterations=1
+    )
+    emit(result)
+    rows = {row["function"]: row for row in result.rows}
+
+    # lightweight functions: both line-limited -> near tie
+    assert rows["count"]["tp_ratio"] > 0.9
+    assert rows["nat"]["tp_ratio"] > 0.8
+    # heavy functions: the gap persists
+    for fn in ("kvs", "bm25", "bayes", "knn", "ema"):
+        assert rows[fn]["tp_ratio"] < 0.75, fn
+    # SPR keeps an EE edge for heavy functions (throughput dominates EE)
+    assert rows["bm25"]["ee_ratio"] < 1.0

@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Fig. 2 — SNIC vs host max throughput and p99.
+
+Expected shape (paper §III-A): the host wins throughput for every
+software function and for packet-stream crypto; the SNIC accelerator
+wins REM with the complex ruleset (~19x) and compression (host at
+46-72% of SNIC throughput).
+"""
+
+from _benchutil import emit
+
+from repro.exp import fig2
+
+
+def test_bench_fig2(benchmark, bench_config):
+    result = benchmark.pedantic(
+        fig2.run, args=(bench_config,), rounds=1, iterations=1
+    )
+    emit(result)
+    rows = {row["function"]: row for row in result.rows}
+
+    # host wins every software function
+    for fn in ("kvs", "count", "ema", "nat", "bm25", "knn", "bayes"):
+        assert rows[fn]["tp_ratio"] < 1.0, fn
+    # SNIC accelerator wins compression (host at 46-72%)
+    assert 0.4 < 1.0 / rows["compress"]["tp_ratio"] < 0.85
+    # complex-ruleset REM: SNIC accelerator wins big
+    assert rows["rem-lite"]["tp_ratio"] > 5.0
+    # raw PKA ops: host QAT wins big (paper 24-115x)
+    assert rows["crypto-pka"]["tp_ratio"] < 0.1

@@ -1,0 +1,40 @@
+"""Benchmark: regenerate Fig. 4 — TP/p99/power/EE vs packet rate for REM
+and NAT on the host and SNIC processors.
+
+Expected shape: the SNIC saturates at ~43 (REM) / ~41.5 (NAT) Gbps and
+its p99 plateaus at the drop-limited value; below those rates the SNIC
+beats the host's system EE by ~30-40%.
+"""
+
+from _benchutil import emit
+
+from repro.exp import fig4
+
+
+def _grid(result):
+    return {
+        (row["function"], row["system"], row["offered_gbps"]): row
+        for row in result.rows
+    }
+
+
+def test_bench_fig4(benchmark, bench_config):
+    result = benchmark.pedantic(
+        fig4.run, args=(bench_config,), rounds=1, iterations=1
+    )
+    emit(result)
+    grid = _grid(result)
+
+    # SNIC saturation points (paper: NAT 41, REM drops beyond ~43-50)
+    assert 38.0 < grid[("nat", "snic", 80.0)]["tp_gbps"] < 45.0
+    assert 40.0 < grid[("rem", "snic", 80.0)]["tp_gbps"] < 48.0
+    # host keeps scaling
+    assert grid[("nat", "host", 80.0)]["tp_gbps"] > 78.0
+    # p99 plateau past the drop cliff
+    snic_60 = grid[("nat", "snic", 60.0)]["p99_us"]
+    snic_100 = grid[("nat", "snic", 100.0)]["p99_us"]
+    assert abs(snic_100 - snic_60) / snic_60 < 0.2
+    # SNIC EE advantage below the knee (paper: 31% for NAT at 41 Gbps)
+    ee_snic = grid[("nat", "snic", 30.0)]["ee"]
+    ee_host = grid[("nat", "host", 30.0)]["ee"]
+    assert ee_snic / ee_host > 1.2

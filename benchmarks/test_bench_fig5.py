@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Fig. 5 — software load balancing (SLB) for NAT
+at 80 Gbps offered, sweeping Fwd_Th with 1 and 4 forwarding cores.
+
+Expected shape (paper §IV): one core drops ~58-61% across thresholds;
+four cores sustain ~80 Gbps at Fwd_Th=20 (with p99 *worse* than letting
+the SNIC drown), decaying to ~53 Gbps at Fwd_Th=60.
+"""
+
+from _benchutil import emit
+
+from repro.exp import fig5
+
+
+def test_bench_fig5(benchmark, bench_config):
+    result = benchmark.pedantic(
+        fig5.run, args=(bench_config,), rounds=1, iterations=1
+    )
+    emit(result)
+    rows = {(row["slb_cores"], row["fwd_th_gbps"]): row for row in result.rows}
+
+    assert 0.45 < rows[(1, 20.0)]["drop_rate"] < 0.70
+    assert rows[(4, 20.0)]["tp_gbps"] > 76.0
+    assert 48.0 < rows[(4, 60.0)]["tp_gbps"] < 60.0
+    # throughput decays monotonically-ish with threshold for 4 cores
+    assert rows[(4, 60.0)]["tp_gbps"] < rows[(4, 20.0)]["tp_gbps"]

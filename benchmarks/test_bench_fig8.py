@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Fig. 8 — the web/cache/Hadoop rate traces."""
+
+from _benchutil import emit
+
+from repro.exp import fig8
+
+
+def test_bench_fig8(benchmark, bench_config):
+    result = benchmark(fig8.run, bench_config)
+    emit(result)
+    rows = {row["trace"]: row for row in result.rows}
+
+    for name, row in rows.items():
+        assert row["avg_gbps"] > 0
+        assert row["peak_gbps"] <= 100.0
+    # averages track the paper's 1.6 / 5.2 / 10.9 Gbps
+    assert rows["web"]["avg_gbps"] == rows["web"]["avg_gbps"]
+    assert abs(rows["web"]["avg_gbps"] - 1.6) / 1.6 < 0.35
+    assert abs(rows["cache"]["avg_gbps"] - 5.2) / 5.2 < 0.35
+    assert abs(rows["hadoop"]["avg_gbps"] - 10.9) / 10.9 < 0.35
+    # heavier sigma -> burstier: cache idles more than web
+    assert rows["cache"]["idle_fraction"] > rows["web"]["idle_fraction"]

@@ -1,0 +1,46 @@
+"""Benchmark: regenerate Fig. 9 — TP/p99/power vs rate for NAT and REM
+under host-only, SNIC-only, and HAL.
+
+Expected shape (paper §VII-A): HAL throughput grows linearly with the
+offered rate (host absorbs the excess); HAL p99 stays near the SNIC's
+low-rate latency instead of exploding; HAL power tracks SNIC-only up to
+the SLO rate and stays 10-25% below host-only beyond it.
+"""
+
+from _benchutil import emit
+
+from repro.exp import fig9
+
+
+def _grid(result):
+    return {
+        (row["function"], row["system"], row["offered_gbps"]): row
+        for row in result.rows
+    }
+
+
+def test_bench_fig9(benchmark, bench_config):
+    result = benchmark.pedantic(
+        fig9.run, args=(bench_config,), rounds=1, iterations=1
+    )
+    emit(result)
+    grid = _grid(result)
+
+    for fn in ("nat", "rem"):
+        # HAL scales linearly where the SNIC alone saturates
+        for rate in (60.0, 80.0, 100.0):
+            assert grid[(fn, "hal", rate)]["tp_gbps"] > rate * 0.97, (fn, rate)
+            assert grid[(fn, "hal", rate)]["drop_rate"] < 0.02
+        # HAL p99 far below SNIC-only past the cliff
+        assert (
+            grid[(fn, "hal", 80.0)]["p99_us"]
+            < grid[(fn, "snic", 80.0)]["p99_us"] / 3
+        ), fn
+        # HAL power below host-only at every rate (paper: 11-27% lower)
+        for rate in (10.0, 41.0, 80.0):
+            assert (
+                grid[(fn, "hal", rate)]["power_w"]
+                < grid[(fn, "host", rate)]["power_w"]
+            ), (fn, rate)
+        # at low rates HAL == SNIC power (host asleep)
+        assert grid[(fn, "hal", 10.0)]["power_w"] < 200.0

@@ -1,0 +1,88 @@
+"""Microbenchmarks of the substrate hot paths.
+
+These time the real data structures (not the queueing model): NAT table
+translation, Aho-Corasick scanning, DEFLATE, public-key ops, checksum
+rewriting, and raw event throughput of the simulation kernel.
+"""
+
+from repro.net.addressing import AddressPlan
+from repro.net.packet import Packet
+from repro.nf.compress import deflate, inflate
+from repro.nf.corpus import make_bytes, make_text, make_vocabulary
+from repro.nf.crypto import CryptoFunction, CryptoRequest, RSA_SIGN
+from repro.nf.nat import NatFunction
+from repro.nf.rem import AhoCorasick, make_tea_ruleset
+from repro.sim.engine import Simulator
+
+PLAN = AddressPlan.default()
+
+
+def test_bench_nat_translate(benchmark):
+    nat = NatFunction(entries=10_000)
+    requests = [nat.make_request(i, 0) for i in range(512)]
+
+    def translate_all():
+        for request in requests:
+            nat.process(request)
+
+    benchmark(translate_all)
+    assert nat.requests_processed > 0
+
+
+def test_bench_aho_corasick_scan(benchmark):
+    ruleset = make_tea_ruleset(n_patterns=500)
+    automaton = AhoCorasick(ruleset.literals)
+    vocab = make_vocabulary(200, seed=3)
+    text = make_text(vocab, 2_000, seed=4)
+
+    result = benchmark(automaton.search, text)
+    assert isinstance(result, list)
+
+
+def test_bench_deflate(benchmark):
+    data = make_bytes(8_192, entropy=0.35, seed=9)
+    blob = benchmark(deflate, data)
+    assert inflate(blob) == data
+
+
+def test_bench_inflate(benchmark):
+    data = make_bytes(8_192, entropy=0.35, seed=9)
+    blob = deflate(data)
+    assert benchmark(inflate, blob) == data
+
+
+def test_bench_rsa_sign_verify(benchmark):
+    crypto = CryptoFunction(key_bits=512, seed=1)
+
+    def sign():
+        return crypto.process(CryptoRequest(op=RSA_SIGN, message=b"payload"))
+
+    response = benchmark(sign)
+    assert response.ok
+
+
+def test_bench_checksum_rewrite(benchmark):
+    def rewrite_cycle():
+        packet = Packet(src=PLAN.client, dst=PLAN.snic)
+        packet.rewrite_destination(PLAN.host)
+        packet.rewrite_source(PLAN.snic)
+        return packet
+
+    packet = benchmark(rewrite_cycle)
+    assert packet.checksum_ok()
+
+
+def test_bench_sim_event_throughput(benchmark):
+    def run_10k_events():
+        sim = Simulator()
+
+        def chain(remaining):
+            if remaining:
+                sim.schedule(1e-6, chain, remaining - 1)
+
+        chain(10_000)
+        sim.run()
+        return sim.events_processed
+
+    events = benchmark(run_10k_events)
+    assert events == 10_000

@@ -1,0 +1,17 @@
+"""Benchmark: the offline profiler (§V-B's profile-in-advance option)."""
+
+from repro.core.profiler import characterize_function
+
+
+def test_bench_profiler_nat(benchmark, bench_config):
+    ch = benchmark.pedantic(
+        characterize_function,
+        args=("nat", bench_config.shorter(0.5)),
+        kwargs=dict(sweep_points=4),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(ch.summary())
+    assert 30.0 < ch.slo_gbps < 47.0
+    assert ch.recommended_threshold_gbps < ch.max_gbps

@@ -1,0 +1,20 @@
+"""Benchmark: the §III-A small-packet study (64 B vs MTU forwarding)."""
+
+from _benchutil import emit
+
+from repro.exp import smallpkt
+
+
+def test_bench_smallpkt(benchmark, bench_config):
+    result = benchmark.pedantic(
+        smallpkt.run, args=(bench_config.shorter(0.5),), rounds=1, iterations=1
+    )
+    emit(result)
+    rows = {(row["packet_bytes"], row["system"]): row for row in result.rows}
+    # SNIC CPU is pps-limited at 64 B (~40 Gbps), host near line rate
+    assert rows[(64, "snic")]["max_gbps"] < 50.0
+    assert rows[(64, "host")]["max_gbps"] > 80.0
+    # at MTU both reach line rate, the SNIC with the higher p99
+    assert rows[(1500, "snic")]["max_gbps"] > 95.0
+    assert rows[(1500, "host")]["max_gbps"] > 95.0
+    assert rows[(1500, "snic")]["p99_us"] > rows[(1500, "host")]["p99_us"] * 2

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Table I (accelerator support matrix)."""
+
+from _benchutil import emit
+
+from repro.exp import table1
+
+
+def test_bench_table1(benchmark, bench_config):
+    result = benchmark(table1.run, bench_config)
+    assert len(result.rows) == 23
+    emit(result)

@@ -1,0 +1,30 @@
+"""Benchmark: regenerate Table V — the full trace-driven grid
+(3 traces x 10 workloads x {SNIC, host, HAL}).
+
+Expected shape (paper §VII-B): averaged across workloads HAL gives
+~28-35% better energy efficiency and ~5-13% higher max throughput than
+host-only, and 64-94% lower p99 than SNIC-only.
+"""
+
+from _benchutil import emit
+
+from repro.exp import table5
+
+
+def test_bench_table5(benchmark, trace_config):
+    result = benchmark.pedantic(
+        table5.run, args=(trace_config,), rounds=1, iterations=1
+    )
+    emit(result)
+    summary = table5.summarize(result)
+    emit(summary)
+
+    for row in summary.rows:
+        # headline claims: EE gain over host, p99 cut versus SNIC. The p99
+        # cut materialises on the bursty traces (cache/hadoop) where the
+        # SNIC alone drowns; on web the SNIC rarely queues at short
+        # durations, so HAL simply matches it.
+        assert row["hal_ee_vs_host"] > 1.1, row
+        assert row["hal_maxtp_vs_host"] > 0.95, row
+        limit = 0.6 if row["trace"] in ("cache", "hadoop") else 1.05
+        assert row["hal_p99_vs_snic"] < limit, row

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Stateful cooperation over CXL vs PCIe (§V-C).
+
+Runs the stateful Count function under HAL twice — once with the
+CXL-emulated coherent shared-state domain (the paper's NUMA/UPI
+emulation) and once over plain PCIe costs — and shows why the paper says
+a PCIe-SNIC "cannot efficiently support stateful functions": the same
+workload spends an order of magnitude more time stalled on state
+transfers.
+
+Run:  python examples/stateful_cxl.py
+"""
+
+from repro import ConstantRateGenerator, HalSystem, TrafficSpec
+from repro.hw.cxl import NumaEmulation
+
+OFFERED_GBPS = 80.0
+DURATION_S = 0.2
+
+
+def main() -> None:
+    numa = NumaEmulation()
+    print("CXL-SNIC emulation (paper Fig. 7):")
+    print(f"  SNIC node: {numa.snic_node_cores} cores @ {numa.snic_node_freq_ghz} GHz")
+    print(f"  host node: {numa.host_node_cores} cores @ {numa.host_node_freq_ghz} GHz")
+    print(f"  calibration: {numa.calibration_note}\n")
+
+    print(f"Count (stateful) under HAL at {OFFERED_GBPS:.0f} Gbps:\n")
+    header = (
+        f"{'interconnect':12s} {'tp (Gbps)':>10s} {'p99 (us)':>9s} "
+        f"{'stall (ms)':>11s} {'sharing':>8s} {'coherent':>9s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for interconnect in ("cxl", "pcie"):
+        system = HalSystem("count", interconnect=interconnect)
+        generator = ConstantRateGenerator(
+            system.plan, TrafficSpec(batch=16), system.rng, OFFERED_GBPS
+        )
+        m = system.run(generator, DURATION_S)
+        stats = system.state_domain.stats
+        print(
+            f"{interconnect:12s} {m.throughput_gbps:10.2f} "
+            f"{m.p99_latency_us:9.1f} {stats.total_stall_s * 1e3:11.2f} "
+            f"{system.state_domain.sharing_ratio():8.1%} "
+            f"{str(system.state_domain.costs.coherent):>9s}"
+        )
+    print(
+        "\nThe CXL.cache/UPI fabric turns each cross-processor state touch"
+        "\ninto a sub-microsecond line transfer; over PCIe every shared write"
+        "\ncosts a software round trip - which is why HAL pairs stateful"
+        "\nfunctions with a CXL-SNIC."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""HAL (ISCA 2024) reproduction.
+
+Hardware-assisted load balancing for energy-efficient SNIC-host
+cooperative computing, rebuilt as a calibrated full-system simulation:
+
+* :mod:`repro.sim` — discrete-event kernel, queues, metrics;
+* :mod:`repro.net` — packets (real checksums), eSwitch, traffic traces;
+* :mod:`repro.hw`  — SNIC/host engine models, power, PCIe/CXL, DPDK;
+* :mod:`repro.nf`  — the ten Table IV network functions, for real;
+* :mod:`repro.core` — HLB + LBP (= HAL), SLB, and the static baselines;
+* :mod:`repro.exp` — one experiment module per paper figure/table.
+
+Quick start::
+
+    from repro import HalSystem, ConstantRateGenerator, TrafficSpec
+
+    system = HalSystem("nat")
+    gen = ConstantRateGenerator(system.plan, TrafficSpec(), system.rng, 60.0)
+    metrics = system.run(gen, duration_s=0.25)
+    print(metrics.throughput_gbps, metrics.p99_latency_us,
+          metrics.average_power_w)
+"""
+
+from repro.core import (
+    HalSystem,
+    HardwareLoadBalancer,
+    HostOnlySystem,
+    HostSideSlbSystem,
+    LbpConfig,
+    LoadBalancingPolicy,
+    PlatformSystem,
+    ServerSystem,
+    SlbSystem,
+    SnicOnlySystem,
+)
+from repro.net import (
+    AddressPlan,
+    ConstantRateGenerator,
+    EmbeddedSwitch,
+    Endpoint,
+    LogNormalTraceGenerator,
+    Packet,
+    PoissonGenerator,
+    TrafficSpec,
+)
+from repro.nf import available_functions, create_function
+from repro.sim import RunMetrics, Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AddressPlan",
+    "ConstantRateGenerator",
+    "EmbeddedSwitch",
+    "Endpoint",
+    "HalSystem",
+    "HardwareLoadBalancer",
+    "HostOnlySystem",
+    "HostSideSlbSystem",
+    "LbpConfig",
+    "LoadBalancingPolicy",
+    "LogNormalTraceGenerator",
+    "Packet",
+    "PlatformSystem",
+    "PoissonGenerator",
+    "RunMetrics",
+    "ServerSystem",
+    "Simulator",
+    "SlbSystem",
+    "SnicOnlySystem",
+    "TrafficSpec",
+    "__version__",
+    "available_functions",
+    "create_function",
+]

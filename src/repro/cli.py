@@ -1,0 +1,111 @@
+"""Command-line entry point.
+
+Usage::
+
+    python -m repro list
+    python -m repro fig9 [--duration 0.5] [--seed 7] [--out results.txt]
+    python -m repro all
+
+Each experiment prints the reproduced table/figure series; ``--out``
+additionally writes it to a file (like the artifact's per-figure .txt
+outputs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.exp.experiments import available_experiments, run_experiment
+from repro.exp.server import RunConfig
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hal-repro",
+        description="HAL (ISCA 2024) reproduction: run paper experiments",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (fig2..fig10, table1/2/5, costs, ...), 'all', "
+        "'list', or 'artifact' (batch-run the default set into --results-dir)",
+    )
+    parser.add_argument(
+        "--run-name", type=str, default="run0",
+        help="artifact mode: name of the results subdirectory",
+    )
+    parser.add_argument(
+        "--results-dir", type=str, default="results",
+        help="artifact mode: base directory for per-experiment .txt files",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=0.25,
+        help="simulated seconds per run (default 0.25)",
+    )
+    parser.add_argument("--seed", type=int, default=2024, help="root RNG seed")
+    parser.add_argument(
+        "--batch", type=int, default=None,
+        help="wire packets per simulation event (default: auto-scaled to "
+        "the offered rate)",
+    )
+    parser.add_argument(
+        "--functional-rate", type=float, default=0.0,
+        help="fraction of packets that run the real NF computation",
+    )
+    parser.add_argument("--out", type=str, default=None, help="also write to file")
+    parser.add_argument(
+        "--plot", type=str, default=None, metavar="YCOL",
+        help="for sweep experiments: also render an ASCII chart of the "
+        "given column against offered_gbps (e.g. --plot p99_us)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        for name in available_experiments():
+            print(name)
+        return 0
+
+    config = RunConfig(
+        duration_s=args.duration,
+        seed=args.seed,
+        batch=args.batch,
+        functional_rate=args.functional_rate,
+    )
+    if args.experiment == "artifact":
+        from repro.exp.artifact import run_all
+
+        run = run_all(args.run_name, results_dir=args.results_dir, config=config)
+        for name, wall in run.wall_times_s.items():
+            print(f"{name:20s} {wall:7.1f}s -> {run.run_dir}/{name}.txt")
+        print(f"manifest: {run.run_dir}/MANIFEST.txt")
+        return 0
+
+    names = (
+        available_experiments() if args.experiment == "all" else [args.experiment]
+    )
+    outputs: List[str] = []
+    for name in names:
+        started = time.time()
+        result = run_experiment(name, config)
+        text = result.to_text()
+        if args.plot and "offered_gbps" in result.columns:
+            from repro.exp.plots import chart_experiment
+
+            text += "\n\n" + chart_experiment(result, "offered_gbps", args.plot)
+        text += f"\n({time.time() - started:.1f}s wall)"
+        print(text)
+        print()
+        outputs.append(text)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write("\n\n".join(outputs) + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

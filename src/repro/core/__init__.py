@@ -1,0 +1,70 @@
+"""HAL core: hardware load balancer, policy, and evaluated systems."""
+
+from repro.core.costs import (
+    CORUNDUM_LUTS,
+    FPGA_TO_ASIC_POWER_FACTOR,
+    U280_TOTAL_LUTS,
+    HlbCostReport,
+    lbp_control_bandwidth_bps,
+)
+from repro.core.hal import HalSystem
+from repro.core.hlb import (
+    HLB_LATENCY_S,
+    MONITOR_WINDOW_S,
+    TRANSCEIVER_MAC_LATENCY_S,
+    DirectorStats,
+    HardwareLoadBalancer,
+    TrafficDirector,
+    TrafficMerger,
+    TrafficMonitor,
+)
+from repro.core.lbp import LbpConfig, LoadBalancingPolicy, profiled_initial_threshold
+from repro.core.profiler import (
+    FunctionCharacterization,
+    ProfilePoint,
+    build_profiled_hal,
+    characterize_function,
+)
+from repro.core.slb import (
+    HOST_SLB_PATH_US,
+    SLB_FORWARD_GBPS_PER_CORE,
+    SLB_FORWARD_PATH_US,
+    HostSideSlbSystem,
+    SlbSystem,
+)
+from repro.core.static import HostOnlySystem, PlatformSystem, SnicOnlySystem
+from repro.core.systems import DRAIN_S, ServerSystem
+
+__all__ = [
+    "CORUNDUM_LUTS",
+    "DRAIN_S",
+    "DirectorStats",
+    "FPGA_TO_ASIC_POWER_FACTOR",
+    "FunctionCharacterization",
+    "HLB_LATENCY_S",
+    "HOST_SLB_PATH_US",
+    "HalSystem",
+    "HardwareLoadBalancer",
+    "HlbCostReport",
+    "HostOnlySystem",
+    "HostSideSlbSystem",
+    "LbpConfig",
+    "LoadBalancingPolicy",
+    "MONITOR_WINDOW_S",
+    "PlatformSystem",
+    "SLB_FORWARD_GBPS_PER_CORE",
+    "SLB_FORWARD_PATH_US",
+    "ProfilePoint",
+    "ServerSystem",
+    "SlbSystem",
+    "SnicOnlySystem",
+    "TRANSCEIVER_MAC_LATENCY_S",
+    "TrafficDirector",
+    "TrafficMerger",
+    "TrafficMonitor",
+    "U280_TOTAL_LUTS",
+    "build_profiled_hal",
+    "characterize_function",
+    "lbp_control_bandwidth_bps",
+    "profiled_initial_threshold",
+]

@@ -1,0 +1,70 @@
+"""HLB hardware cost model (§VII-C).
+
+The paper reports the implementation costs of the HLB blocks on the
+Alveo U280 and the projected ASIC costs; this module encodes them and
+derives the comparisons quoted in the text (fraction of U280 LUTs,
+fraction of a Corundum NIC, transceiver/MAC share of added latency,
+FPGA→ASIC scaling from Kuon & Rose).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Alveo U280 total LUTs
+U280_TOTAL_LUTS = 1_303_680
+#: LUTs of the Corundum open-source 100 Gbps NIC implementation
+CORUNDUM_LUTS = 82_996
+#: FPGA→ASIC power scaling for the same function/technology (Kuon & Rose)
+FPGA_TO_ASIC_POWER_FACTOR = 14.0
+
+
+@dataclass(frozen=True)
+class HlbCostReport:
+    """Measured HLB implementation costs."""
+
+    luts: int = 13_861
+    added_latency_ns: float = 800.0
+    transceiver_mac_latency_ns: float = 365.0
+    fpga_power_w: float = 0.1
+    dpdk_rtt_increase_fraction: float = 0.083  # +8.3% round-trip
+
+    @property
+    def u280_lut_fraction(self) -> float:
+        """Fraction of U280 LUT resources (paper: 1.1%)."""
+        return self.luts / U280_TOTAL_LUTS
+
+    @property
+    def corundum_lut_fraction(self) -> float:
+        """LUTs relative to a full Corundum NIC (paper: 16.7%)."""
+        return self.luts / CORUNDUM_LUTS
+
+    @property
+    def transceiver_mac_share(self) -> float:
+        """Share of the added latency from transceiver+MAC (paper: ~45%)."""
+        return self.transceiver_mac_latency_ns / self.added_latency_ns
+
+    @property
+    def asic_power_w(self) -> float:
+        """Projected ASIC power for the same datapath."""
+        return self.fpga_power_w / FPGA_TO_ASIC_POWER_FACTOR
+
+    @property
+    def hlb_logic_latency_ns(self) -> float:
+        """Latency attributable to the HLB blocks themselves (the part an
+        ASIC integration would practically eliminate)."""
+        return self.added_latency_ns - self.transceiver_mac_latency_ns
+
+
+def lbp_control_bandwidth_bps(
+    period_s: float = 200e-6, message_bytes: int = 64
+) -> float:
+    """Ethernet bandwidth used by LBP→director Fwd_Th updates.
+
+    In the FPGA prototype LBP talks to the director over the second
+    Ethernet port; one small message per policy period is negligible next
+    to 100 Gbps — this function quantifies exactly how negligible.
+    """
+    if period_s <= 0:
+        raise ValueError("period must be positive")
+    return message_bytes * 8 / period_s

@@ -1,0 +1,133 @@
+"""HAL — the full hardware-assisted load-balancing system (§V).
+
+Data path (Fig. 6):
+
+  client → [HLB: monitor ▸ director] → eSwitch → SNIC engine (≤ Fwd_Th)
+                                               ↘ host engine (excess)
+  host engine → [HLB: merger] → client
+  SNIC engine → client
+
+Control path: LBP (Algorithm 1) runs every period on an SNIC core,
+estimating SNIC throughput and Rx occupancy and writing ``Fwd_Th`` into
+the director. Host cores use the DPDK power-management API: they sleep
+whenever HAL sends them nothing, so at low packet rates the system runs
+at SNIC-only power while retaining the host's capacity for bursts.
+
+Stateful functions attach a :class:`~repro.nf.state.SharedStateDomain`:
+coherent (CXL/UPI-class) by default, or the expensive non-coherent PCIe
+flavour to demonstrate why §V-C wants a CXL-SNIC.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.hlb import HardwareLoadBalancer
+from repro.core.lbp import LbpConfig, LoadBalancingPolicy, profiled_initial_threshold
+from repro.core.systems import ServerSystem
+from repro.hw.cxl import make_cxl_state_domain, make_pcie_state_domain
+from repro.hw.host import make_host_engine
+from repro.hw.power import ROLE_HOST, ROLE_SNIC
+from repro.hw.snic import make_snic_engine
+from repro.net.packet import Packet
+
+
+class HalSystem(ServerSystem):
+    """SNIC-host cooperative processing under HAL."""
+
+    kind = "hal"
+
+    def __init__(
+        self,
+        function: str,
+        lbp_config: LbpConfig = LbpConfig(),
+        initial_threshold_gbps: Optional[float] = None,
+        interconnect: str = "cxl",
+        host_sleep: bool = True,
+        **kwargs,
+    ) -> None:
+        if interconnect not in ("cxl", "pcie"):
+            raise ValueError(f"unknown interconnect {interconnect!r}")
+        self.lbp_config = lbp_config
+        self.initial_threshold_gbps = initial_threshold_gbps
+        self.interconnect = interconnect
+        self.host_sleep = host_sleep
+        super().__init__(function, **kwargs)
+
+    def _build(self) -> None:
+        profile = self.profile
+        if not profile.cooperative:
+            raise ValueError(
+                f"{self.function} cannot be processed cooperatively (§VI: "
+                "the compression accelerator works at file granularity)"
+            )
+        self.state_domain = None
+        if profile.stateful:
+            self.state_domain = (
+                make_cxl_state_domain()
+                if self.interconnect == "cxl"
+                else make_pcie_state_domain()
+            )
+
+        threshold = self.initial_threshold_gbps
+        if threshold is None:
+            threshold = profiled_initial_threshold(profile.slo_gbps, headroom=0.9)
+        self.hlb = HardwareLoadBalancer(self.sim, self.plan, threshold)
+        self.add_stopper(self.hlb.stop)
+
+        self.snic_engine = make_snic_engine(
+            self.sim,
+            self.function,
+            nf=self.nf,
+            functional_rate=self.functional_rate,
+            metrics=self.metrics,
+            on_complete=self.client_sink,
+            state_domain=self.state_domain,
+            state_agent="snic",
+        )
+        self.host_engine = make_host_engine(
+            self.sim,
+            self.function,
+            nf=self.nf,
+            functional_rate=self.functional_rate,
+            metrics=self.metrics,
+            on_complete=self._host_egress,
+            state_domain=self.state_domain,
+            state_agent="host",
+            sleep_enabled=self.host_sleep,
+        )
+        self.power.track(self.snic_engine, ROLE_SNIC)
+        self.power.track(self.host_engine, ROLE_HOST)
+        self.power.set_constant("hlb", self.power.config.hlb_fpga_w)
+
+        self.eswitch.attach_port("snic", self.snic_engine.receive)
+        self.eswitch.attach_port("host", self.host_engine.receive)
+        self.eswitch.add_rule(self.plan.snic, "snic")
+        self.eswitch.add_rule(self.plan.host, "host")
+
+        self.lbp = LoadBalancingPolicy(
+            self.sim, self.snic_engine, self.hlb.director, self.lbp_config
+        )
+        self.add_stopper(self.lbp.stop)
+
+    def ingress(self, packet: Packet) -> None:
+        directed = self.hlb.ingress(packet)
+        self.eswitch.forward(directed)
+
+    def _host_egress(self, response: Packet) -> None:
+        self.client_sink(self.hlb.egress(response))
+
+    def _finalize(self) -> None:
+        total = self.snic_engine.delivered_bits + self.host_engine.delivered_bits
+        if total > 0:
+            self.metrics.snic_share = self.snic_engine.delivered_bits / total
+        self.metrics.extras["fwd_threshold_gbps"] = (
+            self.hlb.director.fwd_threshold_gbps
+        )
+        self.metrics.extras["host_wakeups"] = float(self.host_engine.wake_count)
+        self.metrics.extras["merged_packets"] = float(self.hlb.merger.merged_packets)
+        if self.state_domain is not None:
+            self.metrics.extras["coherence_stall_s"] = (
+                self.state_domain.stats.total_stall_s
+            )
+            self.metrics.extras["sharing_ratio"] = self.state_domain.sharing_ratio()

@@ -1,0 +1,127 @@
+"""Load-balancing policy (LBP) — Algorithm 1, §V-B.
+
+Runs on one SNIC CPU core, periodically:
+
+1. estimates SNIC throughput (``SNIC_TP``) from accumulated
+   ``rte_eth_rx_burst`` return values;
+2. when ``Fwd_Th < SNIC_TP + Delta_TP`` (the SNIC is operating near its
+   current threshold), inspects the maximum Rx-queue occupancy
+   (``RxQ_Occ``, via ``rte_eth_rx_queue_count`` per queue);
+3. raises ``Fwd_Th`` by ``Step_Th`` when occupancy is below the low
+   watermark (SNIC underutilised), lowers it when above the high
+   watermark (SNIC overloaded), and writes the result to the traffic
+   director's register.
+
+The adaptive variant the paper sketches ("further optimize Algorithm 1
+... by adaptively changing Step_Th") scales the step with how far the
+occupancy sits outside the watermark band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.core.hlb import TrafficDirector
+from repro.hw.dpdk import ThroughputEstimator, rx_queue_max_occupancy
+from repro.hw.platform import ProcessingEngine
+from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class LbpConfig:
+    """Algorithm 1 parameters."""
+
+    period_s: float = 100e-6
+    delta_tp_gbps: float = 5.0
+    step_gbps: float = 1.0
+    wm_low_packets: int = 4
+    wm_high_packets: int = 16
+    min_threshold_gbps: float = 0.05
+    max_threshold_gbps: float = 100.0
+    adaptive_step: bool = True
+    #: scale the step with the current threshold so slow functions (KVS at
+    #: ~3 Gbps) are not whipsawed by steps sized for 40 Gbps functions
+    relative_step: bool = True
+
+    def __post_init__(self) -> None:
+        if self.period_s <= 0:
+            raise ValueError("period must be positive")
+        if self.step_gbps <= 0 or self.delta_tp_gbps < 0:
+            raise ValueError("step/delta must be positive")
+        if not 0 <= self.wm_low_packets < self.wm_high_packets:
+            raise ValueError("watermarks must satisfy 0 <= low < high")
+        if not 0 <= self.min_threshold_gbps < self.max_threshold_gbps:
+            raise ValueError("threshold bounds are inverted")
+
+
+class LoadBalancingPolicy:
+    """Algorithm 1 driving a :class:`TrafficDirector` register."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        snic_engine: ProcessingEngine,
+        director: TrafficDirector,
+        config: LbpConfig = LbpConfig(),
+        on_update: Optional[Callable[[float], None]] = None,
+    ) -> None:
+        self.sim = sim
+        self.engine = snic_engine
+        self.director = director
+        self.config = config
+        self.on_update = on_update
+        self._estimator = ThroughputEstimator(snic_engine)
+        self._estimator.sample(sim.now)  # zero the accumulator
+        self.adjustments_up = 0
+        self.adjustments_down = 0
+        self.threshold_history: List[float] = [director.fwd_threshold_gbps]
+        self._stop = sim.every(config.period_s, self._tick)
+
+    def _tick(self) -> None:
+        snic_tp = self._estimator.sample(self.sim.now)
+        self.set_forward_rate(snic_tp)
+
+    def set_forward_rate(self, snic_tp_gbps: float) -> None:
+        """One Algorithm 1 evaluation with the given SNIC_TP estimate."""
+        cfg = self.config
+        fwd_th = self.director.fwd_threshold_gbps
+        if fwd_th >= snic_tp_gbps + cfg.delta_tp_gbps:
+            # SNIC comfortably below threshold; leave Fwd_Th alone
+            return
+        occupancy = rx_queue_max_occupancy(self.engine)
+        step = cfg.step_gbps
+        if cfg.relative_step:
+            step *= max(0.05, min(1.0, fwd_th / 20.0))
+        if cfg.adaptive_step:
+            if occupancy > cfg.wm_high_packets:
+                step *= 1.0 + min(4.0, occupancy / cfg.wm_high_packets - 1.0)
+            elif occupancy < cfg.wm_low_packets:
+                step *= 1.0 + min(
+                    2.0, (cfg.wm_low_packets - occupancy) / max(1, cfg.wm_low_packets)
+                )
+        if occupancy < cfg.wm_low_packets:
+            fwd_th = min(cfg.max_threshold_gbps, fwd_th + step)
+            self.adjustments_up += 1
+        elif occupancy > cfg.wm_high_packets:
+            fwd_th = max(cfg.min_threshold_gbps, fwd_th - step)
+            self.adjustments_down += 1
+        else:
+            return
+        self.director.set_threshold(fwd_th)
+        self.threshold_history.append(fwd_th)
+        if self.on_update is not None:
+            self.on_update(fwd_th)
+
+    def stop(self) -> None:
+        self._stop()
+
+
+def profiled_initial_threshold(slo_gbps: float, headroom: float = 1.0) -> float:
+    """§V-B's offline alternative: profile the function in advance and set
+    ``Fwd_Th`` at (a fraction of) its SLO throughput."""
+    if slo_gbps <= 0:
+        raise ValueError("SLO throughput must be positive")
+    if not 0.0 < headroom <= 1.5:
+        raise ValueError("headroom out of sensible range")
+    return slo_gbps * headroom

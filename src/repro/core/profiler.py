@@ -1,0 +1,103 @@
+"""Offline function profiler (§V-B's first option).
+
+"When running a single function on an SNIC, we may profile the
+performance characteristics of the function to determine Fwd_Th in
+advance." This module is that profiler: it sweeps a function on the SNIC
+model, locates the latency floor, the SLO knee, and the drop cliff, and
+recommends an initial ``Fwd_Th`` for :class:`~repro.core.hal.HalSystem`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class ProfilePoint:
+    rate_gbps: float
+    throughput_gbps: float
+    p99_us: float
+    drop_rate: float
+
+
+@dataclass(frozen=True)
+class FunctionCharacterization:
+    """What the offline profiler learns about one function on the SNIC."""
+
+    function: str
+    base_p99_us: float
+    slo_gbps: float
+    max_gbps: float
+    points: Tuple[ProfilePoint, ...]
+
+    @property
+    def recommended_threshold_gbps(self) -> float:
+        """Fwd_Th to program at boot: the SLO point with a small margin."""
+        return self.slo_gbps * 0.95
+
+    def summary(self) -> str:
+        return (
+            f"{self.function}: floor {self.base_p99_us:.1f} us, "
+            f"SLO {self.slo_gbps:.2f} Gbps, max {self.max_gbps:.2f} Gbps, "
+            f"recommended Fwd_Th {self.recommended_threshold_gbps:.2f} Gbps"
+        )
+
+
+def characterize_function(
+    function: str,
+    config: Optional[object] = None,
+    latency_factor: float = 1.8,
+    sweep_points: int = 6,
+) -> FunctionCharacterization:
+    """Profile ``function`` on the SNIC model.
+
+    Runs the same searches the experiments use (low-rate floor, SLO
+    search, max-throughput search) plus a coarse sweep for the record.
+    """
+    # imported here: exp depends on core, so the profiler reaches up lazily
+    from repro.exp.server import DEFAULT_CONFIG, measure_base_p99_us, run_at_rate
+    from repro.exp.sweeps import find_max_throughput, find_slo_throughput
+
+    config = config or DEFAULT_CONFIG
+    # the SLO search measures its own latency floor with a batch size
+    # pinned to the function's capacity, so the floor and the probes are
+    # directly comparable
+    slo, _ = find_slo_throughput(
+        function, config=config, latency_factor=latency_factor
+    )
+    max_rate, _ = find_max_throughput("snic", function, config)
+    base_p99 = measure_base_p99_us("snic", function, config)
+
+    points: List[ProfilePoint] = []
+    top = max(max_rate * 1.2, slo * 1.5)
+    for i in range(sweep_points):
+        rate = top * (i + 1) / sweep_points
+        metrics = run_at_rate("snic", function, rate, config)
+        points.append(
+            ProfilePoint(
+                rate_gbps=rate,
+                throughput_gbps=metrics.throughput_gbps,
+                p99_us=metrics.p99_latency_us,
+                drop_rate=metrics.drop_rate,
+            )
+        )
+    return FunctionCharacterization(
+        function=function,
+        base_p99_us=base_p99,
+        slo_gbps=slo,
+        max_gbps=max_rate,
+        points=tuple(points),
+    )
+
+
+def build_profiled_hal(function: str, config: Optional[object] = None, **hal_kwargs):
+    """A :class:`HalSystem` whose initial Fwd_Th comes from profiling."""
+    from repro.core.hal import HalSystem
+
+    characterization = characterize_function(function, config)
+    return HalSystem(
+        function,
+        initial_threshold_gbps=characterization.recommended_threshold_gbps,
+        **hal_kwargs,
+    ), characterization

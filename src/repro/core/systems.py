@@ -1,0 +1,125 @@
+"""Common server-system scaffolding.
+
+Every evaluated configuration — host-only, SNIC-only, SLB, HAL — is a
+:class:`ServerSystem`: a simulator, the HAL address plan, an embedded
+switch, one or two processing engines, a power model, and a metrics
+sink. Subclasses override :meth:`ingress` (what happens to a packet
+arriving from the client) and :meth:`_build` (which engines exist).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.hw.power import PowerConfig, PowerModel
+from repro.hw.profiles import FunctionProfile, get_profile
+from repro.net.addressing import AddressPlan
+from repro.net.eswitch import EmbeddedSwitch
+from repro.net.packet import Packet
+from repro.net.traffic import PacketGenerator
+from repro.nf.base import NetworkFunction
+from repro.nf.registry import create_function
+from repro.sim.engine import Simulator
+from repro.sim.metrics import RunMetrics
+from repro.sim.rng import RngRegistry
+
+#: simulated drain time after the generator stops, letting queues empty
+DRAIN_S = 0.02
+
+
+class ServerSystem:
+    """Base class for the four evaluated server configurations."""
+
+    kind = "abstract"
+
+    def __init__(
+        self,
+        function: str,
+        seed: int = 2024,
+        functional_rate: float = 0.0,
+        power_config: PowerConfig = PowerConfig(),
+        nf: Optional[NetworkFunction] = None,
+    ) -> None:
+        self.function = function
+        self.profile: FunctionProfile = get_profile(function)
+        self.sim = Simulator()
+        self.plan = AddressPlan.default()
+        self.rng = RngRegistry(seed)
+        self.metrics = RunMetrics()
+        self.power = PowerModel(self.sim, power_config)
+        self.eswitch = EmbeddedSwitch()
+        self.functional_rate = functional_rate
+        self.nf = nf if nf is not None else (
+            create_function(function) if functional_rate > 0 else None
+        )
+        self.responses = 0
+        self._stoppers: List[Callable[[], None]] = []
+        self._build()
+
+    # -- subclass hooks ---------------------------------------------------
+    def _build(self) -> None:
+        raise NotImplementedError
+
+    def ingress(self, packet: Packet) -> None:
+        raise NotImplementedError
+
+    # -- shared plumbing -----------------------------------------------------
+    def client_sink(self, packet: Packet) -> None:
+        """Terminal for response packets heading back to the client."""
+        self.responses += packet.multiplicity
+
+    def add_stopper(self, stop: Callable[[], None]) -> None:
+        self._stoppers.append(stop)
+
+    def stop_periodic(self) -> None:
+        for stop in self._stoppers:
+            stop()
+        self._stoppers.clear()
+
+    # -- run loop -------------------------------------------------------------
+    def run(self, generator: PacketGenerator, duration_s: float) -> RunMetrics:
+        """Drive ``generator`` into this system for ``duration_s`` simulated
+        seconds, drain, and return the collected metrics."""
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        start = self.sim.now
+        generator.start(self.sim, self.ingress, duration_s)
+
+        # windowed throughput sampling → Table V's "Max" throughput column
+        window_s = 0.025
+        last_bytes = [0]
+        max_window = [0.0]
+
+        def sample_window() -> None:
+            delivered = self.metrics.delivered_bytes
+            gbps = (delivered - last_bytes[0]) * 8 / window_s / 1e9
+            last_bytes[0] = delivered
+            if gbps > max_window[0]:
+                max_window[0] = gbps
+
+        self.add_stopper(self.sim.every(window_s, sample_window))
+
+        self.sim.run(until=start + duration_s)
+        # backlog still queued when the generator stops: the overload
+        # signal short probes need when queues can swallow the whole run
+        backlog = (
+            generator.generated_packets
+            - self.metrics.delivered_packets
+            - self.metrics.dropped_packets
+        )
+        self.metrics.extras["final_backlog_packets"] = float(max(0, backlog))
+        self.stop_periodic()
+        self.sim.run(until=start + duration_s + DRAIN_S)
+        self.metrics.offered_gbps = generator.offered_gbps
+        self.metrics.duration_s = duration_s
+        self.metrics.generated_packets = generator.generated_packets
+        self.metrics.average_power_w = self.power.average_watts()
+        self.metrics.power_breakdown = self.power.breakdown()
+        self.metrics.extras["max_window_gbps"] = max(
+            max_window[0], self.metrics.throughput_gbps
+        )
+        self._finalize()
+        return self.metrics
+
+    def _finalize(self) -> None:
+        """Subclass hook to stamp system-specific extras into metrics."""

@@ -1,0 +1,95 @@
+"""Artifact-style batch runner.
+
+The paper's artifact drives everything through
+``run_all_fig.sh <run_name>`` and stores per-figure ``.txt`` results.
+This module mirrors that workflow: :func:`run_all` executes a chosen set
+of experiments, writes ``<results_dir>/<run_name>/<experiment>.txt`` for
+each, plus a ``MANIFEST.txt`` with the configuration and wall times, and
+returns the collected results.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.exp.experiments import available_experiments, run_experiment
+from repro.exp.report import ExperimentResult
+from repro.exp.server import RunConfig
+
+#: the cheap always-on set; heavyweight grids opt in explicitly
+DEFAULT_EXPERIMENTS = (
+    "table1",
+    "fig4",
+    "table2",
+    "fig5",
+    "fig8",
+    "fig9",
+    "costs",
+    "dvfs",
+    "complementary",
+)
+
+
+@dataclass
+class ArtifactRun:
+    run_name: str
+    results_dir: str
+    config: RunConfig
+    results: Dict[str, ExperimentResult] = field(default_factory=dict)
+    wall_times_s: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def run_dir(self) -> str:
+        return os.path.join(self.results_dir, self.run_name)
+
+
+def run_all(
+    run_name: str,
+    results_dir: str = "results",
+    experiments: Optional[Sequence[str]] = None,
+    config: RunConfig = RunConfig(),
+) -> ArtifactRun:
+    """Execute ``experiments`` and persist one .txt per figure/table."""
+    names = list(experiments) if experiments else list(DEFAULT_EXPERIMENTS)
+    unknown = set(names) - set(available_experiments())
+    if unknown:
+        raise KeyError(f"unknown experiments: {sorted(unknown)}")
+
+    run = ArtifactRun(run_name=run_name, results_dir=results_dir, config=config)
+    os.makedirs(run.run_dir, exist_ok=True)
+    for name in names:
+        started = time.time()
+        result = run_experiment(name, config)
+        run.wall_times_s[name] = time.time() - started
+        run.results[name] = result
+        path = os.path.join(run.run_dir, f"{name}.txt")
+        with open(path, "w") as fh:
+            fh.write(result.to_text() + "\n")
+    _write_manifest(run)
+    return run
+
+
+def _write_manifest(run: ArtifactRun) -> None:
+    lines: List[str] = [
+        f"run: {run.run_name}",
+        f"duration_s per run: {run.config.duration_s}",
+        f"seed: {run.config.seed}",
+        "",
+        "experiment            wall_s  rows",
+    ]
+    for name, result in run.results.items():
+        lines.append(
+            f"{name:20s} {run.wall_times_s[name]:7.1f}  {len(result.rows):4d}"
+        )
+    with open(os.path.join(run.run_dir, "MANIFEST.txt"), "w") as fh:
+        fh.write("\n".join(lines) + "\n")
+
+
+def load_result_text(run: ArtifactRun, experiment: str) -> str:
+    """Read back one persisted result file."""
+    path = os.path.join(run.run_dir, f"{experiment}.txt")
+    with open(path) as fh:
+        return fh.read()

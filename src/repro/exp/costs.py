@@ -1,0 +1,61 @@
+"""§VII-C — hardware, latency, power, and bandwidth costs of HAL."""
+
+from __future__ import annotations
+
+from repro.core.costs import HlbCostReport, lbp_control_bandwidth_bps
+from repro.core.lbp import LbpConfig
+from repro.exp.report import ExperimentResult
+from repro.exp.server import DEFAULT_CONFIG, RunConfig
+
+
+def run(config: RunConfig = DEFAULT_CONFIG) -> ExperimentResult:
+    report = HlbCostReport()
+    result = ExperimentResult(
+        experiment="costs",
+        title="HLB implementation cost report (paper values + derived)",
+        columns=("metric", "value", "paper"),
+    )
+    result.add_row(metric="LUTs", value=report.luts, paper="13,861")
+    result.add_row(
+        metric="U280 LUT fraction",
+        value=f"{report.u280_lut_fraction:.2%}",
+        paper="1.1%",
+    )
+    result.add_row(
+        metric="vs Corundum NIC LUTs",
+        value=f"{report.corundum_lut_fraction:.1%}",
+        paper="16.7%",
+    )
+    result.add_row(
+        metric="added RTT (ns)", value=report.added_latency_ns, paper="800"
+    )
+    result.add_row(
+        metric="transceiver+MAC share",
+        value=f"{report.transceiver_mac_share:.0%}",
+        paper="45%",
+    )
+    result.add_row(
+        metric="HLB-logic-only latency (ns)",
+        value=report.hlb_logic_latency_ns,
+        paper="~435 (eliminable in ASIC)",
+    )
+    result.add_row(
+        metric="FPGA power (W)", value=report.fpga_power_w, paper="<0.1"
+    )
+    result.add_row(
+        metric="projected ASIC power (W)",
+        value=f"{report.asic_power_w:.4f}",
+        paper="14x below FPGA",
+    )
+    lbp_bw = lbp_control_bandwidth_bps(LbpConfig().period_s)
+    result.add_row(
+        metric="LBP control bandwidth (bps)",
+        value=f"{lbp_bw:,.0f}",
+        paper="not notable vs 100G",
+    )
+    result.add_row(
+        metric="DPDK RTT increase",
+        value=f"{report.dpdk_rtt_increase_fraction:.1%}",
+        paper="8.3%",
+    )
+    return result

@@ -1,0 +1,74 @@
+"""§VIII discussion analyses: SNIC DVFS and complementary functions.
+
+Two quantitative claims from the discussion section:
+
+* **DVFS**: "deploying DVFS will reduce the system-wide power
+  consumption by only 2% at most" — because the SNIC's dynamic power is
+  single-digit watts against a ~200 W system;
+* **Complementary functions**: splitting *different* functions between
+  the processors does not remove the need for load balancing, because
+  even the SNIC accelerators top out at ~50 Gbps against a 100 Gbps line
+  rate and drop packets beyond their limit.
+"""
+
+from __future__ import annotations
+
+from repro.exp.report import ExperimentResult
+from repro.exp.server import DEFAULT_CONFIG, RunConfig, run_at_rate
+from repro.hw.dvfs import estimate_system_savings
+from repro.hw.profiles import get_profile
+
+DVFS_FUNCTIONS = ("nat", "count", "rem", "crypto", "knn", "ema")
+DVFS_UTILIZATIONS = (0.1, 0.3, 0.6)
+
+
+def run_dvfs(config: RunConfig = DEFAULT_CONFIG) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="dvfs",
+        title="Estimated system-wide savings from SNIC-processor DVFS",
+        columns=("function", "utilization", "saved_w", "saved_fraction"),
+    )
+    worst = 0.0
+    for function in DVFS_FUNCTIONS:
+        profile = get_profile(function).snic
+        for utilization in DVFS_UTILIZATIONS:
+            saved_w, fraction = estimate_system_savings(profile, utilization)
+            worst = max(worst, fraction)
+            result.add_row(
+                function=function,
+                utilization=utilization,
+                saved_w=saved_w,
+                saved_fraction=fraction,
+            )
+    result.add_note(
+        f"worst-case system saving {worst:.2%} - consistent with the paper's "
+        "'only 2% at most': the SNIC is 0.5-2% of system power, so scaling "
+        "its voltage/frequency cannot move the system number"
+    )
+    return result
+
+
+def run_complementary(config: RunConfig = DEFAULT_CONFIG) -> ExperimentResult:
+    """What happens if the SNIC runs REM alone (no load balancing) while
+    the host handles other work: the accelerator still saturates well
+    below line rate and drops everything beyond it."""
+    result = ExperimentResult(
+        experiment="complementary",
+        title="SNIC accelerator running REM alone vs line rate",
+        columns=("offered_gbps", "tp_gbps", "drop_rate", "p99_us"),
+    )
+    for rate in (20.0, 40.0, 60.0, 80.0, 100.0):
+        m = run_at_rate("snic", "rem", rate, config)
+        result.add_row(
+            offered_gbps=rate,
+            tp_gbps=m.throughput_gbps,
+            drop_rate=m.drop_rate,
+            p99_us=m.p99_latency_us,
+        )
+    result.add_note(
+        "paper §VIII: the REM accelerator drops packets and gives "
+        "unacceptable p99 beyond ~40-50 Gbps while the line is 100 Gbps - "
+        "assigning whole functions to the SNIC still requires HAL-style "
+        "load balancing to cover the excess"
+    )
+    return result

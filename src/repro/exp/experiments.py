@@ -1,0 +1,56 @@
+"""Experiment registry: figure/table id → runner."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.exp import (
+    costs,
+    discussion,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig8,
+    fig9,
+    fig10,
+    table1,
+    table2,
+    smallpkt,
+    table5,
+    validation,
+)
+from repro.exp.report import ExperimentResult
+from repro.exp.server import RunConfig
+
+Runner = Callable[[RunConfig], ExperimentResult]
+
+EXPERIMENTS: Dict[str, Runner] = {
+    "table1": table1.run,
+    "fig2": fig2.run,
+    "fig3": fig3.run,
+    "fig4": fig4.run,
+    "table2": table2.run,
+    "fig5": fig5.run,
+    "fig8": fig8.run,
+    "fig9": fig9.run,
+    "table5": table5.run,
+    "fig10": fig10.run,
+    "costs": costs.run,
+    "smallpkt": smallpkt.run,
+    "dvfs": discussion.run_dvfs,
+    "complementary": discussion.run_complementary,
+    "validation": validation.run,
+}
+
+
+def available_experiments() -> List[str]:
+    return list(EXPERIMENTS)
+
+
+def run_experiment(name: str, config: RunConfig) -> ExperimentResult:
+    if name not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {name!r}; known: {available_experiments()}"
+        )
+    return EXPERIMENTS[name](config)

@@ -1,0 +1,61 @@
+"""Fig. 3 — average power and energy efficiency at the max-throughput point.
+
+Each function runs on each processor at ~95% of its calibrated capacity
+(the "maximum sustainable throughput point" of Fig. 2); we record the
+system-wide average power and energy efficiency (throughput / power),
+normalised SNIC-over-host as in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.exp.report import ExperimentResult
+from repro.exp.server import DEFAULT_CONFIG, RunConfig, run_at_rate
+from repro.hw.profiles import LINE_RATE_GBPS, get_profile
+from repro.nf.registry import FUNCTION_NAMES
+
+OPERATING_FRACTION = 0.95
+
+
+def run(config: RunConfig = DEFAULT_CONFIG, functions=None) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="fig3",
+        title="System power and energy efficiency at max-throughput points",
+        columns=(
+            "function",
+            "host_gbps",
+            "snic_gbps",
+            "host_power_w",
+            "snic_power_w",
+            "power_ratio",
+            "host_ee",
+            "snic_ee",
+            "ee_ratio",
+        ),
+    )
+    for function in functions or FUNCTION_NAMES:
+        profile = get_profile(function)
+        host_rate = min(LINE_RATE_GBPS, profile.host.capacity_gbps) * OPERATING_FRACTION
+        snic_rate = min(LINE_RATE_GBPS, profile.snic.capacity_gbps) * OPERATING_FRACTION
+        host = run_at_rate("host", function, host_rate, config)
+        snic = run_at_rate("snic", function, snic_rate, config)
+        result.add_row(
+            function=function,
+            host_gbps=host.throughput_gbps,
+            snic_gbps=snic.throughput_gbps,
+            host_power_w=host.average_power_w,
+            snic_power_w=snic.average_power_w,
+            power_ratio=snic.average_power_w / host.average_power_w,
+            host_ee=host.energy_efficiency,
+            snic_ee=snic.energy_efficiency,
+            ee_ratio=(
+                snic.energy_efficiency / host.energy_efficiency
+                if host.energy_efficiency
+                else None
+            ),
+        )
+    result.add_note(
+        "paper: at max-throughput points the host's higher throughput "
+        "dominates EE (73% higher on average for software functions); SNIC "
+        "power stays within ~0.5-2% of system power"
+    )
+    return result

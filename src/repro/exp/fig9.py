@@ -1,0 +1,61 @@
+"""Fig. 9 — throughput, p99, and power versus packet rate for NAT and
+REM under the host processor, the SNIC processor, and HAL.
+
+The paper's headline figure: HAL tracks the SNIC's (low) power up to the
+SNIC's efficient rate, then grows linearly in throughput by spilling the
+excess to the host, never letting p99 blow up or packets drop.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.exp.report import ExperimentResult
+from repro.exp.server import DEFAULT_CONFIG, RunConfig
+from repro.exp.sweeps import rate_sweep
+
+DEFAULT_RATES = (5.0, 10.0, 20.0, 30.0, 41.0, 50.0, 60.0, 80.0, 100.0)
+FUNCTIONS = ("nat", "rem")
+SYSTEMS = ("host", "snic", "hal")
+
+
+def run(
+    config: RunConfig = DEFAULT_CONFIG,
+    functions: Sequence[str] = FUNCTIONS,
+    rates: Sequence[float] = DEFAULT_RATES,
+    systems: Sequence[str] = SYSTEMS,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="fig9",
+        title="Throughput / p99 / power vs rate: host vs SNIC vs HAL",
+        columns=(
+            "function",
+            "system",
+            "offered_gbps",
+            "tp_gbps",
+            "p99_us",
+            "drop_rate",
+            "power_w",
+            "snic_share",
+        ),
+    )
+    for function in functions:
+        for kind in systems:
+            for point in rate_sweep(kind, function, rates, config):
+                m = point.metrics
+                result.add_row(
+                    function=function,
+                    system=kind,
+                    offered_gbps=point.rate_gbps,
+                    tp_gbps=m.throughput_gbps,
+                    p99_us=m.p99_latency_us,
+                    drop_rate=m.drop_rate,
+                    power_w=m.average_power_w,
+                    snic_share=m.snic_share,
+                )
+    result.add_note(
+        "paper: SNIC drops beyond 41/30 Gbps (NAT/REM) with 120x/56x host "
+        "p99 at 80 Gbps; HAL throughput grows linearly with rate, p99 stays "
+        "near the SNIC's low-rate latency, and power runs 11-27% below host"
+    )
+    return result

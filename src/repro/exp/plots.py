@@ -1,0 +1,95 @@
+"""Tiny ASCII plotting for experiment results.
+
+The artifact draws its figures with matplotlib; this reproduction keeps
+the dependency surface at zero and renders terminal charts instead:
+``ascii_chart`` draws one or more (x, y) series on a shared canvas with
+distinct glyphs, and ``chart_experiment`` adapts an
+:class:`~repro.exp.report.ExperimentResult` sweep (fig4/fig9 style) into
+one chart per function/metric.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.exp.report import ExperimentResult
+
+SERIES_GLYPHS = "*o+x#@"
+
+
+def ascii_chart(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+) -> str:
+    """Render named (x, y) series onto one character canvas."""
+    if not series or all(not points for points in series.values()):
+        return f"{title}\n(no data)"
+    if width < 10 or height < 4:
+        raise ValueError("canvas too small")
+    xs = [x for points in series.values() for x, _ in points]
+    ys = [y for points in series.values() for _, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    legend = []
+    for index, (name, points) in enumerate(series.items()):
+        glyph = SERIES_GLYPHS[index % len(SERIES_GLYPHS)]
+        legend.append(f"{glyph}={name}")
+        for x, y in points:
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+            canvas[row][col] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"y: {y_lo:.4g} .. {y_hi:.4g}")
+    lines.extend("|" + "".join(row) for row in canvas)
+    lines.append("+" + "-" * width)
+    lines.append(f" x: {x_lo:.4g} .. {x_hi:.4g}    {'  '.join(legend)}")
+    return "\n".join(lines)
+
+
+def chart_experiment(
+    result: ExperimentResult,
+    x_column: str,
+    y_column: str,
+    series_column: str = "system",
+    group_column: str = "function",
+    width: int = 60,
+    height: int = 14,
+) -> str:
+    """One chart per ``group_column`` value, one series per
+    ``series_column`` value — the fig4/fig9 presentation."""
+    for column in (x_column, y_column, series_column):
+        if column not in result.columns:
+            raise KeyError(f"column {column!r} not in result")
+    groups: List[str] = []
+    if group_column in result.columns:
+        for row in result.rows:
+            if row[group_column] not in groups:
+                groups.append(row[group_column])
+    else:
+        groups = [""]
+        group_column = None
+
+    charts = []
+    for group in groups:
+        series: Dict[str, List[Tuple[float, float]]] = {}
+        for row in result.rows:
+            if group_column is not None and row[group_column] != group:
+                continue
+            x, y = row.get(x_column), row.get(y_column)
+            if x is None or y is None:
+                continue
+            series.setdefault(str(row[series_column]), []).append((float(x), float(y)))
+        title = f"{result.experiment}: {y_column} vs {x_column}"
+        if group:
+            title += f" [{group}]"
+        charts.append(ascii_chart(series, width=width, height=height, title=title))
+    return "\n\n".join(charts)

@@ -1,0 +1,88 @@
+"""Experiment result containers and text rendering.
+
+Every experiment returns an :class:`ExperimentResult`: named columns, a
+list of row dicts, and free-text notes recording the paper's expectation
+next to what we measured. ``to_text()`` renders the aligned table the
+CLI and the benches print, and EXPERIMENTS.md embeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+Cell = Union[str, float, int, None]
+
+
+def format_cell(value: Cell, precision: int = 2) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) < 0.01:
+            return f"{value:.4f}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced table or figure."""
+
+    experiment: str
+    title: str
+    columns: Sequence[str]
+    rows: List[Dict[str, Cell]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, **cells: Cell) -> None:
+        unknown = set(cells) - set(self.columns)
+        if unknown:
+            raise KeyError(f"row has cells not in columns: {sorted(unknown)}")
+        self.rows.append(cells)
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def column(self, name: str) -> List[Cell]:
+        if name not in self.columns:
+            raise KeyError(f"unknown column {name!r}")
+        return [row.get(name) for row in self.rows]
+
+    def to_text(self, precision: int = 2) -> str:
+        headers = list(self.columns)
+        table = [
+            [format_cell(row.get(col), precision) for col in headers]
+            for row in self.rows
+        ]
+        widths = [
+            max(len(headers[i]), *(len(r[i]) for r in table)) if table else len(headers[i])
+            for i in range(len(headers))
+        ]
+        lines = [f"== {self.experiment}: {self.title} =="]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for r in table:
+            lines.append("  ".join(c.rjust(w) for c, w in zip(r, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.to_text()
+
+
+def ratio_note(
+    label: str, measured: float, paper: float, tolerance: Optional[float] = None
+) -> str:
+    """A paper-vs-measured annotation line."""
+    text = f"{label}: measured {measured:.2f} vs paper {paper:.2f}"
+    if tolerance is not None:
+        ok = abs(measured - paper) <= tolerance * abs(paper)
+        text += f" ({'within' if ok else 'OUTSIDE'} {tolerance:.0%})"
+    return text

@@ -1,0 +1,140 @@
+"""Experiment-facing server construction and run helpers.
+
+One function, one system kind, one workload → one :class:`RunMetrics`.
+Everything the per-figure experiment modules need funnels through here so
+durations, batching, and seeds stay consistent across the whole
+evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.core.hal import HalSystem
+from repro.core.slb import HostSideSlbSystem, SlbSystem
+from repro.core.static import HostOnlySystem, PlatformSystem, SnicOnlySystem
+from repro.core.systems import ServerSystem
+from repro.net.traffic import (
+    META_TRACES,
+    ConstantRateGenerator,
+    LogNormalTraceGenerator,
+    TrafficSpec,
+)
+from repro.sim.metrics import RunMetrics
+
+SYSTEM_KINDS = ("host", "snic", "hal", "slb", "host-slb")
+
+
+def auto_batch(rate_gbps: float, packet_bytes: int = 1500) -> int:
+    """Wire packets per simulation event, scaled so the event rate stays
+    near ~100k/s regardless of offered rate (full fidelity below ~1 Gbps,
+    batching only where the packet rate would swamp the event loop)."""
+    pps = rate_gbps * 1e9 / (packet_bytes * 8)
+    return max(1, min(32, round(pps / 100_000)))
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Shared knobs for every experiment run."""
+
+    duration_s: float = 0.25
+    batch: Optional[int] = None  # None → auto_batch by offered rate
+    packet_bytes: int = 1500
+    seed: int = 2024
+    functional_rate: float = 0.0
+    trace_interval_s: float = 0.02
+
+    def spec(self, rate_gbps: Optional[float] = None) -> TrafficSpec:
+        batch = self.batch
+        if batch is None:
+            batch = auto_batch(rate_gbps or 10.0, self.packet_bytes)
+        return TrafficSpec(packet_bytes=self.packet_bytes, batch=batch)
+
+    def shorter(self, factor: float) -> "RunConfig":
+        return replace(self, duration_s=self.duration_s * factor)
+
+
+#: default configuration; benches shrink it, the CLI can grow it
+DEFAULT_CONFIG = RunConfig()
+
+
+def build_system(
+    kind: str,
+    function: str,
+    config: RunConfig = DEFAULT_CONFIG,
+    **kwargs,
+) -> ServerSystem:
+    """Instantiate one of the evaluated server configurations."""
+    common = dict(
+        seed=config.seed, functional_rate=config.functional_rate, **kwargs
+    )
+    if kind == "host":
+        return HostOnlySystem(function, **common)
+    if kind == "snic":
+        return SnicOnlySystem(function, **common)
+    if kind == "hal":
+        return HalSystem(function, **common)
+    if kind == "slb":
+        return SlbSystem(function, **common)
+    if kind == "host-slb":
+        return HostSideSlbSystem(function, **common)
+    if kind in ("bf2", "bf3", "skylake", "spr"):
+        return PlatformSystem(function, platform=kind, **common)
+    raise ValueError(f"unknown system kind {kind!r}; known: {SYSTEM_KINDS}")
+
+
+def run_at_rate(
+    kind: str,
+    function: str,
+    rate_gbps: float,
+    config: RunConfig = DEFAULT_CONFIG,
+    **kwargs,
+) -> RunMetrics:
+    """One constant-rate run (the Fig. 2/4/5/9 workhorse)."""
+    system = build_system(kind, function, config, **kwargs)
+    generator = ConstantRateGenerator(
+        system.plan, config.spec(rate_gbps), system.rng, rate_gbps
+    )
+    return system.run(generator, config.duration_s)
+
+
+def run_trace(
+    kind: str,
+    function: str,
+    trace: str,
+    config: RunConfig = DEFAULT_CONFIG,
+    **kwargs,
+) -> RunMetrics:
+    """One datacenter-trace run (the Table V workhorse)."""
+    if trace not in META_TRACES:
+        raise ValueError(f"unknown trace {trace!r}; known: {sorted(META_TRACES)}")
+    system = build_system(kind, function, config, **kwargs)
+    generator = LogNormalTraceGenerator(
+        system.plan,
+        config.spec(META_TRACES[trace].average_gbps * 3),
+        system.rng,
+        META_TRACES[trace],
+        interval_s=config.trace_interval_s,
+    )
+    return system.run(generator, config.duration_s)
+
+
+def measure_base_p99_us(
+    kind: str,
+    function: str,
+    config: RunConfig = DEFAULT_CONFIG,
+    low_rate_fraction: float = 0.10,
+    capacity_gbps: Optional[float] = None,
+) -> float:
+    """p99 at a low (10% of capacity) rate — the latency floor used as
+    the SLO reference (§III-C)."""
+    from repro.hw.profiles import get_profile
+
+    profile = get_profile(function)
+    if capacity_gbps is None:
+        capacity_gbps = (
+            profile.snic.capacity_gbps if kind == "snic" else profile.host.capacity_gbps
+        )
+    rate = max(0.02, capacity_gbps * low_rate_fraction)
+    return run_at_rate(kind, function, rate, config).p99_latency_us

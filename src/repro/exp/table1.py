@@ -1,0 +1,27 @@
+"""Table I — host acceleration coverage of BlueField-2 functions."""
+
+from __future__ import annotations
+
+from repro.exp.report import ExperimentResult
+from repro.exp.server import DEFAULT_CONFIG, RunConfig
+from repro.hw.capabilities import TABLE1
+
+
+def run(config: RunConfig = DEFAULT_CONFIG) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="table1",
+        title="BF-2 functions supported by Intel ISA extensions and/or QAT",
+        columns=("function", "isa", "qat"),
+    )
+    for entry in TABLE1:
+        result.add_row(
+            function=entry.function,
+            isa="yes" if entry.isa else "",
+            qat="yes" if entry.qat else "",
+        )
+    both = sum(1 for e in TABLE1 if e.isa and e.qat)
+    result.add_note(
+        f"{len(TABLE1)} functions total; {both} covered by both ISA and QAT, "
+        f"{len(TABLE1) - both} by ISA extensions only"
+    )
+    return result

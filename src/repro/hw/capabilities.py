@@ -1,0 +1,81 @@
+"""Table I — which BlueField-2 functions the host can also accelerate.
+
+The host processor accelerates functions two ways: ISA extensions
+(AES-NI, SHA, AVX, RDRAND/RDSEED via ISA-L/OpenSSL) and the QAT adapter.
+Table I enumerates the overlap with BF-2's accelerator functions; this
+module encodes it verbatim and offers the queries Fig. 2's grouping
+logic needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class AcceleratorSupport:
+    function: str
+    isa: bool
+    qat: bool
+
+    @property
+    def host_accelerated(self) -> bool:
+        return self.isa or self.qat
+
+
+#: Table I, row by row.
+TABLE1: Tuple[AcceleratorSupport, ...] = (
+    AcceleratorSupport("SHA", isa=True, qat=True),
+    AcceleratorSupport("RSA", isa=True, qat=True),
+    AcceleratorSupport("EC-DH", isa=True, qat=True),
+    AcceleratorSupport("AES", isa=True, qat=True),
+    AcceleratorSupport("DSA", isa=True, qat=True),
+    AcceleratorSupport("EC-DSA", isa=True, qat=True),
+    AcceleratorSupport("Deflate", isa=True, qat=True),
+    AcceleratorSupport("RAND", isa=True, qat=True),
+    AcceleratorSupport("GHASH", isa=True, qat=False),
+    AcceleratorSupport("HMAC", isa=True, qat=True),
+    AcceleratorSupport("MD5", isa=True, qat=False),
+    AcceleratorSupport("DES-EDE3", isa=True, qat=False),
+    AcceleratorSupport("Whirlpool", isa=True, qat=False),
+    AcceleratorSupport("RMD160", isa=True, qat=False),
+    AcceleratorSupport("DES-CBC", isa=True, qat=False),
+    AcceleratorSupport("Camellia", isa=True, qat=False),
+    AcceleratorSupport("RC2-CBC", isa=True, qat=False),
+    AcceleratorSupport("RC4", isa=True, qat=False),
+    AcceleratorSupport("Blowfish", isa=True, qat=False),
+    AcceleratorSupport("SEED-CBC", isa=True, qat=False),
+    AcceleratorSupport("CAST-CBC", isa=True, qat=False),
+    AcceleratorSupport("EdDSA", isa=True, qat=False),
+    AcceleratorSupport("MD4", isa=True, qat=False),
+)
+
+
+def support_matrix() -> Dict[str, AcceleratorSupport]:
+    return {entry.function: entry for entry in TABLE1}
+
+
+def qat_functions() -> List[str]:
+    """Functions accelerated by the QAT adapter."""
+    return [entry.function for entry in TABLE1 if entry.qat]
+
+
+def isa_only_functions() -> List[str]:
+    """Functions accelerated only through ISA extensions."""
+    return [entry.function for entry in TABLE1 if entry.isa and not entry.qat]
+
+
+#: mapping from our registry function names to Table I rows, where the
+#: packet-level function is backed by one of the listed primitives
+REGISTRY_ACCELERATION: Dict[str, Tuple[str, ...]] = {
+    "crypto": ("RSA", "DSA", "EC-DH"),
+    "compress": ("Deflate",),
+}
+
+
+def host_accelerates(registry_name: str) -> bool:
+    """Does the host have hardware acceleration for this registry NF?"""
+    matrix = support_matrix()
+    primitives = REGISTRY_ACCELERATION.get(registry_name, ())
+    return any(matrix[p].host_accelerated for p in primitives)

@@ -1,0 +1,56 @@
+"""CXL-SNIC emulation (§V-C).
+
+No CXL-attached SNIC exists, so the paper emulates one with a dual-socket
+NUMA server: socket 1 (frequency-capped to 800 MHz, 8 cores) plays the
+SNIC, socket 0 plays the host, and the UPI interconnect stands in for
+CXL.cache — which is architecturally descended from UPI.
+
+We emulate the emulation: :func:`make_cxl_state_domain` returns a
+coherent :class:`~repro.nf.state.SharedStateDomain` with UPI/CXL-class
+line-transfer costs, and :func:`make_pcie_state_domain` the non-coherent
+PCIe alternative whose per-access software cost is what makes stateful
+functions impractical on a PCIe-SNIC. :class:`NumaEmulation` captures the
+paper's socket configuration so experiments can report it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nf.state import CXL_COSTS, PCIE_COSTS, SharedStateDomain
+
+
+@dataclass(frozen=True)
+class NumaEmulation:
+    """The paper's NUMA stand-in for a CXL-SNIC (Fig. 7)."""
+
+    snic_node_cores: int = 8
+    snic_node_freq_ghz: float = 0.8   # capped to match BF-2 Arm at 2 GHz
+    host_node_cores: int = 8
+    host_node_freq_ghz: float = 2.2
+    #: SPEC-2017 mcf sanity check from §V-C: SNIC@2GHz 1391 s ≈ host@800MHz 1424 s
+    calibration_note: str = "BF-2 A72 @2GHz ~ Xeon @800MHz (mcf: 1391s vs 1424s)"
+
+    @property
+    def frequency_ratio(self) -> float:
+        return self.host_node_freq_ghz / self.snic_node_freq_ghz
+
+
+def make_cxl_state_domain(block_count: int = 1024) -> SharedStateDomain:
+    """Shared state over CXL.cache/UPI — hardware-coherent, cheap."""
+    return SharedStateDomain(CXL_COSTS, block_count=block_count, home_agent="host")
+
+
+def make_pcie_state_domain(block_count: int = 1024) -> SharedStateDomain:
+    """Shared state over plain PCIe — software-mediated, expensive.
+
+    The domain still *functions* (software can always shuttle state), but
+    each remote access costs microseconds; experiments use this to show
+    why HAL restricts stateful cooperation to CXL-SNICs.
+    """
+    return SharedStateDomain(PCIE_COSTS, block_count=block_count, home_agent="host")
+
+
+def stateful_cooperation_viable(domain: SharedStateDomain) -> bool:
+    """§V-C's criterion: cooperative stateful processing needs coherence."""
+    return domain.costs.coherent

@@ -1,0 +1,84 @@
+"""DPDK API shims.
+
+The load-balancing policy (Algorithm 1) is written against three DPDK
+facilities: ``rte_eth_rx_burst`` (whose return values accumulate into the
+SNIC throughput estimate), ``rte_eth_rx_queue_count`` (Rx-ring occupancy)
+and the power-management API (core sleep/wake). These shims expose the
+simulator's engines through functions named after their DPDK
+counterparts, so :mod:`repro.core.lbp` reads like the pseudocode in the
+paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.platform import ProcessingEngine
+
+#: default rte_eth_rx_burst batch size
+BURST_SIZE = 32
+#: default Rx descriptor-ring depth per queue
+RX_RING_DEPTH = 1024
+
+
+def rte_eth_rx_queue_count(engine: ProcessingEngine, queue_id: int) -> int:
+    """Backlog (packets) of one Rx queue of ``engine``.
+
+    Includes work held in a deepened accelerator pipeline during overload
+    — the backpressure the hardware descriptor ring exposes.
+    """
+    if not 0 <= queue_id < engine.active_cores:
+        raise ValueError(
+            f"queue_id {queue_id} out of range [0, {engine.active_cores})"
+        )
+    return engine._rings[queue_id].occupancy_packets + engine._in_pipeline[queue_id]
+
+
+def rx_queue_max_occupancy(engine: ProcessingEngine) -> int:
+    """max over queues of rte_eth_rx_queue_count — Algorithm 1 lines 3–6."""
+    occupancy = 0
+    for queue_id in range(engine.active_cores):
+        count = rte_eth_rx_queue_count(engine, queue_id)
+        if count > occupancy:
+            occupancy = count
+    return occupancy
+
+
+@dataclass
+class ThroughputEstimator:
+    """Accumulates delivered bits like summed rx_burst return values.
+
+    LBP calls :meth:`sample` once per policy period and receives the
+    engine's throughput (Gbps) over the period just ended.
+    """
+
+    engine: ProcessingEngine
+    _last_bits: int = 0
+    _last_time: float = 0.0
+
+    def sample(self, now: float) -> float:
+        bits = self.engine.delivered_bits
+        elapsed = now - self._last_time
+        delta = bits - self._last_bits
+        self._last_bits = bits
+        self._last_time = now
+        if elapsed <= 0:
+            return 0.0
+        return delta / elapsed / 1e9
+
+
+def enable_power_management(
+    engine: ProcessingEngine,
+    wake_latency_s: float = 30e-6,
+    sleep_after_idle_s: float = 200e-6,
+) -> None:
+    """Turn on the DPDK power-management API behaviour for ``engine``:
+    cores sleep when their queues stay empty and pay a wake-up penalty on
+    the next arrival (§V-B)."""
+    engine.sleep_enabled = True
+    engine.wake_latency_s = wake_latency_s
+    engine.sleep_after_idle_s = sleep_after_idle_s
+    if engine.busy_cores == 0 and engine.total_queued_packets() == 0:
+        engine.sleeping = True
+        if engine.on_power_change is not None:
+            engine.on_power_change(engine)

@@ -1,0 +1,115 @@
+"""SNIC-processor DVFS model (§VIII discussion).
+
+The paper asks whether dynamic voltage/frequency scaling on the SNIC
+processor would change HAL's story and concludes it would not: the SNIC
+contributes only 0.5–2% of system power, so even a perfect governor
+"will reduce the system-wide power consumption by only 2% at most", and
+LBP keeps working because V/F-dependent capacity shows up in the same
+Rx-queue occupancy signal it already monitors.
+
+This module models a frequency ladder with cubic dynamic-power scaling
+(P ∝ fV² with V ∝ f), a simple utilisation-driven governor, and the
+arithmetic behind the ≤2% estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.hw.power import PowerConfig
+from repro.hw.profiles import EngineProfile
+
+
+@dataclass(frozen=True)
+class FrequencyState:
+    """One V/F operating point, relative to nominal."""
+
+    name: str
+    frequency_factor: float  # capacity scales ~ linearly with f
+
+    def __post_init__(self) -> None:
+        if not 0.1 <= self.frequency_factor <= 1.0:
+            raise ValueError("frequency factor must be in [0.1, 1.0]")
+
+    @property
+    def power_factor(self) -> float:
+        """Dynamic power ∝ f·V² with V ∝ f ⇒ cubic in f."""
+        return self.frequency_factor**3
+
+
+#: a BF-2-like ladder: 2.0 / 1.6 / 1.2 GHz
+DEFAULT_LADDER: Tuple[FrequencyState, ...] = (
+    FrequencyState("low", 0.6),
+    FrequencyState("mid", 0.8),
+    FrequencyState("nominal", 1.0),
+)
+
+
+class DvfsGovernor:
+    """Pick the lowest V/F state whose capacity covers the load."""
+
+    def __init__(
+        self,
+        ladder: Sequence[FrequencyState] = DEFAULT_LADDER,
+        headroom: float = 1.15,
+    ) -> None:
+        if not ladder:
+            raise ValueError("ladder must not be empty")
+        self.ladder = tuple(
+            sorted(ladder, key=lambda state: state.frequency_factor)
+        )
+        if self.ladder[-1].frequency_factor != 1.0:
+            raise ValueError("ladder must include the nominal (1.0) state")
+        if headroom < 1.0:
+            raise ValueError("headroom must be >= 1")
+        self.headroom = headroom
+        self.transitions = 0
+        self._current = self.ladder[-1]
+
+    @property
+    def current(self) -> FrequencyState:
+        return self._current
+
+    def select(self, offered_gbps: float, nominal_capacity_gbps: float) -> FrequencyState:
+        """Choose (and record) the state for the observed load."""
+        if nominal_capacity_gbps <= 0:
+            raise ValueError("capacity must be positive")
+        needed = offered_gbps * self.headroom
+        chosen = self.ladder[-1]
+        for state in self.ladder:
+            if state.frequency_factor * nominal_capacity_gbps >= needed:
+                chosen = state
+                break
+        if chosen is not self._current:
+            self.transitions += 1
+            self._current = chosen
+        return chosen
+
+
+def estimate_system_savings(
+    snic_profile: EngineProfile,
+    utilization: float,
+    power_config: PowerConfig = PowerConfig(),
+    ladder: Sequence[FrequencyState] = DEFAULT_LADDER,
+) -> Tuple[float, float]:
+    """(absolute watts saved, fraction of system power saved) from ideal
+    SNIC DVFS at the given long-run utilisation.
+
+    Implements the §VIII estimate: the governor picks the slowest state
+    that still covers the load; savings apply only to the SNIC's dynamic
+    power, which is single-digit watts against a ~200 W system.
+    """
+    if not 0.0 <= utilization <= 1.0:
+        raise ValueError("utilization must be in [0, 1]")
+    governor = DvfsGovernor(ladder)
+    state = governor.select(
+        utilization * snic_profile.capacity_gbps, snic_profile.capacity_gbps
+    )
+    nominal_watts = snic_profile.dynamic_power_w * utilization
+    # at frequency f the same work runs at utilisation u/f but each active
+    # cycle costs f^2 less energy: P = (u/f) · P_dyn · f^3 / 1 = u·P_dyn·f^2
+    scaled_watts = nominal_watts * state.frequency_factor**2
+    saved = nominal_watts - scaled_watts
+    system_watts = power_config.system_idle_w + nominal_watts
+    return saved, saved / system_watts

@@ -1,0 +1,83 @@
+"""Host platform descriptors and engine factories.
+
+Encodes the evaluation server of Table III (dual-socket Intel Xeon Gold
+6140 "Skylake", QAT adapter, 256 GB DDR4) and the Sapphire Rapids
+successor of Fig. 10, and builds calibrated host-side
+:class:`~repro.hw.platform.ProcessingEngine` instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.hw.pcie import host_delivery_latency_s
+from repro.hw.platform import ProcessingEngine
+from repro.hw.profiles import EngineProfile, get_profile, spr_profile
+from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class HostDescriptor:
+    """Static description of a host processor configuration."""
+
+    model: str
+    sockets: int
+    cores: int
+    base_ghz: float
+    llc_mb: int
+    memory: str
+    accelerators: Tuple[str, ...]
+    idle_power_w: float  # server idle, SNIC included
+
+
+SKYLAKE_SERVER = HostDescriptor(
+    model="Intel Xeon Gold 6140 (Skylake)",
+    sockets=2,
+    cores=36,
+    base_ghz=2.2,  # userspace governor, TDP-constrained max (§VI)
+    llc_mb=100,
+    memory="256 GB DDR4-2666, 12 channels",
+    accelerators=("qat", "aes-ni", "sha", "avx"),
+    idle_power_w=194.0,
+)
+
+SAPPHIRE_RAPIDS_SERVER = HostDescriptor(
+    model="Intel Xeon Sapphire Rapids",
+    sockets=2,
+    cores=64,
+    base_ghz=2.4,
+    llc_mb=120,
+    memory="DDR5, 16 channels",
+    accelerators=("qat", "dsa", "iaa", "aes-ni", "sha", "avx"),
+    idle_power_w=210.0,
+)
+
+
+def host_engine_profile(function: str, generation: str = "skylake") -> EngineProfile:
+    """The host-side profile for ``function`` on the given generation."""
+    if generation == "skylake":
+        return get_profile(function).host
+    if generation == "spr":
+        return spr_profile(function)
+    raise ValueError(f"unknown host generation {generation!r}")
+
+
+def make_host_engine(
+    sim: Simulator,
+    function: str,
+    generation: str = "skylake",
+    name: Optional[str] = None,
+    remote_socket: bool = False,
+    **engine_kwargs,
+) -> ProcessingEngine:
+    """A ready-to-use host processing engine for ``function``.
+
+    The engine sits behind the SNIC's PCIe switch (off-chip crossing);
+    ``remote_socket=True`` adds the UPI hop of a dual-socket server.
+    """
+    profile = host_engine_profile(function, generation)
+    engine_kwargs.setdefault(
+        "delivery_latency_s", host_delivery_latency_s(remote_socket)
+    )
+    return ProcessingEngine(sim, profile, name=name or profile.name, **engine_kwargs)

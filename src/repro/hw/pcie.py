@@ -1,0 +1,55 @@
+"""Interconnect latency models (PCIe, UPI).
+
+Section III-A measures the packet-delivery asymmetries that matter for
+load balancing: both processors receive packets through the SNIC's PCIe
+switch, so the SNIC CPU sees packets only ~0.3 µs earlier than the host
+CPU, and a host CPU on the remote socket of a dual-socket server pays a
+further ~0.5 µs UPI hop. These constants feed the engines'
+``delivery_latency_s``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Interconnect:
+    """A point-to-point delivery path with fixed latency and bandwidth."""
+
+    name: str
+    latency_s: float
+    bandwidth_gbps: float
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0:
+            raise ValueError(f"{self.name}: latency cannot be negative")
+        if self.bandwidth_gbps <= 0:
+            raise ValueError(f"{self.name}: bandwidth must be positive")
+
+    def transfer_time_s(self, nbytes: int) -> float:
+        """Latency plus serialisation for an ``nbytes`` transfer."""
+        if nbytes < 0:
+            raise ValueError("nbytes cannot be negative")
+        return self.latency_s + nbytes * 8 / (self.bandwidth_gbps * 1e9)
+
+
+#: eSwitch → SNIC CPU across the on-chip PCIe fabric.
+ONCHIP_PCIE = Interconnect("onchip-pcie", latency_s=0.9e-6, bandwidth_gbps=128.0)
+#: eSwitch → host CPU across the SNIC's PCIe switch (+~0.3 µs vs SNIC CPU).
+OFFCHIP_PCIE = Interconnect("offchip-pcie", latency_s=1.2e-6, bandwidth_gbps=126.0)
+#: additional socket-to-socket hop for a remote-socket host CPU.
+UPI_HOP = Interconnect("upi-hop", latency_s=0.5e-6, bandwidth_gbps=83.2)
+
+
+def host_delivery_latency_s(remote_socket: bool = False) -> float:
+    """Delivery latency from the eSwitch to the host CPU."""
+    latency = OFFCHIP_PCIE.latency_s
+    if remote_socket:
+        latency += UPI_HOP.latency_s
+    return latency
+
+
+def snic_delivery_latency_s() -> float:
+    """Delivery latency from the eSwitch to the SNIC CPU/accelerators."""
+    return ONCHIP_PCIE.latency_s

@@ -1,0 +1,387 @@
+"""Processing-engine queueing model.
+
+Every packet consumer in the system — the 8 wimpy SNIC Arm cores, the
+SNIC's REM/crypto/compression accelerator blocks, the 8 host Xeon cores,
+the host QAT — is an instance of :class:`ProcessingEngine`: ``n`` servers
+fed by per-server Rx rings (RSS by flow hash), with per-packet service
+time derived from the engine's calibrated capacity
+(:class:`repro.hw.profiles.EngineProfile`).
+
+The engine also implements the two behaviours the paper's systems build
+on:
+
+* **DPDK observables** — ring occupancy (``rx_queue_occupancy``) and
+  delivered-bit counters, which Algorithm 1 (LBP) polls;
+* **core sleep/wake** — the DPDK power-management API HAL uses to let
+  idle host cores sleep (§V-B), with the wake-up penalty the paper notes
+  shows up in host-side p99.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.hw.profiles import EngineProfile
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+from repro.sim.metrics import LatencyReservoir, RunMetrics
+
+
+@dataclass
+class PacketRing:
+    """A bounded Rx ring accounted in *packets* (batched events carry
+    ``multiplicity`` packets each, as a real descriptor ring would)."""
+
+    capacity_packets: int
+    items: Deque[Packet] = field(default_factory=deque)
+    occupancy_packets: int = 0
+    dropped_packets: int = 0
+    enqueued_packets: int = 0
+
+    def push(self, packet: Packet) -> bool:
+        if self.occupancy_packets + packet.multiplicity > self.capacity_packets:
+            self.dropped_packets += packet.multiplicity
+            return False
+        self.items.append(packet)
+        self.occupancy_packets += packet.multiplicity
+        self.enqueued_packets += packet.multiplicity
+        return True
+
+    def pop(self) -> Optional[Packet]:
+        if not self.items:
+            return None
+        packet = self.items.popleft()
+        self.occupancy_packets -= packet.multiplicity
+        return packet
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+class ProcessingEngine:
+    """``n``-server queueing station with calibrated service rates."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        profile: EngineProfile,
+        name: Optional[str] = None,
+        active_cores: Optional[int] = None,
+        nf: Optional[object] = None,
+        functional_rate: float = 0.0,
+        state_domain: Optional[object] = None,
+        state_agent: Optional[str] = None,
+        delivery_latency_s: float = 0.0,
+        on_complete: Optional[Callable[[Packet], None]] = None,
+        on_power_change: Optional[Callable[["ProcessingEngine"], None]] = None,
+        metrics: Optional[RunMetrics] = None,
+        sleep_enabled: bool = False,
+        wake_latency_s: float = 30e-6,
+        sleep_after_idle_s: float = 200e-6,
+        forward_stage: bool = False,
+        dispatch: str = "roundrobin",
+        service_jitter: float = 0.0,
+    ) -> None:
+        self.sim = sim
+        self.profile = profile
+        self.name = name or profile.name
+        self.active_cores = active_cores if active_cores is not None else profile.cores
+        if not 1 <= self.active_cores <= profile.cores:
+            raise ValueError(
+                f"{self.name}: active_cores must be in [1, {profile.cores}]"
+            )
+        self.nf = nf
+        if not 0.0 <= functional_rate <= 1.0:
+            raise ValueError("functional_rate must be in [0, 1]")
+        self.functional_rate = functional_rate
+        self.state_domain = state_domain
+        self.state_agent = state_agent or self.name
+        self.delivery_latency_s = delivery_latency_s
+        self.on_complete = on_complete
+        self.on_power_change = on_power_change
+        self.metrics = metrics
+        #: a forward stage passes the *original* packet downstream and does
+        #: not record end-to-end latency (an SLB forwarding hop, not an NF)
+        self.forward_stage = forward_stage
+        # "roundrobin" models RSS over a large well-mixed flow population
+        # (per-queue load stays balanced); "flow" pins flows to queues
+        if dispatch not in ("roundrobin", "flow"):
+            raise ValueError(f"unknown dispatch mode {dispatch!r}")
+        self.dispatch = dispatch
+        self._dispatch_counter = 0
+        # mean-preserving uniform service-time jitter: software stages
+        # (rx_burst loops) are bursty, hardware pipelines are not
+        if not 0.0 <= service_jitter < 1.0:
+            raise ValueError("service_jitter must be in [0, 1)")
+        self.service_jitter = service_jitter
+        # gamma-distributed per-packet service when the profile declares a
+        # coefficient of variation (input-dependent work, §III / Table II)
+        self.service_cv = profile.service_cv
+        self._jitter_rng = random.Random(hash(self.name) & 0xFFFF)
+
+        # delivered-rate EWMA feeding the overload-latency model: engines
+        # running above their SLO knee hold work in deeper pipeline/ring
+        # occupancy, so latency degrades before throughput does (§III-C)
+        self._rate_tau_s = 2e-3
+        self._rate_bps_ewma = 0.0
+        self._rate_last_t = sim.now
+
+        capacity_bps = profile.capacity_with_cores(self.active_cores) * 1e9
+        self._per_core_bps = capacity_bps / self.active_cores
+        self._rings: List[PacketRing] = [
+            PacketRing(profile.queue_capacity_packets)
+            for _ in range(self.active_cores)
+        ]
+        self._core_busy: List[bool] = [False] * self.active_cores
+        # packets that finished service but are still in flight through the
+        # deepened pipeline while the engine runs above its SLO knee; they
+        # count toward the observable ring occupancy (backpressure)
+        self._in_pipeline: List[int] = [0] * self.active_cores
+
+        # sleep management (host cores under HAL)
+        self.sleep_enabled = sleep_enabled
+        self.wake_latency_s = wake_latency_s
+        self.sleep_after_idle_s = sleep_after_idle_s
+        self.sleeping = sleep_enabled  # start asleep if allowed
+        self._waking = False
+        self.wake_count = 0
+
+        # counters
+        self.delivered_packets = 0
+        self.delivered_bits = 0
+        self.dropped_packets = 0
+        self.received_packets = 0
+        self.latency = LatencyReservoir()
+        self._functional_accumulator = 0.0
+        self._seq = 0
+
+    # -- observables (DPDK APIs) ---------------------------------------
+    def rx_queue_occupancy(self) -> int:
+        """Max per-queue backlog in packets (``rte_eth_rx_queue_count``).
+
+        Includes packets held in a deepened accelerator pipeline during
+        overload — exactly the backpressure a hardware input FIFO exposes,
+        and the signal Algorithm 1 throttles on.
+        """
+        return max(
+            ring.occupancy_packets + pipelined
+            for ring, pipelined in zip(self._rings, self._in_pipeline)
+        )
+
+    def total_queued_packets(self) -> int:
+        return sum(ring.occupancy_packets for ring in self._rings) + sum(
+            self._in_pipeline
+        )
+
+    @property
+    def busy_cores(self) -> int:
+        return sum(self._core_busy)
+
+    @property
+    def utilization(self) -> float:
+        return self.busy_cores / self.active_cores
+
+    @property
+    def capacity_gbps(self) -> float:
+        return self._per_core_bps * self.active_cores / 1e9
+
+    # -- data path -------------------------------------------------------
+    def receive(self, packet: Packet) -> None:
+        """Packet delivered to this engine's Rx rings (RSS by flow)."""
+        self.received_packets += packet.multiplicity
+        if self.dispatch == "roundrobin":
+            core = self._dispatch_counter % self.active_cores
+            self._dispatch_counter += 1
+        else:
+            core = packet.flow_id % self.active_cores
+        ring = self._rings[core]
+        if not ring.push(packet):
+            self.dropped_packets += packet.multiplicity
+            if self.metrics is not None:
+                self.metrics.dropped_packets += packet.multiplicity
+            return
+        if self.sleeping:
+            self._begin_wake()
+            return
+        if not self._core_busy[core]:
+            self._start_service(core)
+
+    def _begin_wake(self) -> None:
+        if self._waking:
+            return
+        self._waking = True
+        self.wake_count += 1
+
+        def wake() -> None:
+            self.sleeping = False
+            self._waking = False
+            self._notify_power()
+            for core in range(self.active_cores):
+                if not self._core_busy[core] and self._rings[core].items:
+                    self._start_service(core)
+
+        self.sim.schedule(self.wake_latency_s, wake)
+
+    def _start_service(self, core: int) -> None:
+        packet = self._rings[core].pop()
+        if packet is None:
+            return
+        self._core_busy[core] = True
+        self._notify_power()
+        service_s = packet.wire_bits / self._per_core_bps
+        if self.profile.per_packet_overhead_us > 0:
+            # fixed per-packet cost: descriptor handling, header parsing —
+            # dominates for small packets (§III-A)
+            service_s += (
+                self.profile.per_packet_overhead_us * 1e-6 * packet.multiplicity
+            )
+        if self.service_cv > 0:
+            # mean-preserving gamma draw; a batched event of B packets
+            # averages B draws, so its relative spread shrinks by sqrt(B)
+            shape = packet.multiplicity / (self.service_cv**2)
+            service_s *= self._jitter_rng.gammavariate(shape, 1.0 / shape)
+        if self.service_jitter:
+            service_s *= 1.0 + self.service_jitter * (
+                2.0 * self._jitter_rng.random() - 1.0
+            )
+        service_s += self._coherence_stall(packet)
+        self.sim.schedule(service_s, self._finish_service, core, packet)
+
+    def _coherence_stall(self, packet: Packet) -> float:
+        if self.state_domain is None:
+            return 0.0
+        # one coherence transaction per service event, keyed by flow: the
+        # cores batch state updates across a burst (the paper measures only
+        # 0.3-3% throughput/latency impact from NUMA-shared state, §VII-B)
+        return self.state_domain.access(self.state_agent, packet.flow_id, write=True)
+
+    def _update_rate_ewma(self, wire_bits: int) -> None:
+        now = self.sim.now
+        dt = now - self._rate_last_t
+        if dt > 0:
+            self._rate_bps_ewma *= math.exp(-dt / self._rate_tau_s)
+            self._rate_last_t = now
+        self._rate_bps_ewma += wire_bits / self._rate_tau_s
+
+    def _overload_latency_s(self) -> float:
+        knee = self.profile.slo_knee_gbps
+        if knee is None or self.profile.overload_latency_us <= 0:
+            return 0.0
+        cap = self.capacity_gbps
+        if cap <= knee:
+            return 0.0
+        frac = (self._rate_bps_ewma / 1e9 - knee) / (cap - knee)
+        if frac <= 0:
+            return 0.0
+        return self.profile.overload_latency_us * 1e-6 * min(1.0, frac) ** 2
+
+    def _finish_service(self, core: int, packet: Packet) -> None:
+        self.delivered_packets += packet.multiplicity
+        self.delivered_bits += packet.wire_bits
+        self._update_rate_ewma(packet.wire_bits)
+        if self.forward_stage:
+            # mid-path hop: charge its delivery latency by back-dating the
+            # packet and hand the original packet to the next stage
+            packet.created_at -= (
+                self.profile.base_latency_us * 1e-6 + self.delivery_latency_s
+            )
+            if self.on_complete is not None:
+                self.on_complete(packet)
+        else:
+            overload_s = self._overload_latency_s()
+            if overload_s > 0:
+                # overload deepens the pipeline: completion is delayed and
+                # the packet keeps occupying the observable input backlog
+                self._in_pipeline[core] += packet.multiplicity
+                self.sim.schedule(overload_s, self._deliver, core, packet, True)
+            else:
+                self._deliver(core, packet, False)
+        if self._rings[core].items:
+            self._start_service(core)
+        else:
+            self._core_busy[core] = False
+            self._notify_power()
+            if self.sleep_enabled and self.busy_cores == 0:
+                self._schedule_sleep_check()
+
+    def _deliver(self, core: int, packet: Packet, pipelined: bool) -> None:
+        if pipelined:
+            self._in_pipeline[core] -= packet.multiplicity
+        packet.processed_by = self.name
+        # midpoint correction: a batched event of B wire packets is served
+        # as one block, but the representative (median) packet finishes
+        # half a block earlier than the block completion
+        batch_service = packet.wire_bits / self._per_core_bps
+        midpoint = batch_service * (packet.multiplicity - 1) / (
+            2 * packet.multiplicity
+        )
+        latency = (
+            self.sim.now
+            - packet.created_at
+            + self.profile.base_latency_us * 1e-6
+            + self.delivery_latency_s
+            - midpoint
+        )
+        latency = max(latency, batch_service / packet.multiplicity)
+        self.latency.record(latency)
+        if self.metrics is not None:
+            self.metrics.delivered_packets += packet.multiplicity
+            self.metrics.delivered_bytes += packet.size_bytes * packet.multiplicity
+            self.metrics.latency.record(latency)
+        self._maybe_run_function(packet)
+        if self.on_complete is not None:
+            self.on_complete(packet.make_response())
+
+    def _maybe_run_function(self, packet: Packet) -> None:
+        """Execute the real NF on a sampled fraction of packets.
+
+        Running the genuine computation for every wire packet would make
+        100 Gbps simulation infeasible in Python, so ``functional_rate``
+        controls the sampled fraction; the accumulated fraction is exact
+        over time (no RNG needed).
+        """
+        if self.nf is None or self.functional_rate <= 0.0:
+            return
+        self._functional_accumulator += self.functional_rate * packet.multiplicity
+        while self._functional_accumulator >= 1.0:
+            self._functional_accumulator -= 1.0
+            self._seq += 1
+            request = packet.payload
+            if request is None:
+                request = self.nf.make_request(self._seq, packet.flow_id)
+            self.nf.process(request)
+
+    def _schedule_sleep_check(self) -> None:
+        scheduled_at = self.sim.now
+
+        def maybe_sleep() -> None:
+            if (
+                self.sleep_enabled
+                and not self.sleeping
+                and self.busy_cores == 0
+                and self.total_queued_packets() == 0
+                and self.sim.now - scheduled_at >= self.sleep_after_idle_s * 0.999
+            ):
+                self.sleeping = True
+                self._notify_power()
+
+        self.sim.schedule(self.sleep_after_idle_s, maybe_sleep)
+
+    def _notify_power(self) -> None:
+        if self.on_power_change is not None:
+            self.on_power_change(self)
+
+    # -- reporting ---------------------------------------------------------
+    def stats(self) -> Dict[str, float]:
+        return {
+            "received_packets": self.received_packets,
+            "delivered_packets": self.delivered_packets,
+            "dropped_packets": self.dropped_packets,
+            "delivered_gbit": self.delivered_bits / 1e9,
+            "p99_latency_us": self.latency.p99() * 1e6,
+            "mean_latency_us": self.latency.mean * 1e6,
+        }

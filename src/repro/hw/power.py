@@ -1,0 +1,114 @@
+"""System-wide power model (§III-B calibration).
+
+The paper measures *system* power through DCMI/BMC: the server idles at
+194 W (SNIC plugged in, idle), the SNIC adds single-digit watts when
+active, and the host side adds tens of watts for busy-polling DPDK cores
+plus function-dependent dynamic power up to the 219–336 W loaded range.
+Energy efficiency is throughput divided by this system power, which is
+why SNIC processing wins at low rates: it avoids the host's polling and
+dynamic power entirely while adding almost nothing itself.
+
+:class:`PowerModel` tracks every :class:`~repro.hw.platform.ProcessingEngine`
+and integrates component power over simulated time:
+
+* host engines: ``poll_w_per_core × cores`` while awake (DPDK busy-poll),
+  plus ``dynamic_power_w × utilisation`` while processing;
+* SNIC engines: ``dynamic_power_w × utilisation`` (the 29 W SNIC idle
+  floor is part of the system idle);
+* constant adders (e.g. the HLB FPGA's <0.1 W).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.hw.platform import ProcessingEngine
+from repro.sim.engine import Simulator
+from repro.sim.metrics import PowerIntegrator, TimeSeries
+
+ROLE_HOST = "host"
+ROLE_SNIC = "snic"
+
+
+@dataclass(frozen=True)
+class PowerConfig:
+    """Calibrated system power coefficients (§III-B)."""
+
+    system_idle_w: float = 194.0
+    snic_idle_w: float = 29.0  # informational: included in system_idle_w
+    host_poll_w_per_core: float = 6.0
+    hlb_fpga_w: float = 0.1
+    dcmi_sample_period_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.system_idle_w <= 0:
+            raise ValueError("system idle power must be positive")
+        if self.host_poll_w_per_core < 0 or self.hlb_fpga_w < 0:
+            raise ValueError("power coefficients cannot be negative")
+
+
+class PowerModel:
+    """Integrates component power and provides DCMI-style sampling."""
+
+    def __init__(self, sim: Simulator, config: PowerConfig = PowerConfig()) -> None:
+        self.sim = sim
+        self.config = config
+        self.integrator = PowerIntegrator(start_time=sim.now)
+        self.integrator.set_level("idle", config.system_idle_w, sim.now)
+        self._roles: Dict[str, str] = {}
+        self.samples = TimeSeries(name="dcmi-system-watts")
+
+    # -- engine tracking -------------------------------------------------
+    def track(self, engine: ProcessingEngine, role: str) -> None:
+        """Attach ``engine`` to the model; called once after construction."""
+        if role not in (ROLE_HOST, ROLE_SNIC):
+            raise ValueError(f"unknown power role {role!r}")
+        if engine.name in self._roles:
+            raise ValueError(f"engine {engine.name!r} already tracked")
+        self._roles[engine.name] = role
+        engine.on_power_change = self._engine_changed
+        self._engine_changed(engine)
+
+    def _engine_changed(self, engine: ProcessingEngine) -> None:
+        role = self._roles.get(engine.name)
+        if role is None:
+            return
+        watts = engine.profile.dynamic_power_w * engine.utilization
+        if role == ROLE_HOST and not engine.sleeping:
+            watts += self.config.host_poll_w_per_core * engine.active_cores
+        self.integrator.set_level(engine.name, watts, self.sim.now)
+
+    def set_constant(self, component: str, watts: float) -> None:
+        """Add a fixed draw (e.g. the HLB FPGA datapath)."""
+        self.integrator.set_level(component, watts, self.sim.now)
+
+    # -- DCMI sampling ------------------------------------------------------
+    def start_sampling(self) -> None:
+        """Sample instantaneous system power once per DCMI period."""
+
+        def sample() -> None:
+            self.samples.append(self.sim.now, self.integrator.instantaneous_watts())
+
+        self.sim.every(self.config.dcmi_sample_period_s, sample)
+
+    # -- reporting ----------------------------------------------------------
+    def average_watts(self) -> float:
+        return self.integrator.average_watts(self.sim.now)
+
+    def breakdown(self) -> Dict[str, float]:
+        return {
+            component: self.integrator.average_watts(self.sim.now, component)
+            for component in self.integrator.components()
+        }
+
+    def snic_host_split(self) -> Tuple[float, float]:
+        """(snic_watts, host_watts) time-averaged dynamic components."""
+        snic = host = 0.0
+        for name, role in self._roles.items():
+            watts = self.integrator.average_watts(self.sim.now, name)
+            if role == ROLE_SNIC:
+                snic += watts
+            else:
+                host += watts
+        return snic, host

@@ -1,0 +1,90 @@
+"""SNIC platform descriptors and engine factories.
+
+Encodes the BlueField-2 architecture of §II-A (8×A72 cores, REM / crypto
+/ compression accelerators, eSwitch, on-board DRAM) and the BlueField-3
+successor used in Fig. 10, and builds calibrated
+:class:`~repro.hw.platform.ProcessingEngine` instances for a given
+function on the SNIC side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.hw.pcie import snic_delivery_latency_s
+from repro.hw.platform import ProcessingEngine
+from repro.hw.profiles import EngineProfile, bf3_profile, get_profile
+from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class SnicDescriptor:
+    """Static description of an SNIC part."""
+
+    model: str
+    cpu_cores: int
+    cpu_ghz: float
+    line_rate_gbps: float
+    dram_gb: int
+    dram_type: str
+    accelerators: Tuple[str, ...]
+    idle_power_w: float
+    max_power_w: float
+
+
+BLUEFIELD2 = SnicDescriptor(
+    model="BlueField-2",
+    cpu_cores=8,
+    cpu_ghz=2.0,
+    line_rate_gbps=100.0,
+    dram_gb=16,
+    dram_type="DDR4-3200",
+    accelerators=("rem", "crypto", "compress"),
+    idle_power_w=29.0,
+    max_power_w=37.0,
+)
+
+BLUEFIELD3 = SnicDescriptor(
+    model="BlueField-3",
+    cpu_cores=16,
+    cpu_ghz=2.0,
+    line_rate_gbps=200.0,
+    dram_gb=32,
+    dram_type="DDR5",
+    accelerators=("rem", "crypto", "compress"),
+    idle_power_w=35.0,
+    max_power_w=50.0,
+)
+
+
+def snic_engine_profile(function: str, generation: str = "bf2") -> EngineProfile:
+    """The SNIC-side profile for ``function`` on the given generation."""
+    if generation == "bf2":
+        return get_profile(function).snic
+    if generation == "bf3":
+        return bf3_profile(function)
+    raise ValueError(f"unknown SNIC generation {generation!r}")
+
+
+def make_snic_engine(
+    sim: Simulator,
+    function: str,
+    generation: str = "bf2",
+    name: Optional[str] = None,
+    **engine_kwargs,
+) -> ProcessingEngine:
+    """A ready-to-use SNIC processing engine for ``function``.
+
+    Hardware-accelerated functions run on the accelerator block profile;
+    software functions run on the Arm cores. Both sit behind the on-chip
+    PCIe fabric latency.
+    """
+    profile = snic_engine_profile(function, generation)
+    engine_kwargs.setdefault("delivery_latency_s", snic_delivery_latency_s())
+    return ProcessingEngine(sim, profile, name=name or profile.name, **engine_kwargs)
+
+
+def uses_accelerator(function: str) -> bool:
+    """Does BF-2 process this function on an accelerator block?"""
+    return get_profile(function).snic.accelerated

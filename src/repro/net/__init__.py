@@ -1,0 +1,64 @@
+"""Packet, addressing, switching, and traffic-generation substrate."""
+
+from repro.net.addressing import (
+    AddressError,
+    AddressPlan,
+    Endpoint,
+    format_ipv4,
+    format_mac,
+    parse_ipv4,
+    parse_mac,
+)
+from repro.net.capture import CaptureTap, CapturedPacket
+from repro.net.eswitch import EmbeddedSwitch, PortStats, SwitchError
+from repro.net.packet import (
+    HEADER_BYTES,
+    MTU_BYTES,
+    SMALL_PACKET_BYTES,
+    Packet,
+    incremental_checksum_update,
+    internet_checksum,
+)
+from repro.net.traffic import (
+    LINE_RATE_GBPS,
+    META_TRACES,
+    ConstantRateGenerator,
+    LogNormalSpec,
+    LogNormalTraceGenerator,
+    PacketGenerator,
+    PoissonGenerator,
+    TrafficSpec,
+    fit_lognormal_scale,
+    synthesize_rate_trace,
+)
+
+__all__ = [
+    "AddressError",
+    "AddressPlan",
+    "CaptureTap",
+    "CapturedPacket",
+    "ConstantRateGenerator",
+    "EmbeddedSwitch",
+    "Endpoint",
+    "HEADER_BYTES",
+    "LINE_RATE_GBPS",
+    "LogNormalSpec",
+    "LogNormalTraceGenerator",
+    "META_TRACES",
+    "MTU_BYTES",
+    "Packet",
+    "PacketGenerator",
+    "PoissonGenerator",
+    "PortStats",
+    "SMALL_PACKET_BYTES",
+    "SwitchError",
+    "TrafficSpec",
+    "fit_lognormal_scale",
+    "format_ipv4",
+    "format_mac",
+    "incremental_checksum_update",
+    "internet_checksum",
+    "parse_ipv4",
+    "parse_mac",
+    "synthesize_rate_trace",
+]

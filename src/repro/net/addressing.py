@@ -1,0 +1,103 @@
+"""MAC/IP address types and the HAL address plan.
+
+HAL's trick (§V-A) is entirely address-based: the SNIC exposes one IP/MAC
+pair to clients while a second, hidden pair belongs to the host CPU. The
+traffic director rewrites the *destination* of excess packets to the host
+pair; the traffic merger rewrites the *source* of host responses back to
+the SNIC pair. These helpers make that rewriting explicit and testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class AddressError(ValueError):
+    """Raised for malformed MAC/IP addresses."""
+
+
+def parse_mac(text: str) -> int:
+    """Parse ``aa:bb:cc:dd:ee:ff`` into a 48-bit integer."""
+    parts = text.split(":")
+    if len(parts) != 6:
+        raise AddressError(f"malformed MAC address: {text!r}")
+    value = 0
+    for part in parts:
+        if len(part) != 2:
+            raise AddressError(f"malformed MAC address: {text!r}")
+        try:
+            byte = int(part, 16)
+        except ValueError as exc:
+            raise AddressError(f"malformed MAC address: {text!r}") from exc
+        value = (value << 8) | byte
+    return value
+
+
+def format_mac(value: int) -> str:
+    if not 0 <= value < (1 << 48):
+        raise AddressError(f"MAC value out of range: {value}")
+    return ":".join(f"{(value >> shift) & 0xFF:02x}" for shift in range(40, -8, -8))
+
+
+def parse_ipv4(text: str) -> int:
+    """Parse dotted-quad IPv4 into a 32-bit integer."""
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise AddressError(f"malformed IPv4 address: {text!r}")
+    value = 0
+    for part in parts:
+        try:
+            octet = int(part)
+        except ValueError as exc:
+            raise AddressError(f"malformed IPv4 address: {text!r}") from exc
+        if not 0 <= octet <= 255:
+            raise AddressError(f"malformed IPv4 address: {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def format_ipv4(value: int) -> str:
+    if not 0 <= value < (1 << 32):
+        raise AddressError(f"IPv4 value out of range: {value}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+@dataclass(frozen=True)
+class Endpoint:
+    """One (MAC, IP) identity on the fabric."""
+
+    mac: int
+    ip: int
+
+    @classmethod
+    def parse(cls, mac: str, ip: str) -> "Endpoint":
+        return cls(parse_mac(mac), parse_ipv4(ip))
+
+    def __str__(self) -> str:
+        return f"{format_ipv4(self.ip)}[{format_mac(self.mac)}]"
+
+
+@dataclass(frozen=True)
+class AddressPlan:
+    """The three identities HAL configures at boot (§V-A, Traffic Director).
+
+    ``snic`` is the only identity clients know; ``host`` is hidden and only
+    ever appears inside the server, between HLB and the host CPU.
+    """
+
+    client: Endpoint
+    snic: Endpoint
+    host: Endpoint
+
+    @classmethod
+    def default(cls) -> "AddressPlan":
+        return cls(
+            client=Endpoint.parse("02:00:00:00:00:01", "10.0.0.1"),
+            snic=Endpoint.parse("02:00:00:00:00:02", "10.0.0.2"),
+            host=Endpoint.parse("02:00:00:00:00:03", "10.0.0.3"),
+        )
+
+    def __post_init__(self) -> None:
+        identities = {self.client, self.snic, self.host}
+        if len(identities) != 3:
+            raise AddressError("client/snic/host endpoints must be distinct")

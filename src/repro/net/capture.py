@@ -1,0 +1,97 @@
+"""Packet capture taps for debugging and invariant checking.
+
+A :class:`CaptureTap` wraps any packet sink, recording a bounded window
+of traffic with timestamps, and offers the invariant queries the HAL
+design promises (§V-A): clients must only ever see the SNIC identity,
+and every packet on the wire must carry a valid checksum.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, List, Optional
+
+from repro.net.addressing import AddressPlan, Endpoint
+from repro.net.packet import Packet
+
+PacketSink = Callable[[Packet], None]
+
+
+@dataclass(frozen=True)
+class CapturedPacket:
+    """An immutable snapshot of one packet at capture time."""
+
+    time: float
+    src: Endpoint
+    dst: Endpoint
+    size_bytes: int
+    multiplicity: int
+    flow_id: int
+    checksum_valid: bool
+
+    @classmethod
+    def snapshot(cls, packet: Packet, now: float) -> "CapturedPacket":
+        return cls(
+            time=now,
+            src=packet.src,
+            dst=packet.dst,
+            size_bytes=packet.size_bytes,
+            multiplicity=packet.multiplicity,
+            flow_id=packet.flow_id,
+            checksum_valid=packet.checksum_ok(),
+        )
+
+
+class CaptureTap:
+    """Records packets flowing through a sink (a bounded ring of them)."""
+
+    def __init__(
+        self,
+        sink: PacketSink,
+        clock: Callable[[], float],
+        max_packets: int = 10_000,
+        name: str = "tap",
+    ) -> None:
+        if max_packets <= 0:
+            raise ValueError("max_packets must be positive")
+        self.name = name
+        self._sink = sink
+        self._clock = clock
+        self.records: Deque[CapturedPacket] = deque(maxlen=max_packets)
+        self.total_packets = 0
+        self.total_bytes = 0
+
+    def __call__(self, packet: Packet) -> None:
+        self.records.append(CapturedPacket.snapshot(packet, self._clock()))
+        self.total_packets += packet.multiplicity
+        self.total_bytes += packet.size_bytes * packet.multiplicity
+        self._sink(packet)
+
+    # -- invariant queries ------------------------------------------------
+    def sources_seen(self) -> set:
+        return {record.src for record in self.records}
+
+    def all_checksums_valid(self) -> bool:
+        return all(record.checksum_valid for record in self.records)
+
+    def single_source_illusion_holds(self, plan: AddressPlan) -> bool:
+        """§V-A: traffic toward the client only ever bears the SNIC
+        identity — the hidden host endpoint must never leak."""
+        return all(
+            record.src != plan.host
+            for record in self.records
+            if record.dst == plan.client
+        )
+
+    def rate_gbps(self, window_s: Optional[float] = None) -> float:
+        if not self.records:
+            return 0.0
+        t_last = self.records[-1].time
+        t_first = self.records[0].time
+        span = window_s if window_s is not None else max(t_last - t_first, 1e-9)
+        recent: List[CapturedPacket] = [
+            r for r in self.records if r.time >= t_last - span
+        ]
+        bits = sum(r.size_bytes * 8 * r.multiplicity for r in recent)
+        return bits / span / 1e9

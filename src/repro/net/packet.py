@@ -1,0 +1,161 @@
+"""Packets with real header fields and a real internet checksum.
+
+The traffic director and merger in the paper's HLB rewrite destination or
+source addresses and "update the checksum value of each modified packet"
+(§V-A). We model the packet header with the fields that rewriting
+touches, compute a genuine RFC 1071 16-bit ones-complement checksum over
+them, and perform the rewrite-time update incrementally per RFC 1624 —
+exactly what a hardware datapath would do, and verifiable in tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.net.addressing import Endpoint
+
+#: Ethernet + IPv4 + UDP header bytes, used to account wire size.
+HEADER_BYTES = 14 + 20 + 8
+#: Maximum Transmission Unit used throughout the paper's evaluation.
+MTU_BYTES = 1500
+#: The small-packet size used in §III-A line-rate experiments.
+SMALL_PACKET_BYTES = 64
+
+_packet_ids = itertools.count(1)
+
+
+def internet_checksum(words: Iterable[int]) -> int:
+    """RFC 1071 ones-complement sum over 16-bit words."""
+    total = 0
+    for word in words:
+        if not 0 <= word <= 0xFFFF:
+            raise ValueError(f"checksum word out of range: {word}")
+        total += word
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def incremental_checksum_update(old_checksum: int, old_word: int, new_word: int) -> int:
+    """RFC 1624 (eqn. 3) incremental checksum update for one 16-bit word.
+
+    HC' = ~(~HC + ~m + m') — this is what the traffic director/merger
+    hardware performs when rewriting an address field.
+
+    Ones-complement arithmetic has two representations of zero (0x0000
+    and 0xFFFF); for the degenerate all-zero-data case the incremental
+    result can differ from a full recomputation by exactly that ±0
+    ambiguity (RFC 1624 §3). Real packet headers always contain non-zero
+    words (the length field at minimum), so the ambiguity never arises on
+    the HLB datapath.
+    """
+    if not 0 <= old_checksum <= 0xFFFF:
+        raise ValueError(f"checksum out of range: {old_checksum}")
+    total = (~old_checksum & 0xFFFF) + (~old_word & 0xFFFF) + (new_word & 0xFFFF)
+    total = (total & 0xFFFF) + (total >> 16)
+    total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def _address_words(endpoint_ip: int) -> List[int]:
+    return [(endpoint_ip >> 16) & 0xFFFF, endpoint_ip & 0xFFFF]
+
+
+def _mac_words(mac: int) -> List[int]:
+    return [(mac >> 32) & 0xFFFF, (mac >> 16) & 0xFFFF, mac & 0xFFFF]
+
+
+@dataclass
+class Packet:
+    """A network packet as seen by the HLB datapath and the NFs.
+
+    ``size_bytes`` is the full wire size (headers + payload). ``payload``
+    is an application-level request object interpreted by the network
+    functions (bytes for REM/compression, structured op tuples for
+    KVS/NAT/…); it is carried by reference, as a NIC DMA would.
+    """
+
+    src: Endpoint
+    dst: Endpoint
+    size_bytes: int = MTU_BYTES
+    payload: Any = None
+    flow_id: int = 0
+    checksum: int = field(default=-1)
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    created_at: float = 0.0
+    #: number of real packets this simulation event represents (batching)
+    multiplicity: int = 1
+    #: bookkeeping for experiments: which engine processed the packet
+    processed_by: Optional[str] = None
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < HEADER_BYTES:
+            raise ValueError(
+                f"packet smaller than headers ({self.size_bytes} < {HEADER_BYTES})"
+            )
+        if self.multiplicity < 1:
+            raise ValueError("multiplicity must be >= 1")
+        if self.checksum < 0:
+            self.checksum = self.compute_checksum()
+
+    # -- checksum -----------------------------------------------------
+    def _header_words(self) -> List[int]:
+        words: List[int] = []
+        words.extend(_mac_words(self.src.mac))
+        words.extend(_mac_words(self.dst.mac))
+        words.extend(_address_words(self.src.ip))
+        words.extend(_address_words(self.dst.ip))
+        words.append(self.size_bytes & 0xFFFF)
+        return words
+
+    def compute_checksum(self) -> int:
+        return internet_checksum(self._header_words())
+
+    def checksum_ok(self) -> bool:
+        return self.checksum == self.compute_checksum()
+
+    # -- rewriting (the HLB operations) --------------------------------
+    def _rewrite(self, old: Endpoint, new: Endpoint, which: str) -> None:
+        checksum = self.checksum
+        for old_word, new_word in zip(
+            _mac_words(old.mac) + _address_words(old.ip),
+            _mac_words(new.mac) + _address_words(new.ip),
+        ):
+            checksum = incremental_checksum_update(checksum, old_word, new_word)
+        if which == "dst":
+            self.dst = new
+        else:
+            self.src = new
+        self.checksum = checksum
+
+    def rewrite_destination(self, new_dst: Endpoint) -> None:
+        """Traffic-director rewrite: redirect to the hidden host identity."""
+        self._rewrite(self.dst, new_dst, "dst")
+
+    def rewrite_source(self, new_src: Endpoint) -> None:
+        """Traffic-merger rewrite: masquerade host responses as the SNIC."""
+        self._rewrite(self.src, new_src, "src")
+
+    # -- conveniences ---------------------------------------------------
+    @property
+    def payload_bytes(self) -> int:
+        return self.size_bytes - HEADER_BYTES
+
+    @property
+    def wire_bits(self) -> int:
+        return self.size_bytes * 8 * self.multiplicity
+
+    def make_response(self, size_bytes: Optional[int] = None, payload: Any = None) -> "Packet":
+        """Build the response packet (src/dst swapped), as an NF would."""
+        return Packet(
+            src=self.dst,
+            dst=self.src,
+            size_bytes=size_bytes if size_bytes is not None else self.size_bytes,
+            payload=payload,
+            flow_id=self.flow_id,
+            created_at=self.created_at,
+            multiplicity=self.multiplicity,
+            meta=dict(self.meta),
+        )

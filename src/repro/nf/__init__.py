@@ -1,0 +1,109 @@
+"""The ten Table IV network functions, pipelines, and shared state."""
+
+from repro.nf.base import NetworkFunction, NetworkFunctionError, StatefulFunction
+from repro.nf.bayes import BayesFunction, BayesRequest, BayesResponse
+from repro.nf.bm25 import Bm25Function, Bm25Index, Bm25Request, Bm25Response
+from repro.nf.compress import (
+    CompressFunction,
+    CompressRequest,
+    CompressResponse,
+    CompressionError,
+    deflate,
+    inflate,
+)
+from repro.nf.count import CountFunction, CountRequest, CountResponse
+from repro.nf.crypto import CryptoFunction, CryptoRequest, CryptoResponse
+from repro.nf.ema import EmaFunction, EmaRequest, EmaResponse
+from repro.nf.knn import KnnFunction, KnnRequest, KnnResponse
+from repro.nf.kvs import KvRequest, KvResponse, KvsFunction
+from repro.nf.nat import NatFunction, NatRequest, NatResponse, NatTable
+from repro.nf.pipeline import (
+    PIPELINE_NAMES,
+    PipelineFunction,
+    PipelineRequest,
+    PipelineResponse,
+)
+from repro.nf.registry import (
+    FUNCTION_NAMES,
+    TABLE5_SINGLE_FUNCTIONS,
+    available_functions,
+    create_function,
+)
+from repro.nf.rem import (
+    AhoCorasick,
+    RegexNfa,
+    RegexSyntaxError,
+    RemFunction,
+    RemRequest,
+    RemResponse,
+    Ruleset,
+    make_lite_ruleset,
+    make_tea_ruleset,
+)
+from repro.nf.state import (
+    CXL_COSTS,
+    PCIE_COSTS,
+    CoherenceCosts,
+    CoherenceStats,
+    SharedStateDomain,
+)
+
+__all__ = [
+    "AhoCorasick",
+    "BayesFunction",
+    "BayesRequest",
+    "BayesResponse",
+    "Bm25Function",
+    "Bm25Index",
+    "Bm25Request",
+    "Bm25Response",
+    "CXL_COSTS",
+    "CoherenceCosts",
+    "CoherenceStats",
+    "CompressFunction",
+    "CompressRequest",
+    "CompressResponse",
+    "CompressionError",
+    "CountFunction",
+    "CountRequest",
+    "CountResponse",
+    "CryptoFunction",
+    "CryptoRequest",
+    "CryptoResponse",
+    "EmaFunction",
+    "EmaRequest",
+    "EmaResponse",
+    "FUNCTION_NAMES",
+    "KnnFunction",
+    "KnnRequest",
+    "KnnResponse",
+    "KvRequest",
+    "KvResponse",
+    "KvsFunction",
+    "NatFunction",
+    "NatRequest",
+    "NatResponse",
+    "NatTable",
+    "NetworkFunction",
+    "NetworkFunctionError",
+    "PCIE_COSTS",
+    "PIPELINE_NAMES",
+    "PipelineFunction",
+    "PipelineRequest",
+    "PipelineResponse",
+    "RegexNfa",
+    "RegexSyntaxError",
+    "RemFunction",
+    "RemRequest",
+    "RemResponse",
+    "Ruleset",
+    "SharedStateDomain",
+    "StatefulFunction",
+    "TABLE5_SINGLE_FUNCTIONS",
+    "available_functions",
+    "create_function",
+    "deflate",
+    "inflate",
+    "make_lite_ruleset",
+    "make_tea_ruleset",
+]

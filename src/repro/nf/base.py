@@ -1,0 +1,88 @@
+"""Network-function interface.
+
+Table IV of the paper lists ten DPDK functions. Each is implemented here
+as a real computation over request payloads (`process`), plus a request
+synthesizer (`make_request`) the traffic generator uses to produce
+realistic payloads. The simulator charges calibrated service times from
+:mod:`repro.hw.profiles`; the functional results let tests and examples
+verify genuine behaviour (NAT translations really translate, the KV store
+really stores, the regex engine really matches).
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Any, Optional
+
+
+class NetworkFunctionError(RuntimeError):
+    """Raised when an NF receives a request it cannot process."""
+
+
+class NetworkFunction(ABC):
+    """One of the paper's Table IV functions.
+
+    Attributes
+    ----------
+    name:
+        Registry key (e.g. ``"nat"``).
+    stateful:
+        Whether processing mutates shared state (Table IV's "(S)" mark).
+        Stateful functions need cache-coherent shared memory to be
+        load-balanced between the SNIC and the host (§V-C).
+    """
+
+    name: str = "abstract"
+    stateful: bool = False
+
+    def __init__(self, seed: int = 7) -> None:
+        self._rng = random.Random(seed)
+        self.requests_processed = 0
+
+    @abstractmethod
+    def process(self, request: Any) -> Any:
+        """Run the function on one request and return its response."""
+
+    @abstractmethod
+    def make_request(self, seq: int, flow: int) -> Any:
+        """Synthesize a request payload for packet ``seq`` of ``flow``."""
+
+    def reset(self) -> None:
+        """Drop all mutable state (used between experiment runs)."""
+        self.requests_processed = 0
+
+    def describe(self) -> str:
+        kind = "stateful" if self.stateful else "stateless"
+        return f"{self.name} ({kind})"
+
+    def _count(self) -> None:
+        self.requests_processed += 1
+
+
+class StatefulFunction(NetworkFunction):
+    """Base for the stateful Table IV functions (KVS, Count, EMA).
+
+    Stateful NFs route their mutations through an optional
+    :class:`repro.nf.state.SharedStateDomain` so that cooperative
+    SNIC+host processing can account for coherence traffic. When no
+    domain is attached the state is local (single-processor operation).
+    """
+
+    stateful = True
+
+    def __init__(self, seed: int = 7) -> None:
+        super().__init__(seed)
+        self._domain: Optional[Any] = None
+        self._agent: Optional[str] = None
+
+    def attach_state_domain(self, domain: Any, agent: str) -> None:
+        """Bind this instance to a shared-state domain as ``agent``."""
+        self._domain = domain
+        self._agent = agent
+
+    def state_access(self, key: Any, write: bool) -> float:
+        """Record a state access; returns the coherence cost in seconds."""
+        if self._domain is None:
+            return 0.0
+        return self._domain.access(self._agent, key, write)

@@ -1,0 +1,105 @@
+"""Bayes — naive Bayes classification (Table IV, stateless).
+
+A Gaussian naive Bayes classifier trained once at construction on
+synthetic per-class feature distributions, then applied per request in
+log space. Table IV configures 128 and 256 features; those are the
+dimensionalities accepted here.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.nf.base import NetworkFunction, NetworkFunctionError
+from repro.nf.corpus import make_vectors
+
+
+@dataclass(frozen=True)
+class BayesRequest:
+    features: Tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class BayesResponse:
+    label: int
+    log_posteriors: Tuple[float, ...]
+
+
+class BayesFunction(NetworkFunction):
+    """Gaussian naive Bayes with Table IV feature counts 128 and 256."""
+
+    name = "bayes"
+    stateful = False
+
+    CONFIGS = (128, 256)
+
+    def __init__(
+        self,
+        n_features: int = 128,
+        n_classes: int = 4,
+        train_per_class: int = 32,
+        seed: int = 7,
+    ) -> None:
+        super().__init__(seed)
+        if n_features <= 0 or n_classes <= 1 or train_per_class <= 1:
+            raise ValueError("invalid Bayes dimensions")
+        self.n_features = n_features
+        self.n_classes = n_classes
+        # synth training data: class c centred at its own mean vector
+        self._class_means: List[Tuple[float, ...]] = make_vectors(
+            n_classes, n_features, seed=seed, spread=2.0
+        )
+        self.means: List[List[float]] = []
+        self.variances: List[List[float]] = []
+        self.log_priors: List[float] = []
+        for label, centre in enumerate(self._class_means):
+            samples = make_vectors(
+                train_per_class, n_features, seed=seed + 50 + label, spread=1.0
+            )
+            shifted = [
+                [s + c for s, c in zip(sample, centre)] for sample in samples
+            ]
+            mean = [sum(col) / train_per_class for col in zip(*shifted)]
+            var = [
+                max(
+                    1e-6,
+                    sum((x - m) ** 2 for x in col) / (train_per_class - 1),
+                )
+                for col, m in zip(zip(*shifted), mean)
+            ]
+            self.means.append(mean)
+            self.variances.append(var)
+            self.log_priors.append(math.log(1.0 / n_classes))
+
+    def _log_likelihood(self, features: Tuple[float, ...], label: int) -> float:
+        total = self.log_priors[label]
+        means = self.means[label]
+        variances = self.variances[label]
+        for x, mean, var in zip(features, means, variances):
+            total += -0.5 * (math.log(2.0 * math.pi * var) + (x - mean) ** 2 / var)
+        return total
+
+    def process(self, request: BayesRequest) -> BayesResponse:
+        if not isinstance(request, BayesRequest):
+            raise NetworkFunctionError(
+                f"Bayes expects BayesRequest, got {type(request)!r}"
+            )
+        if len(request.features) != self.n_features:
+            raise NetworkFunctionError(
+                f"expected {self.n_features} features, got {len(request.features)}"
+            )
+        self._count()
+        posteriors = tuple(
+            self._log_likelihood(request.features, label)
+            for label in range(self.n_classes)
+        )
+        label = max(range(self.n_classes), key=lambda c: (posteriors[c], -c))
+        return BayesResponse(label=label, log_posteriors=posteriors)
+
+    def make_request(self, seq: int, flow: int) -> BayesRequest:
+        label = self._rng.randrange(self.n_classes)
+        centre = self._class_means[label]
+        features = tuple(c + self._rng.gauss(0.0, 1.0) for c in centre)
+        return BayesRequest(features=features)

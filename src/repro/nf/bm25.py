@@ -1,0 +1,112 @@
+"""BM25 — Okapi search ranking (Table IV, stateless).
+
+A complete in-memory search stage: an inverted index over a synthetic
+document collection, scored with the standard Okapi BM25 formula
+(Robertson & Zaragoza). Table IV's configurations set the term-vocabulary
+size to 2K or 4K terms. Queries are short Zipf draws from the vocabulary,
+responses are the top-k document ids with scores.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.nf.base import NetworkFunction, NetworkFunctionError
+from repro.nf.corpus import make_documents, make_vocabulary, zipf_weights
+
+
+@dataclass(frozen=True)
+class Bm25Request:
+    terms: Tuple[str, ...]
+    top_k: int = 10
+
+
+@dataclass(frozen=True)
+class Bm25Response:
+    results: Tuple[Tuple[int, float], ...]  # (doc_id, score), best first
+
+
+class Bm25Index:
+    """Inverted index + Okapi BM25 scorer."""
+
+    def __init__(self, documents: Sequence[Sequence[str]], k1: float = 1.2, b: float = 0.75) -> None:
+        if not documents:
+            raise ValueError("BM25 index requires at least one document")
+        self.k1 = k1
+        self.b = b
+        self.doc_count = len(documents)
+        self.doc_lengths = [len(doc) for doc in documents]
+        self.avg_doc_length = sum(self.doc_lengths) / self.doc_count
+        # postings: term -> list of (doc_id, term_frequency)
+        self.postings: Dict[str, List[Tuple[int, int]]] = defaultdict(list)
+        for doc_id, doc in enumerate(documents):
+            for term, tf in Counter(doc).items():
+                self.postings[term].append((doc_id, tf))
+        self.idf: Dict[str, float] = {}
+        for term, posting in self.postings.items():
+            df = len(posting)
+            # BM25+ style idf, floored at zero to avoid negative idf for
+            # terms present in most documents
+            self.idf[term] = max(
+                0.0, math.log((self.doc_count - df + 0.5) / (df + 0.5) + 1.0)
+            )
+
+    def score(self, terms: Sequence[str], top_k: int = 10) -> List[Tuple[int, float]]:
+        scores: Dict[int, float] = defaultdict(float)
+        for term in terms:
+            posting = self.postings.get(term)
+            if not posting:
+                continue
+            idf = self.idf[term]
+            for doc_id, tf in posting:
+                denom = tf + self.k1 * (
+                    1.0 - self.b + self.b * self.doc_lengths[doc_id] / self.avg_doc_length
+                )
+                scores[doc_id] += idf * tf * (self.k1 + 1.0) / denom
+        ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
+        return ranked[:top_k]
+
+
+class Bm25Function(NetworkFunction):
+    """Search ranking with Table IV vocabularies of 2K and 4K terms."""
+
+    name = "bm25"
+    stateful = False
+
+    CONFIGS = (2_000, 4_000)
+
+    def __init__(
+        self,
+        vocabulary_terms: int = 2_000,
+        n_docs: int = 512,
+        words_per_doc: int = 96,
+        query_terms: int = 4,
+        seed: int = 7,
+    ) -> None:
+        super().__init__(seed)
+        if vocabulary_terms <= 0:
+            raise ValueError("vocabulary_terms must be positive")
+        if query_terms <= 0:
+            raise ValueError("query_terms must be positive")
+        self.vocabulary = make_vocabulary(vocabulary_terms, seed=seed)
+        self.query_terms = query_terms
+        documents = make_documents(self.vocabulary, n_docs, words_per_doc, seed=seed + 1)
+        self.index = Bm25Index(documents)
+        self._weights = zipf_weights(len(self.vocabulary))
+
+    def process(self, request: Bm25Request) -> Bm25Response:
+        if not isinstance(request, Bm25Request):
+            raise NetworkFunctionError(
+                f"BM25 expects Bm25Request, got {type(request)!r}"
+            )
+        self._count()
+        return Bm25Response(results=tuple(self.index.score(request.terms, request.top_k)))
+
+    def make_request(self, seq: int, flow: int) -> Bm25Request:
+        terms = tuple(
+            self._rng.choices(self.vocabulary, weights=self._weights, k=self.query_terms)
+        )
+        return Bm25Request(terms=terms)

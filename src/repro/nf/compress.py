@@ -1,0 +1,471 @@
+"""Compression — a DEFLATE-style LZ77 + canonical-Huffman codec
+(Table IV; driven on the BF-2 accelerator and QATzip in the paper).
+
+This is a genuine, self-contained implementation of the Deflate recipe:
+
+* an **LZ77** matcher with hash-chained 3-byte anchors, a sliding window,
+  and greedy longest-match selection, emitting literal/match tokens;
+* **canonical Huffman** coding of the literal/length and distance
+  alphabets using DEFLATE's length/distance bucketing with extra bits;
+* a byte-oriented container (code lengths as nibbles, then the MSB-first
+  bitstream) plus the matching decoder.
+
+Round-trip correctness is property-tested with hypothesis; compression
+ratio on low-entropy input is asserted in unit tests. The paper's
+Silesia-mozilla corpus is replaced by :func:`repro.nf.corpus.make_bytes`
+at matching entropy (see DESIGN.md substitution table).
+
+The paper excludes compression from the cooperative (Table V)
+experiments because the accelerator processes whole files and cannot
+split work with the host; we mirror that with ``cooperative = False``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.nf.base import NetworkFunction, NetworkFunctionError
+from repro.nf.corpus import make_bytes
+
+# ---------------------------------------------------------------------------
+# DEFLATE alphabets
+# ---------------------------------------------------------------------------
+
+MIN_MATCH = 3
+MAX_MATCH = 258
+WINDOW_SIZE = 4096
+
+_LENGTH_BASES = (
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59,
+    67, 83, 99, 115, 131, 163, 195, 227, 258,
+)
+_LENGTH_EXTRA = (
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3,
+    4, 4, 4, 4, 5, 5, 5, 5, 0,
+)
+_DIST_BASES = (
+    1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193, 257, 385, 513,
+    769, 1025, 1537, 2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577,
+)
+_DIST_EXTRA = (
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8,
+    9, 9, 10, 10, 11, 11, 12, 12, 13, 13,
+)
+
+EOB = 256  # end-of-block symbol
+LITLEN_SYMBOLS = 257 + len(_LENGTH_BASES)
+DIST_SYMBOLS = len(_DIST_BASES)
+MAX_CODE_LENGTH = 15
+
+
+class CompressionError(RuntimeError):
+    """Raised on malformed compressed streams."""
+
+
+def length_to_symbol(length: int) -> Tuple[int, int, int]:
+    """Map a match length to (symbol, extra_bits, extra_value)."""
+    if not MIN_MATCH <= length <= MAX_MATCH:
+        raise ValueError(f"match length out of range: {length}")
+    for i in range(len(_LENGTH_BASES) - 1, -1, -1):
+        if length >= _LENGTH_BASES[i]:
+            return 257 + i, _LENGTH_EXTRA[i], length - _LENGTH_BASES[i]
+    raise AssertionError("unreachable")
+
+
+def distance_to_symbol(distance: int) -> Tuple[int, int, int]:
+    """Map a match distance to (symbol, extra_bits, extra_value)."""
+    if not 1 <= distance <= _DIST_BASES[-1]:
+        raise ValueError(f"distance out of range: {distance}")
+    for i in range(len(_DIST_BASES) - 1, -1, -1):
+        if distance >= _DIST_BASES[i]:
+            return i, _DIST_EXTRA[i], distance - _DIST_BASES[i]
+    raise AssertionError("unreachable")
+
+
+# ---------------------------------------------------------------------------
+# bit I/O (MSB-first)
+# ---------------------------------------------------------------------------
+
+class BitWriter:
+    def __init__(self) -> None:
+        self._bytes = bytearray()
+        self._bit_buffer = 0
+        self._bit_count = 0
+
+    def write_bits(self, value: int, nbits: int) -> None:
+        if nbits < 0 or (nbits == 0 and value):
+            raise ValueError("invalid bit write")
+        if value >> nbits:
+            raise ValueError(f"value {value} does not fit in {nbits} bits")
+        for shift in range(nbits - 1, -1, -1):
+            self._bit_buffer = (self._bit_buffer << 1) | ((value >> shift) & 1)
+            self._bit_count += 1
+            if self._bit_count == 8:
+                self._bytes.append(self._bit_buffer)
+                self._bit_buffer = 0
+                self._bit_count = 0
+
+    def getvalue(self) -> bytes:
+        out = bytearray(self._bytes)
+        if self._bit_count:
+            out.append(self._bit_buffer << (8 - self._bit_count))
+        return bytes(out)
+
+
+class BitReader:
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0  # bit position
+
+    def read_bits(self, nbits: int) -> int:
+        value = 0
+        for _ in range(nbits):
+            byte_index, bit_index = divmod(self._pos, 8)
+            if byte_index >= len(self._data):
+                raise CompressionError("unexpected end of compressed stream")
+            bit = (self._data[byte_index] >> (7 - bit_index)) & 1
+            value = (value << 1) | bit
+            self._pos += 1
+        return value
+
+
+# ---------------------------------------------------------------------------
+# canonical Huffman
+# ---------------------------------------------------------------------------
+
+def huffman_code_lengths(frequencies: Sequence[int], max_length: int = MAX_CODE_LENGTH) -> List[int]:
+    """Code lengths for each symbol (0 for unused), limited to max_length.
+
+    Builds a Huffman tree over the non-zero-frequency symbols; if the
+    deepest code exceeds ``max_length``, frequencies are repeatedly
+    flattened (halved, floor 1) and the tree rebuilt — a standard
+    length-limiting heuristic that always terminates at uniform codes.
+    """
+    freqs = list(frequencies)
+    used = [i for i, f in enumerate(freqs) if f > 0]
+    if not used:
+        return [0] * len(freqs)
+    if len(used) == 1:
+        lengths = [0] * len(freqs)
+        lengths[used[0]] = 1
+        return lengths
+    while True:
+        counter = itertools.count()
+        heap = [(freqs[i], next(counter), i, None, None) for i in used]
+        heapq.heapify(heap)
+        while len(heap) > 1:
+            a = heapq.heappop(heap)
+            b = heapq.heappop(heap)
+            heapq.heappush(heap, (a[0] + b[0], next(counter), -1, a, b))
+        lengths = [0] * len(freqs)
+        deepest = 0
+
+        stack = [(heap[0], 0)]
+        while stack:
+            (freq, _tie, symbol, left, right), depth = stack.pop()
+            if symbol >= 0:
+                lengths[symbol] = max(1, depth)
+                deepest = max(deepest, depth)
+            else:
+                stack.append((left, depth + 1))
+                stack.append((right, depth + 1))
+        if deepest <= max_length:
+            return lengths
+        freqs = [max(1, f // 2) if f > 0 else 0 for f in freqs]
+
+
+def canonical_codes(lengths: Sequence[int]) -> Dict[int, Tuple[int, int]]:
+    """Canonical (code, length) per symbol from code lengths."""
+    pairs = sorted(
+        (length, symbol) for symbol, length in enumerate(lengths) if length > 0
+    )
+    codes: Dict[int, Tuple[int, int]] = {}
+    code = 0
+    prev_length = 0
+    for length, symbol in pairs:
+        code <<= length - prev_length
+        codes[symbol] = (code, length)
+        code += 1
+        prev_length = length
+    return codes
+
+
+def decode_table(lengths: Sequence[int]) -> Dict[Tuple[int, int], int]:
+    """(length, code) → symbol map for the decoder."""
+    return {
+        (length, code): symbol
+        for symbol, (code, length) in canonical_codes(lengths).items()
+    }
+
+
+# ---------------------------------------------------------------------------
+# LZ77
+# ---------------------------------------------------------------------------
+
+Token = Union[int, Tuple[int, int]]  # literal byte, or (length, distance)
+
+
+def lz77_tokenize(
+    data: bytes,
+    window: int = WINDOW_SIZE,
+    max_chain: int = 64,
+) -> List[Token]:
+    """Greedy LZ77 with hash-chained 3-byte anchors."""
+    tokens: List[Token] = []
+    n = len(data)
+    head: Dict[int, int] = {}
+    prev: Dict[int, int] = {}
+    pos = 0
+
+    def anchor(i: int) -> int:
+        return data[i] | (data[i + 1] << 8) | (data[i + 2] << 16)
+
+    while pos < n:
+        best_length = 0
+        best_distance = 0
+        if pos + MIN_MATCH <= n:
+            key = anchor(pos)
+            candidate = head.get(key, -1)
+            chain = 0
+            while candidate >= 0 and pos - candidate <= window and chain < max_chain:
+                length = 0
+                limit = min(MAX_MATCH, n - pos)
+                while length < limit and data[candidate + length] == data[pos + length]:
+                    length += 1
+                if length > best_length:
+                    best_length = length
+                    best_distance = pos - candidate
+                    if length >= limit:
+                        break
+                candidate = prev.get(candidate, -1)
+                chain += 1
+        if best_length >= MIN_MATCH:
+            tokens.append((best_length, best_distance))
+            end = pos + best_length
+            while pos < end and pos + MIN_MATCH <= n:
+                key = anchor(pos)
+                prev[pos] = head.get(key, -1)
+                head[key] = pos
+                pos += 1
+            pos = end
+        else:
+            tokens.append(data[pos])
+            if pos + MIN_MATCH <= n:
+                key = anchor(pos)
+                prev[pos] = head.get(key, -1)
+                head[key] = pos
+            pos += 1
+    return tokens
+
+
+def lz77_detokenize(tokens: Sequence[Token]) -> bytes:
+    out = bytearray()
+    for token in tokens:
+        if isinstance(token, int):
+            out.append(token)
+        else:
+            length, distance = token
+            if distance <= 0 or distance > len(out):
+                raise CompressionError(f"invalid back-reference distance {distance}")
+            start = len(out) - distance
+            for i in range(length):
+                out.append(out[start + i])
+    return bytes(out)
+
+
+# ---------------------------------------------------------------------------
+# the codec
+# ---------------------------------------------------------------------------
+
+#: leading container byte: Huffman-coded block vs raw stored block
+_BLOCK_HUFFMAN = 0x01
+_BLOCK_STORED = 0x00
+
+
+def deflate(data: bytes) -> bytes:
+    """Compress ``data``; always decodable by :func:`inflate`.
+
+    Like real DEFLATE, incompressible input falls back to a *stored*
+    block so the output never expands beyond a one-byte header plus the
+    4-byte length."""
+    compressed = _deflate_huffman(data)
+    if len(compressed) >= len(data) + 5:
+        stored = bytearray([_BLOCK_STORED])
+        stored.extend(len(data).to_bytes(4, "big"))
+        stored.extend(data)
+        return bytes(stored)
+    return compressed
+
+
+def _deflate_huffman(data: bytes) -> bytes:
+    tokens = lz77_tokenize(data)
+
+    litlen_freq = [0] * LITLEN_SYMBOLS
+    dist_freq = [0] * DIST_SYMBOLS
+    litlen_freq[EOB] = 1
+    for token in tokens:
+        if isinstance(token, int):
+            litlen_freq[token] += 1
+        else:
+            length, distance = token
+            litlen_freq[length_to_symbol(length)[0]] += 1
+            dist_freq[distance_to_symbol(distance)[0]] += 1
+
+    litlen_lengths = huffman_code_lengths(litlen_freq)
+    dist_lengths = huffman_code_lengths(dist_freq)
+    litlen_codes = canonical_codes(litlen_lengths)
+    dist_codes = canonical_codes(dist_lengths)
+
+    writer = BitWriter()
+    # header: block type, original size (32 bits), then both length tables
+    writer.write_bits(_BLOCK_HUFFMAN, 8)
+    writer.write_bits(len(data), 32)
+    for length in litlen_lengths:
+        writer.write_bits(length, 4)
+    for length in dist_lengths:
+        writer.write_bits(length, 4)
+    for token in tokens:
+        if isinstance(token, int):
+            code, nbits = litlen_codes[token]
+            writer.write_bits(code, nbits)
+        else:
+            length, distance = token
+            symbol, extra_bits, extra = length_to_symbol(length)
+            code, nbits = litlen_codes[symbol]
+            writer.write_bits(code, nbits)
+            if extra_bits:
+                writer.write_bits(extra, extra_bits)
+            dsymbol, dextra_bits, dextra = distance_to_symbol(distance)
+            dcode, dnbits = dist_codes[dsymbol]
+            writer.write_bits(dcode, dnbits)
+            if dextra_bits:
+                writer.write_bits(dextra, dextra_bits)
+    code, nbits = litlen_codes[EOB]
+    writer.write_bits(code, nbits)
+    return writer.getvalue()
+
+
+def _read_symbol(reader: BitReader, table: Dict[Tuple[int, int], int]) -> int:
+    code = 0
+    for length in range(1, MAX_CODE_LENGTH + 1):
+        code = (code << 1) | reader.read_bits(1)
+        symbol = table.get((length, code))
+        if symbol is not None:
+            return symbol
+    raise CompressionError("invalid Huffman code in stream")
+
+
+def inflate(blob: bytes) -> bytes:
+    """Decompress a :func:`deflate` stream."""
+    if not blob:
+        raise CompressionError("empty compressed stream")
+    if blob[0] == _BLOCK_STORED:
+        if len(blob) < 5:
+            raise CompressionError("truncated stored block header")
+        size = int.from_bytes(blob[1:5], "big")
+        payload = blob[5 : 5 + size]
+        if len(payload) != size:
+            raise CompressionError("truncated stored block payload")
+        return payload
+    if blob[0] != _BLOCK_HUFFMAN:
+        raise CompressionError(f"unknown block type {blob[0]:#x}")
+    reader = BitReader(blob)
+    reader.read_bits(8)  # block type, already validated
+    original_size = reader.read_bits(32)
+    litlen_lengths = [reader.read_bits(4) for _ in range(LITLEN_SYMBOLS)]
+    dist_lengths = [reader.read_bits(4) for _ in range(DIST_SYMBOLS)]
+    litlen_table = decode_table(litlen_lengths)
+    dist_table = decode_table(dist_lengths)
+
+    tokens: List[Token] = []
+    while True:
+        symbol = _read_symbol(reader, litlen_table)
+        if symbol == EOB:
+            break
+        if symbol < 256:
+            tokens.append(symbol)
+            continue
+        index = symbol - 257
+        if index >= len(_LENGTH_BASES):
+            raise CompressionError(f"invalid length symbol {symbol}")
+        length = _LENGTH_BASES[index] + reader.read_bits(_LENGTH_EXTRA[index])
+        dsymbol = _read_symbol(reader, dist_table)
+        distance = _DIST_BASES[dsymbol] + reader.read_bits(_DIST_EXTRA[dsymbol])
+        tokens.append((length, distance))
+    data = lz77_detokenize(tokens)
+    if len(data) != original_size:
+        raise CompressionError(
+            f"size mismatch: header says {original_size}, got {len(data)}"
+        )
+    return data
+
+
+# ---------------------------------------------------------------------------
+# the network function
+# ---------------------------------------------------------------------------
+
+COMPRESS, ROUNDTRIP = "compress", "roundtrip"
+
+
+@dataclass(frozen=True)
+class CompressRequest:
+    op: str
+    data: bytes
+
+
+@dataclass(frozen=True)
+class CompressResponse:
+    op: str
+    output_bytes: int
+    ratio: float
+    ok: bool
+
+
+class CompressFunction(NetworkFunction):
+    """Deflate-style (de)compression over synthetic Silesia-like chunks."""
+
+    name = "compress"
+    stateful = False
+    #: excluded from SNIC+host cooperative runs (§VI) — file-granular work
+    cooperative = False
+
+    def __init__(self, chunk_bytes: int = 1024, entropy: float = 0.35, seed: int = 7) -> None:
+        super().__init__(seed)
+        if chunk_bytes <= 0:
+            raise ValueError("chunk_bytes must be positive")
+        self.chunk_bytes = chunk_bytes
+        self.entropy = entropy
+        self.total_in = 0
+        self.total_out = 0
+
+    def process(self, request: CompressRequest) -> CompressResponse:
+        if not isinstance(request, CompressRequest):
+            raise NetworkFunctionError(
+                f"Compress expects CompressRequest, got {type(request)!r}"
+            )
+        self._count()
+        blob = deflate(request.data)
+        self.total_in += len(request.data)
+        self.total_out += len(blob)
+        ratio = len(blob) / len(request.data) if request.data else 1.0
+        ok = True
+        if request.op == ROUNDTRIP:
+            ok = inflate(blob) == request.data
+        elif request.op != COMPRESS:
+            raise NetworkFunctionError(f"unknown compress op {request.op!r}")
+        return CompressResponse(
+            op=request.op, output_bytes=len(blob), ratio=ratio, ok=ok
+        )
+
+    @property
+    def overall_ratio(self) -> float:
+        return self.total_out / self.total_in if self.total_in else 1.0
+
+    def make_request(self, seq: int, flow: int) -> CompressRequest:
+        data = make_bytes(
+            self.chunk_bytes, entropy=self.entropy, seed=self._rng.randrange(1 << 30)
+        )
+        return CompressRequest(op=COMPRESS, data=data)

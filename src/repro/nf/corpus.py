@@ -1,0 +1,140 @@
+"""Deterministic synthetic corpora for payload generation.
+
+The paper's artifact uses the Silesia-mozilla file for compression, the
+teakettle/snort rulesets for regex matching, and DPDK-generated payloads
+elsewhere. None of those datasets ships here, so this module synthesizes
+deterministic stand-ins with controllable statistics:
+
+* ``make_text`` — Zipf-distributed word streams (search/REM inputs);
+* ``make_bytes`` — byte blobs with tunable entropy (compression inputs:
+  low-entropy blobs compress well like Silesia text, high-entropy blobs
+  approach incompressibility);
+* ``make_vocabulary`` — stable word lists for BM25/Bayes features;
+* ``make_vectors`` — feature vectors for KNN.
+
+Everything is seeded, so every experiment is reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from typing import List, Sequence, Tuple
+
+_CONSONANTS = "bcdfghjklmnpqrstvwxz"
+_VOWELS = "aeiouy"
+
+
+def make_word(rng: random.Random, min_len: int = 3, max_len: int = 9) -> str:
+    """A pronounceable pseudo-word (alternating consonant/vowel)."""
+    length = rng.randint(min_len, max_len)
+    letters = []
+    for i in range(length):
+        pool = _CONSONANTS if i % 2 == 0 else _VOWELS
+        letters.append(rng.choice(pool))
+    return "".join(letters)
+
+
+def make_vocabulary(size: int, seed: int = 11) -> List[str]:
+    """``size`` distinct pseudo-words, deterministic in ``seed``."""
+    if size <= 0:
+        raise ValueError("vocabulary size must be positive")
+    rng = random.Random(seed)
+    vocab: List[str] = []
+    seen = set()
+    while len(vocab) < size:
+        word = make_word(rng)
+        if word not in seen:
+            seen.add(word)
+            vocab.append(word)
+    return vocab
+
+
+def zipf_weights(n: int, s: float = 1.1) -> List[float]:
+    """Zipf rank weights 1/k^s for k = 1..n."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    return [1.0 / (k**s) for k in range(1, n + 1)]
+
+
+def make_text(
+    vocabulary: Sequence[str],
+    n_words: int,
+    seed: int = 13,
+    zipf_s: float = 1.1,
+) -> str:
+    """A Zipf-distributed word stream over ``vocabulary``."""
+    if not vocabulary:
+        raise ValueError("vocabulary must not be empty")
+    rng = random.Random(seed)
+    weights = zipf_weights(len(vocabulary), zipf_s)
+    words = rng.choices(list(vocabulary), weights=weights, k=n_words)
+    return " ".join(words)
+
+
+def make_documents(
+    vocabulary: Sequence[str],
+    n_docs: int,
+    words_per_doc: int,
+    seed: int = 17,
+) -> List[List[str]]:
+    """``n_docs`` token lists, each a Zipf draw over the vocabulary."""
+    rng = random.Random(seed)
+    weights = zipf_weights(len(vocabulary))
+    return [
+        rng.choices(list(vocabulary), weights=weights, k=words_per_doc)
+        for _ in range(n_docs)
+    ]
+
+
+def make_bytes(n: int, entropy: float = 0.3, seed: int = 19) -> bytes:
+    """``n`` bytes whose compressibility tracks ``entropy`` ∈ [0, 1].
+
+    entropy 0 → a single repeated phrase (maximally compressible);
+    entropy 1 → uniform random bytes (incompressible). Intermediate values
+    mix phrase repetition with random bytes, approximating natural text
+    like the Silesia corpus at entropy ≈ 0.3–0.5.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if not 0.0 <= entropy <= 1.0:
+        raise ValueError("entropy must be in [0, 1]")
+    rng = random.Random(seed)
+    phrase = (
+        "the quick brown fox jumps over the lazy dog while the "
+        "datacenter hums along at line rate "
+    ).encode()
+    out = bytearray()
+    while len(out) < n:
+        if rng.random() < entropy:
+            out.append(rng.randrange(256))
+        else:
+            start = rng.randrange(len(phrase) // 2)
+            take = min(rng.randint(8, 32), n - len(out))
+            chunk = (phrase[start:] + phrase)[:take]
+            out.extend(chunk)
+    return bytes(out[:n])
+
+
+def make_vectors(
+    n: int, dims: int, seed: int = 23, spread: float = 1.0
+) -> List[Tuple[float, ...]]:
+    """``n`` Gaussian feature vectors of dimension ``dims``."""
+    if n <= 0 or dims <= 0:
+        raise ValueError("n and dims must be positive")
+    rng = random.Random(seed)
+    return [
+        tuple(rng.gauss(0.0, spread) for _ in range(dims)) for _ in range(n)
+    ]
+
+
+def make_keys(n: int, seed: int = 29, length: int = 12) -> List[str]:
+    """``n`` distinct alphanumeric keys (KVS/Count/EMA key space)."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    rng = random.Random(seed)
+    alphabet = string.ascii_lowercase + string.digits
+    keys = set()
+    while len(keys) < n:
+        keys.add("".join(rng.choices(alphabet, k=length)))
+    return sorted(keys)

@@ -1,0 +1,73 @@
+"""Count — frequency counting over batched items (Table IV, stateful).
+
+The Metron-style NFV counting stage: each request carries a batch of 4 or
+8 items (Table IV's batch-size configurations), and the function bumps a
+per-item frequency counter. The counter table is the shared state that
+SNIC+host cooperation must keep coherent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.nf.base import NetworkFunctionError, StatefulFunction
+from repro.nf.corpus import make_keys
+
+
+@dataclass(frozen=True)
+class CountRequest:
+    items: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class CountResponse:
+    counts: Tuple[int, ...]
+
+
+class CountFunction(StatefulFunction):
+    """Frequency counter with Table IV batch sizes 4 and 8."""
+
+    name = "count"
+
+    CONFIGS = (4, 8)
+
+    def __init__(self, batch_size: int = 8, key_space: int = 2048, seed: int = 7) -> None:
+        super().__init__(seed)
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.batch_size = batch_size
+        self.key_space = key_space
+        self._keys = make_keys(key_space, seed=seed)
+        self._counts: Dict[str, int] = {}
+
+    def process(self, request: CountRequest) -> CountResponse:
+        if not isinstance(request, CountRequest):
+            raise NetworkFunctionError(
+                f"Count expects CountRequest, got {type(request)!r}"
+            )
+        self._count()
+        results: List[int] = []
+        for item in request.items:
+            self.state_access(item, write=True)
+            new = self._counts.get(item, 0) + 1
+            self._counts[item] = new
+            results.append(new)
+        return CountResponse(counts=tuple(results))
+
+    def frequency(self, item: str) -> int:
+        return self._counts.get(item, 0)
+
+    def total(self) -> int:
+        return sum(self._counts.values())
+
+    def make_request(self, seq: int, flow: int) -> CountRequest:
+        items = tuple(
+            self._keys[self._rng.randrange(self.key_space)]
+            for _ in range(self.batch_size)
+        )
+        return CountRequest(items=items)
+
+    def reset(self) -> None:
+        super().reset()
+        self._counts.clear()

@@ -1,0 +1,330 @@
+"""Cryptography — RSA, Diffie–Hellman, and DSA (Table IV, stateless).
+
+The BlueField-2 PKA accelerator and the host's QAT both execute public-key
+primitives; the paper's cryptography function drives RSA, DH, and DSA.
+This module implements all three from first principles on top of a
+Miller–Rabin prime generator and Python big-integer modular arithmetic:
+
+* **RSA**: textbook keygen (e = 65537, CRT decryption), encrypt/decrypt,
+  sign/verify over SHA-256 digests;
+* **DH**: classic exchange in a safe-prime group;
+* **DSA**: FIPS-186-style parameter generation (q | p−1), per-message
+  nonces, sign/verify.
+
+Key sizes default to 512-bit moduli — small enough to generate and run
+thousands of operations in tests, while exercising the identical code
+paths as production sizes. (These are simulation workloads, not security
+advice; textbook RSA is deliberately unpadded.)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.nf.base import NetworkFunction, NetworkFunctionError
+
+# ---------------------------------------------------------------------------
+# number theory
+# ---------------------------------------------------------------------------
+
+_SMALL_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97,
+)
+
+
+def is_probable_prime(n: int, rounds: int = 24, rng: Optional[random.Random] = None) -> bool:
+    """Miller–Rabin probabilistic primality test."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    rng = rng or random.Random(0xC0FFEE ^ n)
+    d, r = n - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = rng.randrange(2, n - 1)
+        x = pow(a, d, n)
+        if x == 1 or x == n - 1:
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def generate_prime(bits: int, rng: random.Random) -> int:
+    """A random prime with exactly ``bits`` bits."""
+    if bits < 8:
+        raise ValueError("prime size must be at least 8 bits")
+    while True:
+        candidate = rng.getrandbits(bits) | (1 << (bits - 1)) | 1
+        if is_probable_prime(candidate, rng=rng):
+            return candidate
+
+
+def modinv(a: int, m: int) -> int:
+    """Modular inverse via extended Euclid; raises if gcd(a, m) != 1."""
+    g, x = _egcd(a % m, m)
+    if g != 1:
+        raise ValueError(f"{a} is not invertible modulo {m}")
+    return x % m
+
+
+def _egcd(a: int, b: int) -> Tuple[int, int]:
+    old_r, r = a, b
+    old_s, s = 1, 0
+    while r:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_s, s = s, old_s - q * s
+    return old_r, old_s
+
+
+def _digest_int(message: bytes, order_bits: Optional[int] = None) -> int:
+    value = int.from_bytes(hashlib.sha256(message).digest(), "big")
+    if order_bits is not None and order_bits < 256:
+        value >>= 256 - order_bits
+    return value
+
+
+# ---------------------------------------------------------------------------
+# RSA
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RsaKeyPair:
+    n: int
+    e: int
+    d: int
+    p: int
+    q: int
+
+    @property
+    def bits(self) -> int:
+        return self.n.bit_length()
+
+
+def rsa_generate(bits: int, rng: random.Random, e: int = 65537) -> RsaKeyPair:
+    """Generate an RSA keypair with an n of roughly ``bits`` bits."""
+    if bits < 64:
+        raise ValueError("RSA modulus must be at least 64 bits")
+    half = bits // 2
+    while True:
+        p = generate_prime(half, rng)
+        q = generate_prime(bits - half, rng)
+        if p == q:
+            continue
+        phi = (p - 1) * (q - 1)
+        if phi % e == 0:
+            continue
+        d = modinv(e, phi)
+        return RsaKeyPair(n=p * q, e=e, d=d, p=p, q=q)
+
+
+def rsa_encrypt(key: RsaKeyPair, message: int) -> int:
+    if not 0 <= message < key.n:
+        raise ValueError("message out of range for modulus")
+    return pow(message, key.e, key.n)
+
+
+def rsa_decrypt(key: RsaKeyPair, ciphertext: int) -> int:
+    """CRT decryption — the same optimisation PKA/QAT hardware uses."""
+    if not 0 <= ciphertext < key.n:
+        raise ValueError("ciphertext out of range for modulus")
+    dp = key.d % (key.p - 1)
+    dq = key.d % (key.q - 1)
+    q_inv = modinv(key.q, key.p)
+    m1 = pow(ciphertext, dp, key.p)
+    m2 = pow(ciphertext, dq, key.q)
+    h = (q_inv * (m1 - m2)) % key.p
+    return m2 + h * key.q
+
+
+def rsa_sign(key: RsaKeyPair, message: bytes) -> int:
+    return rsa_decrypt(key, _digest_int(message) % key.n)
+
+
+def rsa_verify(key: RsaKeyPair, message: bytes, signature: int) -> bool:
+    return rsa_encrypt(key, signature) == _digest_int(message) % key.n
+
+
+# ---------------------------------------------------------------------------
+# Diffie–Hellman
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class DhGroup:
+    p: int  # safe prime
+    g: int
+
+
+def dh_generate_group(bits: int, rng: random.Random) -> DhGroup:
+    """Find a safe prime p = 2q + 1 and use g = 4 (a quadratic residue)."""
+    if bits < 32:
+        raise ValueError("DH group must be at least 32 bits")
+    while True:
+        q = generate_prime(bits - 1, rng)
+        p = 2 * q + 1
+        if is_probable_prime(p, rng=rng):
+            return DhGroup(p=p, g=4)
+
+
+def dh_keypair(group: DhGroup, rng: random.Random) -> Tuple[int, int]:
+    private = rng.randrange(2, group.p - 2)
+    return private, pow(group.g, private, group.p)
+
+
+def dh_shared_secret(group: DhGroup, private: int, peer_public: int) -> int:
+    if not 1 < peer_public < group.p - 1:
+        raise ValueError("invalid peer public value")
+    return pow(peer_public, private, group.p)
+
+
+# ---------------------------------------------------------------------------
+# DSA
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class DsaParams:
+    p: int
+    q: int
+    g: int
+
+
+@dataclass(frozen=True)
+class DsaKeyPair:
+    params: DsaParams
+    x: int  # private
+    y: int  # public
+
+
+def dsa_generate_params(p_bits: int, q_bits: int, rng: random.Random) -> DsaParams:
+    """FIPS-186-style domain parameters with q | p−1."""
+    if q_bits >= p_bits:
+        raise ValueError("q must be smaller than p")
+    q = generate_prime(q_bits, rng)
+    while True:
+        m = rng.getrandbits(p_bits - q_bits) | (1 << (p_bits - q_bits - 1))
+        p = q * m + 1
+        if p.bit_length() == p_bits and is_probable_prime(p, rng=rng):
+            break
+    while True:
+        h = rng.randrange(2, p - 1)
+        g = pow(h, (p - 1) // q, p)
+        if g > 1:
+            return DsaParams(p=p, q=q, g=g)
+
+
+def dsa_keypair(params: DsaParams, rng: random.Random) -> DsaKeyPair:
+    x = rng.randrange(1, params.q)
+    return DsaKeyPair(params=params, x=x, y=pow(params.g, x, params.p))
+
+
+def dsa_sign(key: DsaKeyPair, message: bytes, rng: random.Random) -> Tuple[int, int]:
+    params = key.params
+    digest = _digest_int(message, params.q.bit_length()) % params.q
+    while True:
+        k = rng.randrange(1, params.q)
+        r = pow(params.g, k, params.p) % params.q
+        if r == 0:
+            continue
+        s = (modinv(k, params.q) * (digest + key.x * r)) % params.q
+        if s != 0:
+            return r, s
+
+
+def dsa_verify(key: DsaKeyPair, message: bytes, signature: Tuple[int, int]) -> bool:
+    params = key.params
+    r, s = signature
+    if not (0 < r < params.q and 0 < s < params.q):
+        return False
+    digest = _digest_int(message, params.q.bit_length()) % params.q
+    w = modinv(s, params.q)
+    u1 = (digest * w) % params.q
+    u2 = (r * w) % params.q
+    v = ((pow(params.g, u1, params.p) * pow(key.y, u2, params.p)) % params.p) % params.q
+    return v == r
+
+
+# ---------------------------------------------------------------------------
+# the cryptography network function
+# ---------------------------------------------------------------------------
+
+RSA_SIGN, DH_EXCHANGE, DSA_SIGN = "rsa", "dh", "dsa"
+
+
+@dataclass(frozen=True)
+class CryptoRequest:
+    op: str
+    message: bytes
+
+
+@dataclass(frozen=True)
+class CryptoResponse:
+    op: str
+    ok: bool
+    artifact: Tuple[int, ...]
+
+
+class CryptoFunction(NetworkFunction):
+    """Public-key operations mixing RSA / DH / DSA like the PKA workload."""
+
+    name = "crypto"
+    stateful = False
+
+    CONFIGS = (RSA_SIGN, DH_EXCHANGE, DSA_SIGN)
+
+    def __init__(self, key_bits: int = 512, seed: int = 7) -> None:
+        super().__init__(seed)
+        keygen_rng = random.Random(seed ^ 0x5EED)
+        self.key_bits = key_bits
+        self.rsa_key = rsa_generate(key_bits, keygen_rng)
+        self.dh_group = dh_generate_group(max(64, key_bits // 4), keygen_rng)
+        self.dsa_key = dsa_keypair(
+            dsa_generate_params(max(96, key_bits // 2), 64, keygen_rng), keygen_rng
+        )
+        self.op_counts: Dict[str, int] = {RSA_SIGN: 0, DH_EXCHANGE: 0, DSA_SIGN: 0}
+
+    def process(self, request: CryptoRequest) -> CryptoResponse:
+        if not isinstance(request, CryptoRequest):
+            raise NetworkFunctionError(
+                f"Crypto expects CryptoRequest, got {type(request)!r}"
+            )
+        self._count()
+        if request.op == RSA_SIGN:
+            signature = rsa_sign(self.rsa_key, request.message)
+            ok = rsa_verify(self.rsa_key, request.message, signature)
+            self.op_counts[RSA_SIGN] += 1
+            return CryptoResponse(op=RSA_SIGN, ok=ok, artifact=(signature,))
+        if request.op == DH_EXCHANGE:
+            a_priv, a_pub = dh_keypair(self.dh_group, self._rng)
+            b_priv, b_pub = dh_keypair(self.dh_group, self._rng)
+            secret_a = dh_shared_secret(self.dh_group, a_priv, b_pub)
+            secret_b = dh_shared_secret(self.dh_group, b_priv, a_pub)
+            self.op_counts[DH_EXCHANGE] += 1
+            return CryptoResponse(
+                op=DH_EXCHANGE, ok=secret_a == secret_b, artifact=(secret_a,)
+            )
+        if request.op == DSA_SIGN:
+            signature = dsa_sign(self.dsa_key, request.message, self._rng)
+            ok = dsa_verify(self.dsa_key, request.message, signature)
+            self.op_counts[DSA_SIGN] += 1
+            return CryptoResponse(op=DSA_SIGN, ok=ok, artifact=signature)
+        raise NetworkFunctionError(f"unknown crypto op {request.op!r}")
+
+    def make_request(self, seq: int, flow: int) -> CryptoRequest:
+        op = (RSA_SIGN, DH_EXCHANGE, DSA_SIGN)[seq % 3]
+        message = f"packet-{seq}-flow-{flow}".encode()
+        return CryptoRequest(op=op, message=message)

@@ -1,0 +1,89 @@
+"""EMA — exponential moving average over batched samples (Table IV, stateful).
+
+Maintains, per key, the exponentially weighted moving average
+``ema ← α·x + (1−α)·ema`` of a metric stream, batched 4 or 8 samples per
+request as in Table IV. The per-key averages are the coherent shared
+state under cooperative processing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.nf.base import NetworkFunctionError, StatefulFunction
+from repro.nf.corpus import make_keys
+
+
+@dataclass(frozen=True)
+class EmaRequest:
+    samples: Tuple[Tuple[str, float], ...]
+
+
+@dataclass(frozen=True)
+class EmaResponse:
+    averages: Tuple[float, ...]
+
+
+class EmaFunction(StatefulFunction):
+    """Per-key EMA with Table IV batch sizes 4 and 8."""
+
+    name = "ema"
+
+    CONFIGS = (4, 8)
+
+    def __init__(
+        self,
+        batch_size: int = 8,
+        alpha: float = 0.125,
+        key_space: int = 1024,
+        seed: int = 7,
+    ) -> None:
+        super().__init__(seed)
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.batch_size = batch_size
+        self.alpha = alpha
+        self.key_space = key_space
+        self._keys = make_keys(key_space, seed=seed)
+        self._averages: Dict[str, float] = {}
+
+    def process(self, request: EmaRequest) -> EmaResponse:
+        if not isinstance(request, EmaRequest):
+            raise NetworkFunctionError(f"EMA expects EmaRequest, got {type(request)!r}")
+        self._count()
+        out: List[float] = []
+        for key, value in request.samples:
+            self.state_access(key, write=True)
+            previous = self._averages.get(key)
+            if previous is None:
+                updated = float(value)
+            else:
+                updated = self.alpha * value + (1.0 - self.alpha) * previous
+            self._averages[key] = updated
+            out.append(updated)
+        return EmaResponse(averages=tuple(out))
+
+    def average(self, key: str) -> float:
+        if key not in self._averages:
+            raise KeyError(key)
+        return self._averages[key]
+
+    def tracked_keys(self) -> int:
+        return len(self._averages)
+
+    def make_request(self, seq: int, flow: int) -> EmaRequest:
+        samples = tuple(
+            (
+                self._keys[self._rng.randrange(self.key_space)],
+                self._rng.uniform(0.0, 100.0),
+            )
+            for _ in range(self.batch_size)
+        )
+        return EmaRequest(samples=samples)
+
+    def reset(self) -> None:
+        super().reset()
+        self._averages.clear()

@@ -1,0 +1,89 @@
+"""KNN — k-nearest-neighbour classification (Table IV, stateless).
+
+Classic Cover & Hart nearest-neighbour voting over a fixed reference set.
+Table IV configures reference-set sizes of 8 and 16 points per class;
+queries are feature vectors, responses the majority label among the k
+nearest references by Euclidean distance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.nf.base import NetworkFunction, NetworkFunctionError
+from repro.nf.corpus import make_vectors
+
+
+@dataclass(frozen=True)
+class KnnRequest:
+    vector: Tuple[float, ...]
+    k: int = 3
+
+
+@dataclass(frozen=True)
+class KnnResponse:
+    label: int
+    neighbour_ids: Tuple[int, ...]
+
+
+def euclidean(a: Sequence[float], b: Sequence[float]) -> float:
+    if len(a) != len(b):
+        raise ValueError("vectors must have equal dimensionality")
+    return math.sqrt(sum((x - y) ** 2 for x, y in zip(a, b)))
+
+
+class KnnFunction(NetworkFunction):
+    """KNN with Table IV reference-set sizes 8 and 16 per class."""
+
+    name = "knn"
+    stateful = False
+
+    CONFIGS = (8, 16)
+
+    def __init__(
+        self,
+        set_size: int = 16,
+        n_classes: int = 4,
+        dims: int = 16,
+        seed: int = 7,
+    ) -> None:
+        super().__init__(seed)
+        if set_size <= 0 or n_classes <= 1 or dims <= 0:
+            raise ValueError("set_size/dims must be positive, n_classes > 1")
+        self.set_size = set_size
+        self.n_classes = n_classes
+        self.dims = dims
+        # class c's references are clustered around a per-class centroid
+        self.references: List[Tuple[Tuple[float, ...], int]] = []
+        centroids = make_vectors(n_classes, dims, seed=seed, spread=4.0)
+        for label, centroid in enumerate(centroids):
+            points = make_vectors(set_size, dims, seed=seed + 100 + label, spread=1.0)
+            for point in points:
+                shifted = tuple(p + c for p, c in zip(point, centroid))
+                self.references.append((shifted, label))
+        self._centroids = centroids
+
+    def process(self, request: KnnRequest) -> KnnResponse:
+        if not isinstance(request, KnnRequest):
+            raise NetworkFunctionError(f"KNN expects KnnRequest, got {type(request)!r}")
+        if request.k <= 0:
+            raise NetworkFunctionError("k must be positive")
+        self._count()
+        ranked = sorted(
+            range(len(self.references)),
+            key=lambda i: euclidean(request.vector, self.references[i][0]),
+        )
+        nearest = ranked[: request.k]
+        votes = [0] * self.n_classes
+        for idx in nearest:
+            votes[self.references[idx][1]] += 1
+        label = max(range(self.n_classes), key=lambda c: (votes[c], -c))
+        return KnnResponse(label=label, neighbour_ids=tuple(nearest))
+
+    def make_request(self, seq: int, flow: int) -> KnnRequest:
+        label = self._rng.randrange(self.n_classes)
+        centroid = self._centroids[label]
+        vector = tuple(c + self._rng.gauss(0.0, 1.2) for c in centroid)
+        return KnnRequest(vector=vector)

@@ -1,0 +1,131 @@
+"""KVS — key-value store with read / write / insert (Table IV, stateful).
+
+A SILT-style in-memory store reduced to its service interface: GET,
+PUT (update an existing key), and INSERT (create a new key). The Table IV
+configuration exercises all three operation types; the synthetic request
+mix defaults to the read-heavy split typical of datacenter KV traffic.
+
+Being stateful, every operation routes through the shared-state domain
+when one is attached (§V-C), so cooperative SNIC+host runs account for
+coherence stalls on the touched key's block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.nf.base import NetworkFunctionError, StatefulFunction
+from repro.nf.corpus import make_keys
+
+GET, PUT, INSERT, DELETE = "get", "put", "insert", "delete"
+
+
+@dataclass(frozen=True)
+class KvRequest:
+    op: str
+    key: str
+    value: Optional[bytes] = None
+
+
+@dataclass(frozen=True)
+class KvResponse:
+    ok: bool
+    value: Optional[bytes] = None
+
+
+class KvsFunction(StatefulFunction):
+    """In-memory KV store with a bounded synthetic key space."""
+
+    name = "kvs"
+
+    def __init__(
+        self,
+        key_space: int = 4096,
+        value_bytes: int = 128,
+        read_fraction: float = 0.90,
+        insert_fraction: float = 0.02,
+        seed: int = 7,
+    ) -> None:
+        super().__init__(seed)
+        if not 0.0 <= read_fraction <= 1.0:
+            raise ValueError("read_fraction must be in [0, 1]")
+        if not 0.0 <= insert_fraction <= 1.0 - read_fraction:
+            raise ValueError("insert_fraction must fit in the non-read share")
+        self.key_space = key_space
+        self.value_bytes = value_bytes
+        self.read_fraction = read_fraction
+        self.insert_fraction = insert_fraction
+        self._keys = make_keys(key_space, seed=seed)
+        self._store: Dict[str, bytes] = {}
+        self._inserted = 0
+        # preload half the key space so reads hit from the start
+        for key in self._keys[: key_space // 2]:
+            self._store[key] = self._make_value(key)
+            self._inserted += 1
+        self.hits = 0
+        self.misses = 0
+
+    def _make_value(self, key: str) -> bytes:
+        return (key * ((self.value_bytes // len(key)) + 1))[: self.value_bytes].encode()
+
+    def process(self, request: KvRequest) -> KvResponse:
+        if not isinstance(request, KvRequest):
+            raise NetworkFunctionError(f"KVS expects KvRequest, got {type(request)!r}")
+        self._count()
+        if request.op == GET:
+            self.state_access(request.key, write=False)
+            value = self._store.get(request.key)
+            if value is None:
+                self.misses += 1
+                return KvResponse(ok=False)
+            self.hits += 1
+            return KvResponse(ok=True, value=value)
+        if request.op == PUT:
+            self.state_access(request.key, write=True)
+            if request.key not in self._store:
+                self.misses += 1
+                return KvResponse(ok=False)
+            self._store[request.key] = request.value or b""
+            self.hits += 1
+            return KvResponse(ok=True)
+        if request.op == INSERT:
+            self.state_access(request.key, write=True)
+            created = request.key not in self._store
+            self._store[request.key] = request.value or b""
+            if created:
+                self._inserted += 1
+            return KvResponse(ok=created)
+        if request.op == DELETE:
+            self.state_access(request.key, write=True)
+            existed = self._store.pop(request.key, None) is not None
+            return KvResponse(ok=existed)
+        raise NetworkFunctionError(f"unknown KVS op {request.op!r}")
+
+    def make_request(self, seq: int, flow: int) -> KvRequest:
+        roll = self._rng.random()
+        if roll < self.read_fraction:
+            key = self._keys[self._rng.randrange(max(1, self._inserted))]
+            return KvRequest(GET, key)
+        if roll < self.read_fraction + self.insert_fraction:
+            key = self._keys[self._rng.randrange(self.key_space)]
+            return KvRequest(INSERT, key, self._make_value(key))
+        key = self._keys[self._rng.randrange(max(1, self._inserted))]
+        return KvRequest(PUT, key, self._make_value(key))
+
+    @property
+    def size(self) -> int:
+        return len(self._store)
+
+    def get(self, key: str) -> Optional[bytes]:
+        return self._store.get(key)
+
+    def reset(self) -> None:
+        super().reset()
+        self._store.clear()
+        self._inserted = 0
+        for key in self._keys[: self.key_space // 2]:
+            self._store[key] = self._make_value(key)
+            self._inserted += 1
+        self.hits = 0
+        self.misses = 0

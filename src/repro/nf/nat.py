@@ -1,0 +1,147 @@
+"""NAT — network address translation (Table IV, stateless in the paper's
+classification: the translation table is read-mostly and per-flow
+deterministic, so SNIC and host replicas stay consistent without sharing).
+
+A real source-NAT data plane: an LRU translation table maps internal
+(ip, port) pairs to external (ip, port) pairs, allocated on first use and
+reused per flow. Both the 1K-entry and 10K-entry configurations from
+Table IV are supported. Translation is deterministic given the allocation
+order, and reverse lookups invert it — both properties are unit-tested.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.nf.base import NetworkFunction, NetworkFunctionError
+
+
+@dataclass(frozen=True)
+class NatRequest:
+    """An inner packet five-tuple to be source-translated."""
+
+    src_ip: int
+    src_port: int
+    dst_ip: int
+    dst_port: int
+    proto: int = 17  # UDP
+
+
+@dataclass(frozen=True)
+class NatResponse:
+    """The translated five-tuple plus the binding that produced it."""
+
+    src_ip: int
+    src_port: int
+    dst_ip: int
+    dst_port: int
+    proto: int
+    binding_new: bool
+
+
+class NatTable:
+    """LRU source-NAT binding table with a bounded entry count."""
+
+    def __init__(self, capacity: int, external_ip: int, port_base: int = 20000) -> None:
+        if capacity <= 0:
+            raise ValueError("NAT table capacity must be positive")
+        self.capacity = capacity
+        self.external_ip = external_ip
+        self.port_base = port_base
+        self._forward: "OrderedDict[Tuple[int, int], int]" = OrderedDict()
+        self._reverse: dict = {}
+        self._next_port = 0
+        self._free_ports: list = []
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._forward)
+
+    def _allocate_port(self) -> int:
+        if self._free_ports:
+            return self._free_ports.pop()
+        port = self.port_base + self._next_port
+        self._next_port += 1
+        return port
+
+    def translate(self, src_ip: int, src_port: int) -> Tuple[int, bool]:
+        """Return (external_port, is_new_binding) for an internal endpoint."""
+        key = (src_ip, src_port)
+        port = self._forward.get(key)
+        if port is not None:
+            self._forward.move_to_end(key)
+            return port, False
+        if len(self._forward) >= self.capacity:
+            old_key, old_port = self._forward.popitem(last=False)
+            del self._reverse[old_port]
+            self._free_ports.append(old_port)
+            self.evictions += 1
+        port = self._allocate_port()
+        self._forward[key] = port
+        self._reverse[port] = key
+        return port, True
+
+    def reverse(self, external_port: int) -> Optional[Tuple[int, int]]:
+        """Invert a binding: external port → internal (ip, port)."""
+        return self._reverse.get(external_port)
+
+    def clear(self) -> None:
+        self._forward.clear()
+        self._reverse.clear()
+        self._free_ports.clear()
+        self._next_port = 0
+        self.evictions = 0
+
+
+class NatFunction(NetworkFunction):
+    """Source NAT over an LRU table (Table IV: 1K & 10K entries)."""
+
+    name = "nat"
+    stateful = False
+
+    #: Table IV configurations.
+    CONFIGS = (1_000, 10_000)
+
+    def __init__(self, entries: int = 10_000, seed: int = 7) -> None:
+        super().__init__(seed)
+        if entries <= 0:
+            raise ValueError("entries must be positive")
+        self.entries = entries
+        # external identity the NAT masquerades as
+        self.external_ip = 0x0A000064  # 10.0.0.100
+        self.table = NatTable(entries, self.external_ip)
+        # synthetic internal client population, ~2x table size so the LRU
+        # actually churns in long runs
+        self._client_count = entries * 2
+
+    def process(self, request: NatRequest) -> NatResponse:
+        if not isinstance(request, NatRequest):
+            raise NetworkFunctionError(f"NAT expects NatRequest, got {type(request)!r}")
+        self._count()
+        port, is_new = self.table.translate(request.src_ip, request.src_port)
+        return NatResponse(
+            src_ip=self.external_ip,
+            src_port=port,
+            dst_ip=request.dst_ip,
+            dst_port=request.dst_port,
+            proto=request.proto,
+            binding_new=is_new,
+        )
+
+    def reverse_lookup(self, external_port: int) -> Optional[Tuple[int, int]]:
+        return self.table.reverse(external_port)
+
+    def make_request(self, seq: int, flow: int) -> NatRequest:
+        client = self._rng.randrange(self._client_count)
+        return NatRequest(
+            src_ip=0xC0A80000 + (client >> 8),  # 192.168.x.x
+            src_port=1024 + (client & 0xFF),
+            dst_ip=0x08080808,
+            dst_port=53,
+        )
+
+    def reset(self) -> None:
+        super().reset()
+        self.table.clear()

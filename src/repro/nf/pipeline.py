@@ -1,0 +1,66 @@
+"""Two pipelined functions (§VII-B).
+
+The paper evaluates four compositions where the first function consumes
+the DPDK packet stream and feeds the second: NAT+REM, NAT+Crypto,
+Count+REM, and Count+Crypto. :class:`PipelineFunction` composes any two
+NFs; the request bundles one request per stage, the response collects
+both stage responses, and capacity/latency profiles for the composition
+are derived in :mod:`repro.hw.profiles` by serialising the stages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+from repro.nf.base import NetworkFunction, NetworkFunctionError
+
+
+@dataclass(frozen=True)
+class PipelineRequest:
+    stage_requests: Tuple[Any, Any]
+
+
+@dataclass(frozen=True)
+class PipelineResponse:
+    stage_responses: Tuple[Any, Any]
+
+
+class PipelineFunction(NetworkFunction):
+    """Composition of two NFs executed back-to-back on each packet."""
+
+    def __init__(self, first: NetworkFunction, second: NetworkFunction) -> None:
+        super().__init__()
+        if first is second:
+            raise ValueError("pipeline stages must be distinct instances")
+        self.first = first
+        self.second = second
+        self.name = f"{first.name}+{second.name}"
+        self.stateful = first.stateful or second.stateful
+
+    def process(self, request: PipelineRequest) -> PipelineResponse:
+        if not isinstance(request, PipelineRequest):
+            raise NetworkFunctionError(
+                f"pipeline expects PipelineRequest, got {type(request)!r}"
+            )
+        self._count()
+        first_response = self.first.process(request.stage_requests[0])
+        second_response = self.second.process(request.stage_requests[1])
+        return PipelineResponse(stage_responses=(first_response, second_response))
+
+    def make_request(self, seq: int, flow: int) -> PipelineRequest:
+        return PipelineRequest(
+            stage_requests=(
+                self.first.make_request(seq, flow),
+                self.second.make_request(seq, flow),
+            )
+        )
+
+    def reset(self) -> None:
+        super().reset()
+        self.first.reset()
+        self.second.reset()
+
+
+#: the four compositions evaluated in Table V
+PIPELINE_NAMES = ("nat+rem", "nat+crypto", "count+rem", "count+crypto")

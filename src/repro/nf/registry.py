@@ -1,0 +1,62 @@
+"""Function registry: Table IV names → constructors.
+
+Experiments look functions up by the names used throughout the paper
+(``kvs``, ``count``, ``ema``, ``nat``, ``bm25``, ``knn``, ``bayes``,
+``rem``, ``crypto``, ``compress``) plus the four pipelined compositions
+of §VII-B (``nat+rem`` etc.).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.nf.base import NetworkFunction
+from repro.nf.bayes import BayesFunction
+from repro.nf.bm25 import Bm25Function
+from repro.nf.compress import CompressFunction
+from repro.nf.count import CountFunction
+from repro.nf.crypto import CryptoFunction
+from repro.nf.ema import EmaFunction
+from repro.nf.knn import KnnFunction
+from repro.nf.kvs import KvsFunction
+from repro.nf.nat import NatFunction
+from repro.nf.pipeline import PIPELINE_NAMES, PipelineFunction
+from repro.nf.rem import RemFunction
+
+_BASE_FACTORIES: Dict[str, Callable[[], NetworkFunction]] = {
+    "kvs": KvsFunction,
+    "count": CountFunction,
+    "ema": EmaFunction,
+    "nat": NatFunction,
+    "bm25": Bm25Function,
+    "knn": KnnFunction,
+    "bayes": BayesFunction,
+    "rem": lambda: RemFunction(ruleset="lite", scale=0.1),
+    "crypto": CryptoFunction,
+    "compress": CompressFunction,
+}
+
+#: the ten Table IV functions, in the paper's order
+FUNCTION_NAMES = tuple(_BASE_FACTORIES)
+#: functions evaluated under the datacenter traces in Table V
+TABLE5_SINGLE_FUNCTIONS = ("knn", "nat", "count", "ema", "rem", "crypto")
+
+
+def available_functions() -> List[str]:
+    """All registry names, base functions first then pipelines."""
+    return list(FUNCTION_NAMES) + list(PIPELINE_NAMES)
+
+
+def create_function(name: str) -> NetworkFunction:
+    """Instantiate a function (or two-stage pipeline) by registry name."""
+    if name in _BASE_FACTORIES:
+        return _BASE_FACTORIES[name]()
+    if "+" in name:
+        first_name, _, second_name = name.partition("+")
+        if first_name in _BASE_FACTORIES and second_name in _BASE_FACTORIES:
+            return PipelineFunction(
+                create_function(first_name), create_function(second_name)
+            )
+    raise KeyError(
+        f"unknown network function {name!r}; known: {available_functions()}"
+    )

@@ -1,0 +1,498 @@
+"""REM — regular-expression matching (Table IV, stateless).
+
+The BlueField-2 REM accelerator scans packet payloads against a compiled
+ruleset (Hyperscan-style). This module implements a real matching engine
+from scratch:
+
+* **Aho–Corasick automaton** for multi-literal rulesets — the dominant
+  case for both the ``teakettle_2500`` ("tea", simple) and
+  ``snort_literals`` ("lite", complex) rulesets the paper uses;
+* **Thompson NFA** compiler/simulator for a practical regex subset
+  (literals, ``.``, character classes, ``* + ?``, alternation, grouping),
+  used for rules that are genuine regular expressions.
+
+Since the original rulesets are licensed artifacts we ship synthetic
+equivalents of the same scale class: ``tea`` ≈ thousands of short simple
+literals, ``lite`` ≈ hundreds of long literals plus regex rules, which
+preserves the simple-vs-complex performance inversion of §III-A.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.nf.base import NetworkFunction, NetworkFunctionError
+from repro.nf.corpus import make_vocabulary, make_text
+
+
+# ---------------------------------------------------------------------------
+# Aho–Corasick multi-literal matcher
+# ---------------------------------------------------------------------------
+
+class AhoCorasick:
+    """Multi-pattern literal matcher with failure links."""
+
+    def __init__(self, patterns: Sequence[str]) -> None:
+        if not patterns:
+            raise ValueError("at least one pattern is required")
+        self.patterns = list(patterns)
+        # goto function as list of dicts, failure links, output sets
+        self._goto: List[Dict[str, int]] = [{}]
+        self._fail: List[int] = [0]
+        self._out: List[Set[int]] = [set()]
+        for index, pattern in enumerate(self.patterns):
+            if not pattern:
+                raise ValueError("empty pattern is not allowed")
+            self._insert(pattern, index)
+        self._build_failure_links()
+
+    def _insert(self, pattern: str, index: int) -> None:
+        node = 0
+        for ch in pattern:
+            nxt = self._goto[node].get(ch)
+            if nxt is None:
+                nxt = len(self._goto)
+                self._goto.append({})
+                self._fail.append(0)
+                self._out.append(set())
+                self._goto[node][ch] = nxt
+            node = nxt
+        self._out[node].add(index)
+
+    def _build_failure_links(self) -> None:
+        queue: deque = deque()
+        for child in self._goto[0].values():
+            self._fail[child] = 0
+            queue.append(child)
+        while queue:
+            node = queue.popleft()
+            for ch, child in self._goto[node].items():
+                queue.append(child)
+                fail = self._fail[node]
+                while fail and ch not in self._goto[fail]:
+                    fail = self._fail[fail]
+                self._fail[child] = self._goto[fail].get(ch, 0)
+                if self._fail[child] == child:
+                    self._fail[child] = 0
+                self._out[child] |= self._out[self._fail[child]]
+
+    @property
+    def state_count(self) -> int:
+        return len(self._goto)
+
+    def search(self, text: str) -> List[Tuple[int, int]]:
+        """All matches as (end_offset, pattern_index), in scan order."""
+        matches: List[Tuple[int, int]] = []
+        node = 0
+        for offset, ch in enumerate(text):
+            while node and ch not in self._goto[node]:
+                node = self._fail[node]
+            node = self._goto[node].get(ch, 0)
+            for pattern_index in self._out[node]:
+                matches.append((offset, pattern_index))
+        return matches
+
+    def contains_any(self, text: str) -> bool:
+        node = 0
+        for ch in text:
+            while node and ch not in self._goto[node]:
+                node = self._fail[node]
+            node = self._goto[node].get(ch, 0)
+            if self._out[node]:
+                return True
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Thompson NFA regex engine
+# ---------------------------------------------------------------------------
+
+_EPSILON = None  # label for epsilon transitions
+
+
+@dataclass
+class _NfaFragment:
+    start: int
+    accepts: List[int]
+
+
+class RegexSyntaxError(ValueError):
+    """Raised for unsupported or malformed regex syntax."""
+
+
+class RegexNfa:
+    """A compiled regex supporting ``. [] [^] * + ? | ()``, literals, and
+    edge anchors ``^``/``$``.
+
+    Anchors are only recognised at the pattern boundaries and scope the
+    *entire* pattern (``^a|b`` means ``^(?:a|b)`` here, unlike Python's
+    ``re`` where the anchor binds to the first alternative)."""
+
+    def __init__(self, pattern: str) -> None:
+        self.pattern = pattern
+        pattern, self.anchored_start, self.anchored_end = self._strip_anchors(
+            pattern
+        )
+        # transitions: state -> list of (label, next_state); label is either
+        # a frozenset of accepted characters, the ANY sentinel, or epsilon
+        self._transitions: List[List[Tuple[Optional[FrozenSet[str]], int]]] = []
+        self._any: FrozenSet[str] = frozenset()  # sentinel identity for '.'
+        fragment = self._parse(pattern)
+        self.start = fragment.start
+        self.accept = self._new_state()
+        for state in fragment.accepts:
+            self._add(state, _EPSILON, self.accept)
+
+    # -- construction ---------------------------------------------------
+    @staticmethod
+    def _strip_anchors(pattern: str) -> Tuple[str, bool, bool]:
+        anchored_start = pattern.startswith("^")
+        if anchored_start:
+            pattern = pattern[1:]
+        anchored_end = pattern.endswith("$") and not pattern.endswith("\\$")
+        if anchored_end:
+            pattern = pattern[:-1]
+        # interior anchors are not supported by this engine
+        stripped = pattern.replace("\\^", "").replace("\\$", "")
+        stripped = re.sub(r"\[[^\]]*\]", "", stripped)
+        if "^" in stripped or "$" in stripped:
+            raise RegexSyntaxError(
+                "anchors are only supported at the pattern boundaries"
+            )
+        return pattern, anchored_start, anchored_end
+
+    def _new_state(self) -> int:
+        self._transitions.append([])
+        return len(self._transitions) - 1
+
+    def _add(self, src: int, label, dst: int) -> None:
+        self._transitions[src].append((label, dst))
+
+    def _parse(self, pattern: str) -> _NfaFragment:
+        fragment, pos = self._parse_alternation(pattern, 0)
+        if pos != len(pattern):
+            raise RegexSyntaxError(f"unexpected {pattern[pos]!r} at {pos}")
+        return fragment
+
+    def _parse_alternation(self, pattern: str, pos: int) -> Tuple[_NfaFragment, int]:
+        branches = []
+        fragment, pos = self._parse_concat(pattern, pos)
+        branches.append(fragment)
+        while pos < len(pattern) and pattern[pos] == "|":
+            fragment, pos = self._parse_concat(pattern, pos + 1)
+            branches.append(fragment)
+        if len(branches) == 1:
+            return branches[0], pos
+        start = self._new_state()
+        accepts: List[int] = []
+        for branch in branches:
+            self._add(start, _EPSILON, branch.start)
+            accepts.extend(branch.accepts)
+        return _NfaFragment(start, accepts), pos
+
+    def _parse_concat(self, pattern: str, pos: int) -> Tuple[_NfaFragment, int]:
+        fragments: List[_NfaFragment] = []
+        while pos < len(pattern) and pattern[pos] not in "|)":
+            fragment, pos = self._parse_repeat(pattern, pos)
+            fragments.append(fragment)
+        if not fragments:
+            # empty branch matches the empty string
+            state = self._new_state()
+            return _NfaFragment(state, [state]), pos
+        combined = fragments[0]
+        for nxt in fragments[1:]:
+            for state in combined.accepts:
+                self._add(state, _EPSILON, nxt.start)
+            combined = _NfaFragment(combined.start, nxt.accepts)
+        return combined, pos
+
+    def _parse_repeat(self, pattern: str, pos: int) -> Tuple[_NfaFragment, int]:
+        atom, pos = self._parse_atom(pattern, pos)
+        while pos < len(pattern) and pattern[pos] in "*+?":
+            op = pattern[pos]
+            pos += 1
+            if op == "*":
+                start = self._new_state()
+                self._add(start, _EPSILON, atom.start)
+                for state in atom.accepts:
+                    self._add(state, _EPSILON, atom.start)
+                atom = _NfaFragment(start, atom.accepts + [start])
+            elif op == "+":
+                for state in atom.accepts:
+                    self._add(state, _EPSILON, atom.start)
+                atom = _NfaFragment(atom.start, atom.accepts)
+            else:  # '?'
+                start = self._new_state()
+                self._add(start, _EPSILON, atom.start)
+                atom = _NfaFragment(start, atom.accepts + [start])
+        return atom, pos
+
+    def _parse_atom(self, pattern: str, pos: int) -> Tuple[_NfaFragment, int]:
+        if pos >= len(pattern):
+            raise RegexSyntaxError("unexpected end of pattern")
+        ch = pattern[pos]
+        if ch == "(":
+            fragment, pos = self._parse_alternation(pattern, pos + 1)
+            if pos >= len(pattern) or pattern[pos] != ")":
+                raise RegexSyntaxError("unbalanced parenthesis")
+            return fragment, pos + 1
+        if ch == "[":
+            charset, pos = self._parse_class(pattern, pos + 1)
+            return self._single(charset), pos
+        if ch == ".":
+            return self._single(self._any), pos + 1
+        if ch == "\\":
+            if pos + 1 >= len(pattern):
+                raise RegexSyntaxError("dangling escape")
+            return self._single(frozenset(pattern[pos + 1])), pos + 2
+        if ch in "*+?)|":
+            raise RegexSyntaxError(f"unexpected {ch!r} at {pos}")
+        return self._single(frozenset(ch)), pos + 1
+
+    def _parse_class(self, pattern: str, pos: int) -> Tuple[FrozenSet[str], int]:
+        negated = pos < len(pattern) and pattern[pos] == "^"
+        if negated:
+            pos += 1
+        chars: Set[str] = set()
+        while pos < len(pattern) and pattern[pos] != "]":
+            ch = pattern[pos]
+            if ch == "\\":
+                if pos + 1 >= len(pattern):
+                    raise RegexSyntaxError("dangling escape in class")
+                chars.add(pattern[pos + 1])
+                pos += 2
+                continue
+            if (
+                pos + 2 < len(pattern)
+                and pattern[pos + 1] == "-"
+                and pattern[pos + 2] != "]"
+            ):
+                lo, hi = ch, pattern[pos + 2]
+                if ord(lo) > ord(hi):
+                    raise RegexSyntaxError(f"inverted range {lo}-{hi}")
+                chars.update(chr(c) for c in range(ord(lo), ord(hi) + 1))
+                pos += 3
+                continue
+            chars.add(ch)
+            pos += 1
+        if pos >= len(pattern):
+            raise RegexSyntaxError("unterminated character class")
+        if negated:
+            universe = {chr(c) for c in range(32, 127)}
+            return frozenset(universe - chars), pos + 1
+        return frozenset(chars), pos + 1
+
+    def _single(self, charset: FrozenSet[str]) -> _NfaFragment:
+        start = self._new_state()
+        end = self._new_state()
+        self._add(start, charset, end)
+        return _NfaFragment(start, [end])
+
+    # -- simulation -------------------------------------------------------
+    def _closure(self, states: Set[int]) -> Set[int]:
+        stack = list(states)
+        closed = set(states)
+        while stack:
+            state = stack.pop()
+            for label, nxt in self._transitions[state]:
+                if label is _EPSILON and nxt not in closed:
+                    closed.add(nxt)
+                    stack.append(nxt)
+        return closed
+
+    def matches(self, text: str) -> bool:
+        """Full-string match."""
+        current = self._closure({self.start})
+        for ch in text:
+            nxt: Set[int] = set()
+            for state in current:
+                for label, dst in self._transitions[state]:
+                    if label is _EPSILON:
+                        continue
+                    if label is self._any or ch in label:
+                        nxt.add(dst)
+            if not nxt:
+                current = set()
+                break
+            current = self._closure(nxt)
+        return self.accept in current
+
+    def _prefix_match(self, text: str) -> bool:
+        """Does some prefix of ``text`` match? (a ``^``-anchored search)"""
+        current = self._closure({self.start})
+        if self.accept in current:
+            return True
+        for ch in text:
+            nxt: Set[int] = set()
+            for state in current:
+                for label, dst in self._transitions[state]:
+                    if label is _EPSILON:
+                        continue
+                    if label is self._any or ch in label:
+                        nxt.add(dst)
+            if not nxt:
+                return False
+            current = self._closure(nxt)
+            if self.accept in current:
+                return True
+        return False
+
+    def _suffix_match(self, text: str) -> bool:
+        """Does some suffix of ``text`` match? (a ``$``-anchored search)"""
+        start_closure = self._closure({self.start})
+        current: Set[int] = set(start_closure)
+        for ch in text:
+            nxt: Set[int] = set()
+            for state in current:
+                for label, dst in self._transitions[state]:
+                    if label is _EPSILON:
+                        continue
+                    if label is self._any or ch in label:
+                        nxt.add(dst)
+            current = self._closure(nxt) | start_closure
+        return self.accept in current
+
+    def search(self, text: str) -> bool:
+        """Containment respecting the pattern's anchors (what packet
+        inspection needs)."""
+        if self.anchored_start and self.anchored_end:
+            return self.matches(text)
+        if self.anchored_start:
+            return self._prefix_match(text)
+        if self.anchored_end:
+            return self._suffix_match(text)
+        start_closure = self._closure({self.start})
+        if self.accept in start_closure:
+            return True
+        current: Set[int] = set(start_closure)
+        for ch in text:
+            nxt: Set[int] = set()
+            for state in current:
+                for label, dst in self._transitions[state]:
+                    if label is _EPSILON:
+                        continue
+                    if label is self._any or ch in label:
+                        nxt.add(dst)
+            current = self._closure(nxt) | start_closure
+            if self.accept in current:
+                return True
+        return False
+
+    @property
+    def state_count(self) -> int:
+        return len(self._transitions)
+
+
+# ---------------------------------------------------------------------------
+# Rulesets and the REM function
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Ruleset:
+    """A compiled REM ruleset: literals (AC) plus regex rules (NFA)."""
+
+    name: str
+    literals: List[str]
+    regexes: List[str] = field(default_factory=list)
+
+    def compile(self) -> "CompiledRuleset":
+        return CompiledRuleset(self)
+
+
+class CompiledRuleset:
+    def __init__(self, ruleset: Ruleset) -> None:
+        self.name = ruleset.name
+        self.automaton = AhoCorasick(ruleset.literals) if ruleset.literals else None
+        self.nfas = [RegexNfa(rx) for rx in ruleset.regexes]
+
+    @property
+    def complexity(self) -> int:
+        """Total automaton states — a proxy for ruleset complexity."""
+        states = self.automaton.state_count if self.automaton else 0
+        states += sum(nfa.state_count for nfa in self.nfas)
+        return states
+
+    def scan(self, text: str) -> Tuple[int, Tuple[int, ...]]:
+        """Returns (#literal matches, indices of regex rules that hit)."""
+        literal_hits = len(self.automaton.search(text)) if self.automaton else 0
+        regex_hits = tuple(
+            i for i, nfa in enumerate(self.nfas) if nfa.search(text)
+        )
+        return literal_hits, regex_hits
+
+
+def make_tea_ruleset(n_patterns: int = 2500, seed: int = 41) -> Ruleset:
+    """Synthetic analogue of teakettle_2500: many short simple literals."""
+    vocab = make_vocabulary(n_patterns, seed=seed)
+    return Ruleset(name="tea", literals=vocab)
+
+
+def make_lite_ruleset(n_literals: int = 400, n_regexes: int = 24, seed: int = 43) -> Ruleset:
+    """Synthetic analogue of snort_literals: long literals + regex rules."""
+    rng = random.Random(seed)
+    vocab = make_vocabulary(n_literals * 3, seed=seed)
+    literals = [
+        "-".join(rng.sample(vocab, k=rng.randint(2, 4))) for _ in range(n_literals)
+    ]
+    regexes = []
+    for _ in range(n_regexes):
+        a, b = rng.sample(vocab, k=2)
+        regexes.append(f"{a}[0-9a-f]+{b}|{b}.?{a}")
+    return Ruleset(name="lite", literals=literals, regexes=regexes)
+
+
+@dataclass(frozen=True)
+class RemRequest:
+    text: str
+
+
+@dataclass(frozen=True)
+class RemResponse:
+    literal_hits: int
+    regex_hits: Tuple[int, ...]
+
+    @property
+    def matched(self) -> bool:
+        return self.literal_hits > 0 or bool(self.regex_hits)
+
+
+class RemFunction(NetworkFunction):
+    """Packet-payload inspection against a compiled ruleset."""
+
+    name = "rem"
+    stateful = False
+
+    CONFIGS = ("tea", "lite")
+
+    def __init__(self, ruleset: str = "lite", seed: int = 7, scale: float = 1.0) -> None:
+        super().__init__(seed)
+        if ruleset == "tea":
+            spec = make_tea_ruleset(n_patterns=max(10, int(2500 * scale)))
+        elif ruleset == "lite":
+            spec = make_lite_ruleset(
+                n_literals=max(4, int(400 * scale)),
+                n_regexes=max(2, int(24 * scale)),
+            )
+        else:
+            raise ValueError(f"unknown ruleset {ruleset!r} (use 'tea' or 'lite')")
+        self.ruleset_name = ruleset
+        self.compiled = spec.compile()
+        # payload source vocabulary: overlaps the ruleset so some packets hit
+        self._vocab = make_vocabulary(600, seed=seed + 5)
+        if self.compiled.automaton is not None:
+            self._vocab[:40] = self.compiled.automaton.patterns[:40]
+
+    def process(self, request: RemRequest) -> RemResponse:
+        if not isinstance(request, RemRequest):
+            raise NetworkFunctionError(f"REM expects RemRequest, got {type(request)!r}")
+        self._count()
+        literal_hits, regex_hits = self.compiled.scan(request.text)
+        return RemResponse(literal_hits=literal_hits, regex_hits=regex_hits)
+
+    def make_request(self, seq: int, flow: int) -> RemRequest:
+        text = make_text(self._vocab, n_words=24, seed=self._rng.randrange(1 << 30))
+        return RemRequest(text=text)

@@ -1,0 +1,130 @@
+"""Shared state with coherence accounting (§V-C).
+
+When both the SNIC processor and the host processor run a *stateful*
+function, they must share the function's state coherently. A PCIe-attached
+SNIC has no hardware cache coherence, so every remote state access pays a
+software round trip; a CXL-attached SNIC (emulated with UPI in the paper)
+gets hardware coherence at cache-line costs.
+
+This module models the state as a set of blocks under a directory-style
+MSI protocol: each block has one owner (who may hold it Modified) and a
+sharer set. Crossing the interconnect to fetch or invalidate costs the
+latencies supplied by the interconnect model; local re-accesses are free.
+The actual state *values* live in the NF objects — the domain only tracks
+who must pay coherence latency when.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+
+@dataclass(frozen=True)
+class CoherenceCosts:
+    """Per-event latency of the coherence fabric, in seconds.
+
+    ``read_miss_s``  — fetch a block from the current owner.
+    ``ownership_s``  — acquire exclusive ownership (invalidate sharers).
+    ``coherent``     — whether the fabric provides hardware coherence at
+    all; a non-coherent fabric (plain PCIe) pays the same numeric costs
+    but flags the configuration so experiments can reject it (§V-C says
+    PCIe-SNIC "cannot efficiently support stateful functions").
+    """
+
+    read_miss_s: float
+    ownership_s: float
+    coherent: bool = True
+
+    def __post_init__(self) -> None:
+        if self.read_miss_s < 0 or self.ownership_s < 0:
+            raise ValueError("coherence costs cannot be negative")
+
+
+#: CXL.cache / UPI-class coherence: sub-microsecond line transfers.
+CXL_COSTS = CoherenceCosts(read_miss_s=0.6e-6, ownership_s=0.9e-6, coherent=True)
+#: PCIe-attached SNIC: software-mediated sharing, microseconds per access.
+PCIE_COSTS = CoherenceCosts(read_miss_s=2.5e-6, ownership_s=5.0e-6, coherent=False)
+
+
+@dataclass
+class _BlockState:
+    owner: str
+    sharers: Set[str] = field(default_factory=set)
+    dirty: bool = False
+
+
+@dataclass
+class CoherenceStats:
+    local_hits: int = 0
+    read_misses: int = 0
+    ownership_transfers: int = 0
+    invalidations: int = 0
+    total_stall_s: float = 0.0
+
+
+class SharedStateDomain:
+    """Directory-based MSI coherence over hashed state blocks."""
+
+    def __init__(
+        self,
+        costs: CoherenceCosts,
+        block_count: int = 1024,
+        home_agent: str = "host",
+    ) -> None:
+        if block_count <= 0:
+            raise ValueError("block_count must be positive")
+        self.costs = costs
+        self.block_count = block_count
+        self.home_agent = home_agent
+        self._blocks: Dict[int, _BlockState] = {}
+        self.stats = CoherenceStats()
+
+    def _block_of(self, key: object) -> int:
+        return hash(key) % self.block_count
+
+    def access(self, agent: str, key: object, write: bool) -> float:
+        """Account one state access by ``agent``; returns stall seconds."""
+        if agent is None:
+            raise ValueError("state access requires an agent name")
+        index = self._block_of(key)
+        block = self._blocks.get(index)
+        if block is None:
+            block = _BlockState(owner=self.home_agent, sharers={self.home_agent})
+            self._blocks[index] = block
+
+        cost = 0.0
+        if write:
+            if block.owner == agent and block.sharers <= {agent}:
+                self.stats.local_hits += 1
+            else:
+                cost = self.costs.ownership_s
+                self.stats.ownership_transfers += 1
+                self.stats.invalidations += max(0, len(block.sharers - {agent}))
+                block.owner = agent
+                block.sharers = {agent}
+            block.dirty = True
+        else:
+            if agent in block.sharers:
+                self.stats.local_hits += 1
+            else:
+                cost = self.costs.read_miss_s
+                self.stats.read_misses += 1
+                block.sharers.add(agent)
+        self.stats.total_stall_s += cost
+        return cost
+
+    def sharing_ratio(self) -> float:
+        """Fraction of accesses that crossed the interconnect."""
+        total = (
+            self.stats.local_hits
+            + self.stats.read_misses
+            + self.stats.ownership_transfers
+        )
+        if total == 0:
+            return 0.0
+        return (self.stats.read_misses + self.stats.ownership_transfers) / total
+
+    def reset(self) -> None:
+        self._blocks.clear()
+        self.stats = CoherenceStats()

@@ -1,0 +1,28 @@
+"""Discrete-event simulation substrate for the HAL reproduction."""
+
+from repro.sim.engine import EventHandle, SimulationError, Simulator
+from repro.sim.metrics import (
+    LatencyReservoir,
+    PowerIntegrator,
+    RunMetrics,
+    ThroughputMeter,
+    TimeSeries,
+    percentile,
+)
+from repro.sim.queues import BoundedQueue
+from repro.sim.rng import RngRegistry, derive_seed
+
+__all__ = [
+    "BoundedQueue",
+    "EventHandle",
+    "LatencyReservoir",
+    "PowerIntegrator",
+    "RngRegistry",
+    "RunMetrics",
+    "SimulationError",
+    "Simulator",
+    "ThroughputMeter",
+    "TimeSeries",
+    "derive_seed",
+    "percentile",
+]

@@ -1,0 +1,103 @@
+"""Bounded FIFO rings used as Rx/Tx queues throughout the models.
+
+DPDK receive rings on both the SNIC and the host are fixed-capacity
+descriptor rings: when a ring is full, newly arriving packets are dropped
+at the NIC. The paper's load-balancing policy (Algorithm 1) observes ring
+occupancy through ``rte_eth_rx_queue_count``; :class:`BoundedQueue`
+provides the same observable plus drop accounting.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Generic, Iterator, List, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class BoundedQueue(Generic[T]):
+    """A FIFO with fixed capacity and drop/peak statistics."""
+
+    def __init__(self, capacity: int, name: str = "queue") -> None:
+        if capacity <= 0:
+            raise ValueError(f"queue capacity must be positive (got {capacity})")
+        self.capacity = capacity
+        self.name = name
+        self._items: Deque[T] = deque()
+        self.enqueued = 0
+        self.dequeued = 0
+        self.dropped = 0
+        self.peak_occupancy = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._items)
+
+    def __repr__(self) -> str:
+        return (
+            f"BoundedQueue({self.name!r}, {len(self)}/{self.capacity},"
+            f" dropped={self.dropped})"
+        )
+
+    @property
+    def occupancy(self) -> int:
+        """Current number of queued items (``rte_eth_rx_queue_count``)."""
+        return len(self._items)
+
+    @property
+    def free(self) -> int:
+        return self.capacity - len(self._items)
+
+    def is_empty(self) -> bool:
+        return not self._items
+
+    def is_full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    def push(self, item: T) -> bool:
+        """Enqueue; returns False (and counts a drop) if the ring is full."""
+        if len(self._items) >= self.capacity:
+            self.dropped += 1
+            return False
+        self._items.append(item)
+        self.enqueued += 1
+        if len(self._items) > self.peak_occupancy:
+            self.peak_occupancy = len(self._items)
+        return True
+
+    def push_many(self, items: List[T]) -> int:
+        """Enqueue a burst; returns how many were accepted."""
+        accepted = 0
+        for item in items:
+            if self.push(item):
+                accepted += 1
+        return accepted
+
+    def pop(self) -> Optional[T]:
+        """Dequeue the head item, or None if empty."""
+        if not self._items:
+            return None
+        self.dequeued += 1
+        return self._items.popleft()
+
+    def pop_burst(self, max_items: int) -> List[T]:
+        """Dequeue up to ``max_items`` items (``rte_eth_rx_burst``)."""
+        burst: List[T] = []
+        while self._items and len(burst) < max_items:
+            burst.append(self._items.popleft())
+        self.dequeued += len(burst)
+        return burst
+
+    def peek(self) -> Optional[T]:
+        return self._items[0] if self._items else None
+
+    def clear(self) -> None:
+        self._items.clear()
+
+    def reset_stats(self) -> None:
+        self.enqueued = 0
+        self.dequeued = 0
+        self.dropped = 0
+        self.peak_occupancy = len(self._items)

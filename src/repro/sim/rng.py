@@ -1,0 +1,38 @@
+"""Seeded random-number streams.
+
+Every stochastic component (traffic generator, RSS hashing salt, payload
+synthesis) draws from its own named stream derived from one experiment
+seed, so runs are reproducible and components are statistically
+independent of each other.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict
+
+
+def derive_seed(root_seed: int, stream: str) -> int:
+    """Derive a 64-bit child seed for ``stream`` from ``root_seed``."""
+    digest = hashlib.sha256(f"{root_seed}:{stream}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class RngRegistry:
+    """Hands out independent `random.Random` streams by name."""
+
+    def __init__(self, root_seed: int = 2024) -> None:
+        self.root_seed = root_seed
+        self._streams: Dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return the (memoised) RNG for ``name``."""
+        if name not in self._streams:
+            self._streams[name] = random.Random(derive_seed(self.root_seed, name))
+        return self._streams[name]
+
+    def reset(self) -> None:
+        """Re-seed all existing streams back to their initial state."""
+        for name in list(self._streams):
+            self._streams[name] = random.Random(derive_seed(self.root_seed, name))

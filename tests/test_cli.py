@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig8"])
+        assert args.experiment == "fig8"
+        assert args.duration == 0.25
+        assert args.seed == 2024
+        assert args.out is None
+
+    def test_overrides(self):
+        args = build_parser().parse_args(
+            ["table5", "--duration", "0.5", "--seed", "7", "--batch", "8",
+             "--functional-rate", "0.01", "--out", "x.txt"]
+        )
+        assert args.duration == 0.5
+        assert args.seed == 7
+        assert args.batch == 8
+        assert args.functional_rate == 0.01
+        assert args.out == "x.txt"
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig9" in out and "table5" in out and "validation" in out
+
+    def test_run_costs(self, capsys):
+        assert main(["costs"]) == 0
+        out = capsys.readouterr().out
+        assert "13861" in out or "13,861" in out
+
+    def test_run_table1_with_out_file(self, tmp_path, capsys):
+        target = tmp_path / "t1.txt"
+        assert main(["table1", "--out", str(target)]) == 0
+        assert "Deflate" in target.read_text()
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            main(["fig99"])
+
+    def test_fig8_quick(self, capsys):
+        assert main(["fig8", "--duration", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "hadoop" in out
+
+
+class TestArtifactMode:
+    def test_artifact_writes_results(self, tmp_path, capsys, monkeypatch):
+        import repro.exp.artifact as artifact_mod
+
+        monkeypatch.setattr(
+            artifact_mod, "DEFAULT_EXPERIMENTS", ("table1", "costs")
+        )
+        assert main(
+            ["artifact", "--results-dir", str(tmp_path), "--run-name", "t",
+             "--duration", "0.02"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "MANIFEST" in out
+        assert (tmp_path / "t" / "table1.txt").exists()
+        assert (tmp_path / "t" / "costs.txt").exists()

@@ -1,0 +1,58 @@
+"""Unit tests for the HLB cost model (§VII-C)."""
+
+import pytest
+
+from repro.core.costs import (
+    CORUNDUM_LUTS,
+    FPGA_TO_ASIC_POWER_FACTOR,
+    U280_TOTAL_LUTS,
+    HlbCostReport,
+    lbp_control_bandwidth_bps,
+)
+
+
+def test_default_matches_paper():
+    report = HlbCostReport()
+    assert report.luts == 13_861
+    assert report.added_latency_ns == 800.0
+    assert report.fpga_power_w == pytest.approx(0.1)
+
+
+def test_u280_fraction_about_one_percent():
+    report = HlbCostReport()
+    assert report.u280_lut_fraction == pytest.approx(0.011, abs=0.002)
+
+
+def test_corundum_fraction_matches_paper():
+    report = HlbCostReport()
+    assert report.corundum_lut_fraction == pytest.approx(0.167, abs=0.01)
+
+
+def test_transceiver_mac_share_about_45_percent():
+    report = HlbCostReport()
+    assert report.transceiver_mac_share == pytest.approx(0.456, abs=0.01)
+
+
+def test_asic_power_14x_lower():
+    report = HlbCostReport()
+    assert report.asic_power_w == pytest.approx(0.1 / FPGA_TO_ASIC_POWER_FACTOR)
+
+
+def test_hlb_logic_latency():
+    report = HlbCostReport()
+    assert report.hlb_logic_latency_ns == pytest.approx(435.0)
+
+
+def test_lbp_bandwidth_negligible():
+    bw = lbp_control_bandwidth_bps(period_s=200e-6, message_bytes=64)
+    assert bw == pytest.approx(2.56e6)
+    assert bw / 100e9 < 1e-4  # well under 0.01% of line rate
+
+
+def test_lbp_bandwidth_validation():
+    with pytest.raises(ValueError):
+        lbp_control_bandwidth_bps(period_s=0.0)
+
+
+def test_constants_sane():
+    assert U280_TOTAL_LUTS > CORUNDUM_LUTS > 13_861

@@ -1,0 +1,51 @@
+"""Tests for the offline profiler and profiled-HAL construction."""
+
+import pytest
+
+from repro.core.profiler import build_profiled_hal, characterize_function
+from repro.exp.server import RunConfig
+from repro.hw.profiles import get_profile
+from repro.net.traffic import ConstantRateGenerator, TrafficSpec
+
+FAST = RunConfig(duration_s=0.04)
+
+
+class TestCharacterize:
+    def test_nat_characterization(self):
+        ch = characterize_function("nat", FAST, sweep_points=4)
+        paper = get_profile("nat")
+        assert ch.function == "nat"
+        assert ch.base_p99_us > 0
+        # SLO near the paper's 41 and below the measured max
+        assert 30.0 < ch.slo_gbps < 47.0
+        assert ch.slo_gbps <= ch.max_gbps * 1.05
+        assert len(ch.points) == 4
+
+    def test_recommended_threshold_below_slo(self):
+        ch = characterize_function("nat", FAST, sweep_points=3)
+        assert ch.recommended_threshold_gbps < ch.slo_gbps
+
+    def test_summary_mentions_numbers(self):
+        ch = characterize_function("count", FAST, sweep_points=3)
+        text = ch.summary()
+        assert "count" in text and "Fwd_Th" in text
+
+    def test_sweep_points_monotone_rates(self):
+        ch = characterize_function("nat", FAST, sweep_points=5)
+        rates = [p.rate_gbps for p in ch.points]
+        assert rates == sorted(rates)
+
+
+class TestBuildProfiledHal:
+    def test_profiled_hal_runs_clean(self):
+        system, ch = build_profiled_hal("nat", FAST)
+        generator = ConstantRateGenerator(
+            system.plan, TrafficSpec(batch=16), system.rng, 80.0
+        )
+        m = system.run(generator, 0.05)
+        assert m.throughput_gbps == pytest.approx(80.0, rel=0.03)
+        assert m.drop_rate < 0.02
+        # the initial threshold came from the characterization
+        assert system.initial_threshold_gbps == pytest.approx(
+            ch.recommended_threshold_gbps
+        )

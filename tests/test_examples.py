@@ -1,0 +1,82 @@
+"""Smoke tests: every example script runs end to end.
+
+Each example module is imported and executed with its duration knobs
+shrunk, so the suite verifies the public API the examples demonstrate
+without paying their full demo runtimes.
+"""
+
+import importlib
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+@pytest.fixture(autouse=True)
+def _examples_on_path(monkeypatch):
+    monkeypatch.syspath_prepend(str(EXAMPLES_DIR))
+    yield
+    for name in list(sys.modules):
+        if name in {
+            "quickstart",
+            "network_functions_tour",
+            "stateful_cxl",
+            "datacenter_traces",
+            "policy_playground",
+            "slb_pitfalls",
+        }:
+            del sys.modules[name]
+
+
+def load(name):
+    return importlib.import_module(name)
+
+
+def test_quickstart(capsys):
+    module = load("quickstart")
+    module.DURATION_S = 0.03
+    module.main()
+    out = capsys.readouterr().out
+    assert "hal" in out and "snic" in out and "host" in out
+
+
+def test_network_functions_tour(capsys):
+    module = load("network_functions_tour")
+    module.main()
+    out = capsys.readouterr().out
+    assert "NAT" in out and "restored OK" in out and "sign+verify ok: True" in out
+
+
+def test_stateful_cxl(capsys):
+    module = load("stateful_cxl")
+    module.DURATION_S = 0.03
+    module.main()
+    out = capsys.readouterr().out
+    assert "cxl" in out and "pcie" in out
+
+
+def test_datacenter_traces(capsys):
+    module = load("datacenter_traces")
+    module.DURATION_S = 0.1
+    module.main()
+    out = capsys.readouterr().out
+    assert "hadoop" in out and "HAL vs host EE" in out
+
+
+def test_policy_playground(capsys):
+    module = load("policy_playground")
+    module.PHASES = ((10.0, 0.01), (60.0, 0.02))
+    module.main()
+    out = capsys.readouterr().out
+    assert "Fwd_Th" in out and "final threshold" in out
+
+
+def test_slb_pitfalls(capsys):
+    module = load("slb_pitfalls")
+    module.DURATION_S = 0.03
+    module.THRESHOLDS = (20.0, 60.0)
+    module.main()
+    out = capsys.readouterr().out
+    assert "slb-1core" in out and "hal" in out

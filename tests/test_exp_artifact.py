@@ -1,0 +1,50 @@
+"""Tests for the artifact-style batch runner."""
+
+import os
+
+import pytest
+
+from repro.exp.artifact import load_result_text, run_all
+from repro.exp.server import RunConfig
+
+FAST = RunConfig(duration_s=0.03)
+
+
+def test_run_all_writes_per_experiment_files(tmp_path):
+    run = run_all(
+        "unit", results_dir=str(tmp_path), experiments=("table1", "costs"),
+        config=FAST,
+    )
+    assert set(run.results) == {"table1", "costs"}
+    for name in ("table1", "costs"):
+        path = os.path.join(run.run_dir, f"{name}.txt")
+        assert os.path.exists(path)
+        assert name in load_result_text(run, name)
+
+
+def test_manifest_written(tmp_path):
+    run = run_all(
+        "unit", results_dir=str(tmp_path), experiments=("table1",), config=FAST
+    )
+    manifest = open(os.path.join(run.run_dir, "MANIFEST.txt")).read()
+    assert "run: unit" in manifest
+    assert "table1" in manifest
+
+
+def test_unknown_experiment_rejected(tmp_path):
+    with pytest.raises(KeyError):
+        run_all("unit", results_dir=str(tmp_path), experiments=("fig99",))
+
+
+def test_wall_times_recorded(tmp_path):
+    run = run_all(
+        "unit", results_dir=str(tmp_path), experiments=("costs",), config=FAST
+    )
+    assert run.wall_times_s["costs"] >= 0.0
+
+
+def test_default_set_is_known():
+    from repro.exp.artifact import DEFAULT_EXPERIMENTS
+    from repro.exp.experiments import available_experiments
+
+    assert set(DEFAULT_EXPERIMENTS) <= set(available_experiments())

@@ -1,0 +1,89 @@
+"""Fast smoke+shape tests for the per-figure experiment modules,
+running each on a reduced function/rate subset."""
+
+import pytest
+
+from repro.exp import fig2, fig3, fig4, fig5, fig9, fig10, smallpkt, table2, table5
+from repro.exp.server import RunConfig
+
+FAST = RunConfig(duration_s=0.04)
+
+
+class TestFig2:
+    def test_subset_shapes(self):
+        result = fig2.run(FAST, functions=("nat", "compress"))
+        rows = {row["function"]: row for row in result.rows}
+        assert rows["nat"]["tp_ratio"] < 0.6
+        assert rows["compress"]["tp_ratio"] > 1.2
+        assert rows["nat"]["p99_ratio"] > 1.0  # SNIC slower at its max point
+
+
+class TestFig3:
+    def test_subset_shapes(self):
+        result = fig3.run(FAST, functions=("nat", "count"))
+        for row in result.rows:
+            assert row["snic_power_w"] < row["host_power_w"]
+            assert row["power_ratio"] < 1.0
+
+
+class TestFig4:
+    def test_subset_shapes(self):
+        result = fig4.run(FAST, functions=("nat",), rates=(20.0, 60.0))
+        grid = {(r["system"], r["offered_gbps"]): r for r in result.rows}
+        assert grid[("snic", 60.0)]["drop_rate"] > 0.2
+        assert grid[("host", 60.0)]["drop_rate"] < 0.01
+
+
+class TestFig5:
+    def test_subset_shapes(self):
+        result = fig5.run(FAST, thresholds=(20.0,), core_counts=(4,))
+        assert result.rows[0]["tp_gbps"] > 70.0
+
+
+class TestFig9:
+    def test_subset_shapes(self):
+        result = fig9.run(
+            FAST, functions=("nat",), rates=(20.0, 80.0), systems=("snic", "hal")
+        )
+        grid = {(r["system"], r["offered_gbps"]): r for r in result.rows}
+        assert grid[("hal", 80.0)]["tp_gbps"] > 78.0
+        assert grid[("snic", 80.0)]["tp_gbps"] < 45.0
+        assert grid[("hal", 80.0)]["snic_share"] < 1.0
+
+
+class TestFig10:
+    def test_subset_shapes(self):
+        result = fig10.run(FAST, functions=("bm25", "count"))
+        rows = {row["function"]: row for row in result.rows}
+        assert rows["bm25"]["tp_ratio"] < 0.75
+        assert rows["count"]["tp_ratio"] > 0.9
+
+
+class TestTable2:
+    def test_subset_shapes(self):
+        result = table2.run(FAST, functions=("nat",))
+        row = result.rows[0]
+        assert row["slo_gbps"] == pytest.approx(row["paper_slo_gbps"], rel=0.25)
+        assert row["ee_ratio"] > 1.1
+
+
+class TestTable5:
+    def test_subset_and_summary(self):
+        result = table5.run(
+            RunConfig(duration_s=0.2),
+            traces=("hadoop",),
+            workloads=("nat",),
+            systems=("snic", "host", "hal"),
+        )
+        assert len(result.rows) == 3
+        summary = table5.summarize(result)
+        assert len(summary.rows) == 1
+        assert summary.rows[0]["hal_ee_vs_host"] > 1.1
+
+
+class TestSmallPkt:
+    def test_shapes(self):
+        result = smallpkt.run(RunConfig(duration_s=0.02))
+        rows = {(r["packet_bytes"], r["system"]): r for r in result.rows}
+        assert rows[(64, "snic")]["max_gbps"] < rows[(64, "host")]["max_gbps"] * 0.6
+        assert rows[(64, "snic")]["max_mpps"] < rows[(1500, "snic")]["max_gbps"] * 100

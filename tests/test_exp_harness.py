@@ -1,0 +1,140 @@
+"""Tests for the experiment harness: server builders, sweeps, registry."""
+
+import pytest
+
+from repro.exp.experiments import available_experiments, run_experiment
+from repro.exp.server import (
+    RunConfig,
+    auto_batch,
+    build_system,
+    run_at_rate,
+    run_trace,
+)
+from repro.exp.sweeps import (
+    find_max_throughput,
+    find_slo_throughput,
+    geometric_rates,
+    rate_sweep,
+)
+
+FAST = RunConfig(duration_s=0.04)
+
+
+class TestAutoBatch:
+    def test_low_rate_full_fidelity(self):
+        assert auto_batch(0.1) == 1
+
+    def test_high_rate_capped(self):
+        assert auto_batch(100.0) == 32
+
+    def test_mid_rate_scales(self):
+        assert 1 <= auto_batch(5.0) <= 8
+
+    def test_spec_uses_rate(self):
+        config = RunConfig()
+        assert config.spec(0.1).batch == 1
+        assert config.spec(100.0).batch == 32
+
+    def test_explicit_batch_wins(self):
+        config = RunConfig(batch=4)
+        assert config.spec(100.0).batch == 4
+
+
+class TestBuildSystem:
+    @pytest.mark.parametrize("kind", ["host", "snic", "hal", "slb", "host-slb"])
+    def test_all_kinds_build(self, kind):
+        system = build_system(kind, "nat", FAST)
+        assert system.kind in (kind, "platform")
+
+    @pytest.mark.parametrize("kind", ["bf2", "bf3", "skylake", "spr"])
+    def test_platform_kinds(self, kind):
+        assert build_system(kind, "count", FAST).kind == "platform"
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            build_system("tpu", "nat", FAST)
+
+
+class TestRunHelpers:
+    def test_run_at_rate_delivers(self):
+        m = run_at_rate("snic", "nat", 10.0, FAST)
+        assert m.throughput_gbps == pytest.approx(10.0, rel=0.1)
+        assert m.offered_gbps == 10.0
+
+    def test_run_trace_known_traces(self):
+        m = run_trace("snic", "nat", "web", FAST)
+        assert m.delivered_packets > 0
+        assert "max_window_gbps" in m.extras
+
+    def test_run_trace_unknown(self):
+        with pytest.raises(ValueError):
+            run_trace("snic", "nat", "netflix", FAST)
+
+    def test_seed_reproducibility(self):
+        a = run_at_rate("hal", "nat", 60.0, RunConfig(duration_s=0.05, seed=7))
+        b = run_at_rate("hal", "nat", 60.0, RunConfig(duration_s=0.05, seed=7))
+        assert a.throughput_gbps == b.throughput_gbps
+        assert a.p99_latency_us == b.p99_latency_us
+        assert a.average_power_w == b.average_power_w
+
+
+class TestSweeps:
+    def test_geometric_rates(self):
+        rates = geometric_rates(1.0, 100.0, 5)
+        assert rates[0] == pytest.approx(1.0)
+        assert rates[-1] == pytest.approx(100.0)
+        ratios = [b / a for a, b in zip(rates, rates[1:])]
+        assert all(r == pytest.approx(ratios[0]) for r in ratios)
+
+    def test_geometric_rates_validation(self):
+        with pytest.raises(ValueError):
+            geometric_rates(10.0, 1.0, 5)
+        with pytest.raises(ValueError):
+            geometric_rates(1.0, 10.0, 1)
+
+    def test_rate_sweep_returns_points(self):
+        points = rate_sweep("snic", "nat", [5.0, 20.0], FAST)
+        assert [p.rate_gbps for p in points] == [5.0, 20.0]
+        assert all(p.metrics.delivered_packets > 0 for p in points)
+
+    def test_find_max_throughput_snic_nat(self):
+        rate, metrics = find_max_throughput("snic", "nat", FAST, iterations=5)
+        assert 35.0 < rate < 46.0
+        assert metrics.drop_rate <= 0.01
+
+    def test_find_max_throughput_line_rate_function(self):
+        rate, _ = find_max_throughput("host", "count", FAST, iterations=4)
+        assert rate >= 95.0
+
+    def test_find_slo_throughput_nat(self):
+        slo, metrics = find_slo_throughput("nat", config=FAST, iterations=5)
+        assert 30.0 < slo < 46.0  # paper: 41
+
+    def test_find_slo_throughput_low_capacity(self):
+        slo, _ = find_slo_throughput("bayes", config=FAST, iterations=5)
+        assert slo < 0.2  # paper: 0.1
+
+
+class TestExperimentRegistry:
+    def test_all_listed(self):
+        names = available_experiments()
+        for expected in ("fig2", "fig5", "fig9", "table2", "table5", "costs"):
+            assert expected in names
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99", FAST)
+
+    def test_costs_runs_instantly(self):
+        result = run_experiment("costs", FAST)
+        assert result.rows
+
+    def test_table1_runs(self):
+        result = run_experiment("table1", FAST)
+        assert len(result.rows) == 23
+
+    def test_fig8_runs(self):
+        result = run_experiment("fig8", FAST)
+        assert len(result.rows) == 3
+        for row in result.rows:
+            assert row["avg_gbps"] == pytest.approx(row["paper_avg_gbps"], rel=0.35)

@@ -1,0 +1,74 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.exp.plots import ascii_chart, chart_experiment
+from repro.exp.report import ExperimentResult
+
+
+class TestAsciiChart:
+    def test_renders_all_series_glyphs(self):
+        chart = ascii_chart(
+            {"a": [(0, 0), (1, 1)], "b": [(0, 1), (1, 0)]}, width=20, height=6
+        )
+        assert "*" in chart and "o" in chart
+        assert "*=a" in chart and "o=b" in chart
+
+    def test_axis_ranges_reported(self):
+        chart = ascii_chart({"s": [(5, 10), (15, 30)]}, width=20, height=6)
+        assert "5" in chart and "15" in chart
+        assert "10" in chart and "30" in chart
+
+    def test_flat_series_handled(self):
+        chart = ascii_chart({"s": [(0, 7), (1, 7)]}, width=20, height=6)
+        assert "7" in chart
+
+    def test_empty(self):
+        assert "(no data)" in ascii_chart({}, title="t")
+        assert "(no data)" in ascii_chart({"s": []})
+
+    def test_canvas_bounds(self):
+        with pytest.raises(ValueError):
+            ascii_chart({"s": [(0, 0)]}, width=5, height=6)
+
+    def test_points_land_on_canvas_corners(self):
+        chart = ascii_chart({"s": [(0, 0), (10, 10)]}, width=20, height=6)
+        rows = [line for line in chart.splitlines() if line.startswith("|")]
+        assert rows[0].rstrip().endswith("*")   # max y at right edge
+        assert rows[-1][1] == "*"               # min y at left edge
+
+
+class TestChartExperiment:
+    def make_result(self):
+        result = ExperimentResult(
+            experiment="figX",
+            title="t",
+            columns=("function", "system", "offered_gbps", "tp_gbps"),
+        )
+        for function in ("nat", "rem"):
+            for system in ("snic", "hal"):
+                for rate in (10.0, 50.0):
+                    result.add_row(
+                        function=function, system=system,
+                        offered_gbps=rate,
+                        tp_gbps=rate if system == "hal" else min(rate, 40.0),
+                    )
+        return result
+
+    def test_one_chart_per_function(self):
+        text = chart_experiment(self.make_result(), "offered_gbps", "tp_gbps")
+        assert "[nat]" in text and "[rem]" in text
+        assert "*=snic" in text or "*=hal" in text
+
+    def test_unknown_column(self):
+        with pytest.raises(KeyError):
+            chart_experiment(self.make_result(), "offered_gbps", "bogus")
+
+    def test_missing_values_skipped(self):
+        result = ExperimentResult(
+            experiment="e", title="t",
+            columns=("function", "system", "offered_gbps", "tp_gbps"),
+        )
+        result.add_row(function="nat", system="snic", offered_gbps=1.0)
+        text = chart_experiment(result, "offered_gbps", "tp_gbps")
+        assert "(no data)" in text

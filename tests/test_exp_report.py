@@ -1,0 +1,91 @@
+"""Unit tests for experiment result containers and formatting."""
+
+import pytest
+
+from repro.exp.report import ExperimentResult, format_cell, ratio_note
+
+
+class TestFormatCell:
+    def test_none(self):
+        assert format_cell(None) == "-"
+
+    def test_float_precision(self):
+        assert format_cell(3.14159) == "3.14"
+        assert format_cell(3.14159, precision=3) == "3.142"
+
+    def test_large_numbers_grouped(self):
+        assert format_cell(12345.6) == "12,346"
+
+    def test_tiny_numbers_extended(self):
+        assert format_cell(0.0042) == "0.0042"
+
+    def test_zero(self):
+        assert format_cell(0.0) == "0"
+
+    def test_string_passthrough(self):
+        assert format_cell("snic") == "snic"
+
+    def test_bool(self):
+        assert format_cell(True) == "yes"
+
+
+class TestExperimentResult:
+    def make(self):
+        return ExperimentResult(
+            experiment="figX",
+            title="Test figure",
+            columns=("function", "tp_gbps", "p99_us"),
+        )
+
+    def test_add_row_and_column(self):
+        result = self.make()
+        result.add_row(function="nat", tp_gbps=41.5, p99_us=30.0)
+        result.add_row(function="rem", tp_gbps=43.0, p99_us=26.0)
+        assert result.column("tp_gbps") == [41.5, 43.0]
+
+    def test_unknown_cell_rejected(self):
+        result = self.make()
+        with pytest.raises(KeyError):
+            result.add_row(function="nat", bogus=1)
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(KeyError):
+            self.make().column("bogus")
+
+    def test_missing_cells_render_dash(self):
+        result = self.make()
+        result.add_row(function="nat")
+        assert "-" in result.to_text()
+
+    def test_to_text_contains_everything(self):
+        result = self.make()
+        result.add_row(function="nat", tp_gbps=41.5, p99_us=30.0)
+        result.add_note("calibration note")
+        text = result.to_text()
+        assert "figX" in text
+        assert "Test figure" in text
+        assert "nat" in text
+        assert "41.50" in text
+        assert "note: calibration note" in text
+
+    def test_str_same_as_to_text(self):
+        result = self.make()
+        result.add_row(function="x", tp_gbps=1.0, p99_us=2.0)
+        assert str(result) == result.to_text()
+
+    def test_empty_table_renders(self):
+        assert "figX" in self.make().to_text()
+
+
+class TestRatioNote:
+    def test_within_tolerance(self):
+        note = ratio_note("EE", 1.30, 1.31, tolerance=0.1)
+        assert "within" in note
+
+    def test_outside_tolerance(self):
+        note = ratio_note("EE", 2.0, 1.0, tolerance=0.1)
+        assert "OUTSIDE" in note
+
+    def test_no_tolerance(self):
+        note = ratio_note("EE", 1.3, 1.31)
+        assert "1.30" in note and "1.31" in note

@@ -1,0 +1,81 @@
+"""Unit tests for the SNIC DVFS model (§VIII)."""
+
+import pytest
+
+from repro.hw.dvfs import (
+    DEFAULT_LADDER,
+    DvfsGovernor,
+    FrequencyState,
+    estimate_system_savings,
+)
+from repro.hw.profiles import get_profile
+
+
+class TestFrequencyState:
+    def test_power_cubic(self):
+        assert FrequencyState("half", 0.5).power_factor == pytest.approx(0.125)
+        assert FrequencyState("nominal", 1.0).power_factor == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FrequencyState("bogus", 1.5)
+        with pytest.raises(ValueError):
+            FrequencyState("bogus", 0.0)
+
+
+class TestGovernor:
+    def test_picks_lowest_sufficient_state(self):
+        governor = DvfsGovernor()
+        state = governor.select(offered_gbps=10.0, nominal_capacity_gbps=40.0)
+        # 10*1.15 = 11.5 <= 0.6*40 = 24 -> low state
+        assert state.name == "low"
+
+    def test_nominal_for_heavy_load(self):
+        governor = DvfsGovernor()
+        state = governor.select(offered_gbps=35.0, nominal_capacity_gbps=40.0)
+        assert state.name == "nominal"
+
+    def test_transitions_counted(self):
+        governor = DvfsGovernor()
+        governor.select(5.0, 40.0)
+        governor.select(35.0, 40.0)
+        governor.select(35.0, 40.0)  # no change
+        assert governor.transitions == 2  # nominal -> low -> nominal
+
+    def test_ladder_must_include_nominal(self):
+        with pytest.raises(ValueError):
+            DvfsGovernor(ladder=(FrequencyState("low", 0.5),))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DvfsGovernor(ladder=())
+        with pytest.raises(ValueError):
+            DvfsGovernor(headroom=0.5)
+        with pytest.raises(ValueError):
+            DvfsGovernor().select(10.0, 0.0)
+
+
+class TestSystemSavings:
+    @pytest.mark.parametrize("function", ["nat", "count", "rem", "crypto"])
+    @pytest.mark.parametrize("utilization", [0.1, 0.3, 0.6, 0.9])
+    def test_savings_bounded_by_paper_estimate(self, function, utilization):
+        """§VIII: DVFS saves at most ~2% of system power."""
+        profile = get_profile(function).snic
+        saved_w, fraction = estimate_system_savings(profile, utilization)
+        assert saved_w >= 0.0
+        assert fraction <= 0.02
+
+    def test_zero_utilization_saves_nothing(self):
+        profile = get_profile("nat").snic
+        saved_w, fraction = estimate_system_savings(profile, 0.0)
+        assert saved_w == 0.0
+        assert fraction == 0.0
+
+    def test_full_utilization_cannot_downclock(self):
+        profile = get_profile("nat").snic
+        saved_w, _ = estimate_system_savings(profile, 1.0)
+        assert saved_w == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_system_savings(get_profile("nat").snic, 1.5)

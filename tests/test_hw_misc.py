@@ -1,0 +1,168 @@
+"""Unit tests for interconnects, CXL emulation, DPDK shims, Table I."""
+
+import pytest
+
+from repro.hw.capabilities import (
+    TABLE1,
+    host_accelerates,
+    isa_only_functions,
+    qat_functions,
+    support_matrix,
+)
+from repro.hw.cxl import (
+    NumaEmulation,
+    make_cxl_state_domain,
+    make_pcie_state_domain,
+    stateful_cooperation_viable,
+)
+from repro.hw.dpdk import (
+    ThroughputEstimator,
+    enable_power_management,
+    rte_eth_rx_queue_count,
+    rx_queue_max_occupancy,
+)
+from repro.hw.host import SKYLAKE_SERVER, make_host_engine
+from repro.hw.pcie import (
+    OFFCHIP_PCIE,
+    ONCHIP_PCIE,
+    UPI_HOP,
+    Interconnect,
+    host_delivery_latency_s,
+    snic_delivery_latency_s,
+)
+from repro.hw.snic import BLUEFIELD2, BLUEFIELD3, make_snic_engine, uses_accelerator
+from repro.net.addressing import AddressPlan
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+
+PLAN = AddressPlan.default()
+
+
+class TestInterconnects:
+    def test_host_delivery_slower_than_snic(self):
+        # §III-A: ~0.3us difference between SNIC and host packet delivery
+        delta = host_delivery_latency_s() - snic_delivery_latency_s()
+        assert 0.1e-6 < delta < 0.5e-6
+
+    def test_remote_socket_adds_upi_hop(self):
+        delta = host_delivery_latency_s(remote_socket=True) - host_delivery_latency_s()
+        assert delta == pytest.approx(UPI_HOP.latency_s)
+
+    def test_transfer_time_includes_serialization(self):
+        t = ONCHIP_PCIE.transfer_time_s(1500)
+        assert t > ONCHIP_PCIE.latency_s
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Interconnect("bad", latency_s=-1.0, bandwidth_gbps=1.0)
+        with pytest.raises(ValueError):
+            Interconnect("bad", latency_s=0.0, bandwidth_gbps=0.0)
+        with pytest.raises(ValueError):
+            OFFCHIP_PCIE.transfer_time_s(-1)
+
+
+class TestCxlEmulation:
+    def test_cxl_domain_coherent(self):
+        assert stateful_cooperation_viable(make_cxl_state_domain())
+
+    def test_pcie_domain_not_viable(self):
+        assert not stateful_cooperation_viable(make_pcie_state_domain())
+
+    def test_numa_emulation_frequency_ratio(self):
+        numa = NumaEmulation()
+        # host at 2.2 GHz vs SNIC node capped at 800 MHz
+        assert numa.frequency_ratio == pytest.approx(2.75)
+        assert "mcf" in numa.calibration_note
+
+
+class TestDpdkShims:
+    def _engine(self, sim):
+        return make_snic_engine(sim, "nat")
+
+    def test_rx_queue_count_bounds(self):
+        sim = Simulator()
+        engine = self._engine(sim)
+        assert rte_eth_rx_queue_count(engine, 0) == 0
+        with pytest.raises(ValueError):
+            rte_eth_rx_queue_count(engine, 99)
+
+    def test_max_occupancy(self):
+        sim = Simulator()
+        engine = self._engine(sim)
+        for i in range(20):
+            engine.receive(Packet(src=PLAN.client, dst=PLAN.snic, flow_id=i))
+        assert rx_queue_max_occupancy(engine) >= 1
+
+    def test_throughput_estimator_windows(self):
+        sim = Simulator()
+        engine = self._engine(sim)
+        est = ThroughputEstimator(engine)
+        est.sample(0.0)
+        engine.delivered_bits = 1_000_000_000
+        assert est.sample(1.0) == pytest.approx(1.0)
+        # second sample over an empty window
+        assert est.sample(2.0) == 0.0
+
+    def test_enable_power_management(self):
+        sim = Simulator()
+        engine = make_host_engine(sim, "nat")
+        assert not engine.sleep_enabled
+        enable_power_management(engine, wake_latency_s=50e-6)
+        assert engine.sleep_enabled
+        assert engine.sleeping
+        assert engine.wake_latency_s == 50e-6
+
+
+class TestDescriptors:
+    def test_bluefield2_matches_paper(self):
+        assert BLUEFIELD2.cpu_cores == 8
+        assert BLUEFIELD2.line_rate_gbps == 100.0
+        assert BLUEFIELD2.idle_power_w == 29.0
+        assert set(BLUEFIELD2.accelerators) == {"rem", "crypto", "compress"}
+
+    def test_bluefield3_scaled(self):
+        assert BLUEFIELD3.cpu_cores == 2 * BLUEFIELD2.cpu_cores
+        assert BLUEFIELD3.line_rate_gbps == 200.0
+
+    def test_skylake_server(self):
+        assert SKYLAKE_SERVER.idle_power_w == 194.0
+        assert "qat" in SKYLAKE_SERVER.accelerators
+
+    def test_uses_accelerator(self):
+        assert uses_accelerator("rem")
+        assert not uses_accelerator("nat")
+
+    def test_engine_factories_reject_unknown_generation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            make_snic_engine(sim, "nat", generation="bf9")
+        with pytest.raises(ValueError):
+            make_host_engine(sim, "nat", generation="pentium")
+
+
+class TestTable1:
+    def test_23_rows(self):
+        assert len(TABLE1) == 23
+
+    def test_all_isa_supported(self):
+        # Table I: every listed function has an ISA-extension path
+        assert all(entry.isa for entry in TABLE1)
+
+    def test_qat_subset(self):
+        assert set(qat_functions()) <= {e.function for e in TABLE1}
+        assert "RSA" in qat_functions()
+        assert "MD5" not in qat_functions()
+
+    def test_isa_only(self):
+        assert "Whirlpool" in isa_only_functions()
+        assert "SHA" not in isa_only_functions()
+
+    def test_registry_acceleration(self):
+        assert host_accelerates("crypto")
+        assert host_accelerates("compress")
+        assert not host_accelerates("nat")
+
+    def test_support_matrix_lookup(self):
+        matrix = support_matrix()
+        assert matrix["Deflate"].qat
+        assert matrix["Deflate"].host_accelerated

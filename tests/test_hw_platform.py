@@ -1,0 +1,313 @@
+"""Unit tests for the processing-engine queueing model."""
+
+import pytest
+
+from repro.hw.platform import PacketRing, ProcessingEngine
+from repro.hw.profiles import EngineProfile
+from repro.net.addressing import AddressPlan
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+from repro.sim.metrics import RunMetrics
+
+PLAN = AddressPlan.default()
+
+
+def profile(**overrides):
+    base = dict(
+        name="engine",
+        capacity_gbps=8.0,   # 1 Gbps per core at 8 cores
+        cores=8,
+        scaling_exponent=1.0,
+        base_latency_us=10.0,
+        dynamic_power_w=16.0,
+        queue_capacity_packets=64,
+    )
+    base.update(overrides)
+    return EngineProfile(**base)
+
+
+def packet(size=1500, mult=1, flow=0):
+    return Packet(src=PLAN.client, dst=PLAN.snic, size_bytes=size, multiplicity=mult, flow_id=flow)
+
+
+class TestPacketRing:
+    def test_multiplicity_accounting(self):
+        ring = PacketRing(capacity_packets=10)
+        assert ring.push(packet(mult=4))
+        assert ring.occupancy_packets == 4
+        assert not ring.push(packet(mult=7))
+        assert ring.dropped_packets == 7
+        popped = ring.pop()
+        assert popped.multiplicity == 4
+        assert ring.occupancy_packets == 0
+
+    def test_pop_empty(self):
+        assert PacketRing(4).pop() is None
+
+
+class TestServiceTiming:
+    def test_single_packet_latency(self):
+        sim = Simulator()
+        done = []
+        engine = ProcessingEngine(sim, profile(), on_complete=done.append)
+        p = packet(size=1500)
+        engine.receive(p)
+        sim.run()
+        # service = 12 kbit / 1 Gbps = 12 us
+        assert sim.now == pytest.approx(12e-6)
+        assert engine.latency.mean == pytest.approx(22e-6, rel=0.01)  # + 10us base
+        assert len(done) == 1
+
+    def test_response_swaps_endpoints(self):
+        sim = Simulator()
+        done = []
+        engine = ProcessingEngine(sim, profile(), on_complete=done.append)
+        engine.receive(packet())
+        sim.run()
+        assert done[0].src == PLAN.snic
+        assert done[0].dst == PLAN.client
+
+    def test_queueing_delay_accumulates(self):
+        sim = Simulator()
+        engine = ProcessingEngine(sim, profile(cores=1, capacity_gbps=1.0))
+        for _ in range(3):
+            engine.receive(packet())
+        sim.run()
+        # three packets served back-to-back on one core at 12us each
+        assert engine.latency.max == pytest.approx(36e-6 + 10e-6, rel=0.01)
+
+    def test_throughput_capacity(self):
+        sim = Simulator()
+        engine = ProcessingEngine(sim, profile())
+        assert engine.capacity_gbps == pytest.approx(8.0)
+
+    def test_active_cores_scaling(self):
+        sim = Simulator()
+        engine = ProcessingEngine(sim, profile(scaling_exponent=0.5), active_cores=2)
+        assert engine.capacity_gbps == pytest.approx(8.0 * 0.25**0.5)
+
+    def test_active_cores_bounds(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            ProcessingEngine(sim, profile(), active_cores=9)
+
+    def test_batch_midpoint_correction(self):
+        sim = Simulator()
+        engine = ProcessingEngine(sim, profile(base_latency_us=0.0))
+        engine.receive(packet(mult=16))
+        sim.run()
+        # full batch service is 16*12us; median packet should see ~half
+        assert engine.latency.mean == pytest.approx(16 * 12e-6 / 2, rel=0.1)
+
+
+class TestDropsAndObservables:
+    def test_queue_overflow_drops(self):
+        sim = Simulator()
+        metrics = RunMetrics()
+        engine = ProcessingEngine(sim, profile(queue_capacity_packets=4, cores=1), metrics=metrics)
+        for _ in range(10):
+            engine.receive(packet())
+        # one in service + 4 queued; rest dropped
+        assert engine.dropped_packets == 5
+        assert metrics.dropped_packets == 5
+
+    def test_rx_queue_occupancy(self):
+        sim = Simulator()
+        engine = ProcessingEngine(sim, profile(cores=2))
+        for i in range(6):
+            engine.receive(packet(flow=i))
+        # round-robin dispatch: 3 per core, 1 in service each
+        assert engine.rx_queue_occupancy() == 2
+        assert engine.total_queued_packets() == 4
+
+    def test_flow_dispatch_mode(self):
+        sim = Simulator()
+        engine = ProcessingEngine(sim, profile(cores=4), dispatch="flow")
+        for _ in range(4):
+            engine.receive(packet(flow=1))
+        # all packets pinned to queue 1 -> occupancy 3 behind 1 in service
+        assert engine.rx_queue_occupancy() == 3
+
+    def test_invalid_dispatch(self):
+        with pytest.raises(ValueError):
+            ProcessingEngine(Simulator(), profile(), dispatch="zigzag")
+
+    def test_delivered_counters(self):
+        sim = Simulator()
+        engine = ProcessingEngine(sim, profile())
+        engine.receive(packet(mult=3))
+        sim.run()
+        assert engine.delivered_packets == 3
+        assert engine.delivered_bits == 3 * 1500 * 8
+
+
+class TestSleepWake:
+    def test_starts_asleep_and_wakes(self):
+        sim = Simulator()
+        engine = ProcessingEngine(
+            sim, profile(), sleep_enabled=True, wake_latency_s=30e-6
+        )
+        assert engine.sleeping
+        engine.receive(packet())
+        sim.run()
+        assert engine.wake_count == 1
+        # latency includes the wake penalty
+        assert engine.latency.mean >= 30e-6
+
+    def test_returns_to_sleep_after_idle(self):
+        sim = Simulator()
+        engine = ProcessingEngine(
+            sim, profile(), sleep_enabled=True, sleep_after_idle_s=100e-6
+        )
+        engine.receive(packet())
+        sim.run()
+        assert engine.sleeping
+
+    def test_no_sleep_when_disabled(self):
+        sim = Simulator()
+        engine = ProcessingEngine(sim, profile())
+        assert not engine.sleeping
+        engine.receive(packet())
+        sim.run()
+        assert not engine.sleeping
+
+    def test_packets_not_lost_during_wake(self):
+        sim = Simulator()
+        done = []
+        engine = ProcessingEngine(
+            sim, profile(), sleep_enabled=True, on_complete=done.append
+        )
+        for _ in range(5):
+            engine.receive(packet())
+        sim.run()
+        assert len(done) == 5
+
+
+class TestForwardStage:
+    def test_forwards_original_packet(self):
+        sim = Simulator()
+        out = []
+        engine = ProcessingEngine(sim, profile(), forward_stage=True, on_complete=out.append)
+        p = packet()
+        engine.receive(p)
+        sim.run()
+        assert out[0] is p
+        assert out[0].dst == PLAN.snic  # unchanged, no response swap
+
+    def test_backdates_created_at(self):
+        sim = Simulator()
+        out = []
+        engine = ProcessingEngine(sim, profile(base_latency_us=12.0), forward_stage=True, on_complete=out.append)
+        engine.receive(packet())
+        sim.run()
+        assert out[0].created_at == pytest.approx(-12e-6)
+
+    def test_records_no_latency(self):
+        sim = Simulator()
+        engine = ProcessingEngine(sim, profile(), forward_stage=True)
+        engine.receive(packet())
+        sim.run()
+        assert engine.latency.count == 0
+
+
+class TestOverloadLatency:
+    def test_overload_adds_latency_above_knee(self):
+        sim = Simulator()
+        prof = profile(slo_knee_gbps=2.0, overload_latency_us=500.0, cores=1, capacity_gbps=8.0)
+        engine = ProcessingEngine(sim, prof)
+        # drive the EWMA above the knee
+        engine._rate_bps_ewma = 8e9
+        assert engine._overload_latency_s() == pytest.approx(500e-6)
+
+    def test_no_overload_below_knee(self):
+        sim = Simulator()
+        prof = profile(slo_knee_gbps=4.0, overload_latency_us=500.0)
+        engine = ProcessingEngine(sim, prof)
+        engine._rate_bps_ewma = 2e9
+        assert engine._overload_latency_s() == 0.0
+
+    def test_quadratic_ramp(self):
+        sim = Simulator()
+        prof = profile(slo_knee_gbps=4.0, overload_latency_us=100.0, capacity_gbps=8.0)
+        engine = ProcessingEngine(sim, prof)
+        engine._rate_bps_ewma = 6e9  # halfway between knee and capacity
+        assert engine._overload_latency_s() == pytest.approx(25e-6)
+
+
+class TestFunctionalProcessing:
+    def test_sampled_fraction_runs_nf(self):
+        from repro.nf.nat import NatFunction
+
+        sim = Simulator()
+        nf = NatFunction(entries=100)
+        engine = ProcessingEngine(sim, profile(), nf=nf, functional_rate=0.5)
+        for _ in range(10):
+            engine.receive(packet())
+        sim.run()
+        assert nf.requests_processed == 5
+
+    def test_rate_one_processes_every_packet(self):
+        from repro.nf.count import CountFunction
+
+        sim = Simulator()
+        nf = CountFunction(batch_size=4)
+        engine = ProcessingEngine(sim, profile(), nf=nf, functional_rate=1.0)
+        engine.receive(packet(mult=8))
+        sim.run()
+        assert nf.requests_processed == 8
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            ProcessingEngine(Simulator(), profile(), functional_rate=1.5)
+
+
+class TestPerPacketOverhead:
+    def test_overhead_extends_service(self):
+        sim = Simulator()
+        prof = profile(per_packet_overhead_us=1.0, base_latency_us=0.0)
+        engine = ProcessingEngine(sim, prof)
+        engine.receive(packet(size=1500))
+        sim.run()
+        # 12 us byte time + 1 us per-packet overhead
+        assert sim.now == pytest.approx(13e-6)
+
+    def test_small_packets_pps_limited(self):
+        """At 64 B the overhead dominates: throughput collapses toward
+        1/overhead packets per second per core."""
+        sim = Simulator()
+        prof = profile(per_packet_overhead_us=0.5, base_latency_us=0.0, cores=1,
+                       capacity_gbps=1.0, queue_capacity_packets=10_000)
+        engine = ProcessingEngine(sim, prof)
+        for _ in range(1000):
+            engine.receive(packet(size=64))
+        sim.run()
+        # service = 512/1e9 + 0.5us = 1.012 us per packet
+        assert sim.now == pytest.approx(1000 * 1.012e-6, rel=0.01)
+
+    def test_overhead_scales_with_multiplicity(self):
+        sim = Simulator()
+        prof = profile(per_packet_overhead_us=1.0, base_latency_us=0.0)
+        engine = ProcessingEngine(sim, prof)
+        engine.receive(packet(size=1500, mult=4))
+        sim.run()
+        assert sim.now == pytest.approx(4 * 13e-6)
+
+    def test_negative_overhead_rejected(self):
+        with pytest.raises(ValueError):
+            profile(per_packet_overhead_us=-1.0)
+
+
+class TestStats:
+    def test_stats_keys_and_values(self):
+        sim = Simulator()
+        engine = ProcessingEngine(sim, profile(queue_capacity_packets=2, cores=1))
+        for _ in range(5):
+            engine.receive(packet())
+        sim.run()
+        stats = engine.stats()
+        assert stats["received_packets"] == 5
+        assert stats["delivered_packets"] + stats["dropped_packets"] == 5
+        assert stats["p99_latency_us"] > 0
+        assert stats["delivered_gbit"] == pytest.approx(
+            stats["delivered_packets"] * 1500 * 8 / 1e9
+        )

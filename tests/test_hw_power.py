@@ -1,0 +1,125 @@
+"""Unit tests for the system power model."""
+
+import pytest
+
+from repro.hw.platform import ProcessingEngine
+from repro.hw.power import ROLE_HOST, ROLE_SNIC, PowerConfig, PowerModel
+from repro.hw.profiles import EngineProfile
+from repro.net.addressing import AddressPlan
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+
+PLAN = AddressPlan.default()
+
+
+def profile(name="eng", power=16.0, cores=8):
+    return EngineProfile(
+        name=name,
+        capacity_gbps=8.0,
+        cores=cores,
+        scaling_exponent=1.0,
+        base_latency_us=5.0,
+        dynamic_power_w=power,
+        queue_capacity_packets=64,
+    )
+
+
+def packet():
+    return Packet(src=PLAN.client, dst=PLAN.snic)
+
+
+class TestPowerConfig:
+    def test_defaults_match_paper(self):
+        cfg = PowerConfig()
+        assert cfg.system_idle_w == 194.0
+        assert cfg.snic_idle_w == 29.0
+        assert cfg.hlb_fpga_w == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PowerConfig(system_idle_w=0.0)
+        with pytest.raises(ValueError):
+            PowerConfig(host_poll_w_per_core=-1.0)
+
+
+class TestPowerModel:
+    def test_idle_floor(self):
+        sim = Simulator()
+        model = PowerModel(sim)
+        sim.run(until=1.0)
+        assert model.average_watts() == pytest.approx(194.0)
+
+    def test_host_polling_power_counted_when_awake(self):
+        sim = Simulator()
+        model = PowerModel(sim)
+        engine = ProcessingEngine(sim, profile())
+        model.track(engine, ROLE_HOST)
+        sim.run(until=1.0)
+        # idle + 8 cores * 6 W polling
+        assert model.average_watts() == pytest.approx(194.0 + 48.0)
+
+    def test_sleeping_host_adds_nothing(self):
+        sim = Simulator()
+        model = PowerModel(sim)
+        engine = ProcessingEngine(sim, profile(), sleep_enabled=True)
+        model.track(engine, ROLE_HOST)
+        sim.run(until=1.0)
+        assert model.average_watts() == pytest.approx(194.0)
+
+    def test_snic_engine_no_polling_power(self):
+        sim = Simulator()
+        model = PowerModel(sim)
+        engine = ProcessingEngine(sim, profile())
+        model.track(engine, ROLE_SNIC)
+        sim.run(until=1.0)
+        assert model.average_watts() == pytest.approx(194.0)
+
+    def test_dynamic_power_scales_with_utilization(self):
+        sim = Simulator()
+        model = PowerModel(sim)
+        engine = ProcessingEngine(sim, profile(power=16.0))
+        model.track(engine, ROLE_SNIC)
+        # keep exactly one of eight cores busy forever
+        stop = sim.every(
+            10e-6, lambda: engine.receive(packet())
+        )  # 1500B at 1Gbps/core = 12us service > 10us period: core 0 saturates
+        sim.run(until=0.5)
+        stop()
+        snic_watts, _ = model.snic_host_split()
+        assert snic_watts > 0.0
+
+    def test_constant_component(self):
+        sim = Simulator()
+        model = PowerModel(sim)
+        model.set_constant("hlb", 0.1)
+        sim.run(until=2.0)
+        assert model.breakdown()["hlb"] == pytest.approx(0.1)
+
+    def test_duplicate_tracking_rejected(self):
+        sim = Simulator()
+        model = PowerModel(sim)
+        engine = ProcessingEngine(sim, profile())
+        model.track(engine, ROLE_HOST)
+        with pytest.raises(ValueError):
+            model.track(engine, ROLE_SNIC)
+
+    def test_unknown_role_rejected(self):
+        sim = Simulator()
+        model = PowerModel(sim)
+        engine = ProcessingEngine(sim, profile())
+        with pytest.raises(ValueError):
+            model.track(engine, "gpu")
+
+    def test_dcmi_sampling(self):
+        sim = Simulator()
+        model = PowerModel(sim, PowerConfig(dcmi_sample_period_s=0.1))
+        model.start_sampling()
+        sim.run(until=1.05)
+        assert len(model.samples) == 10
+        assert all(v >= 194.0 for v in model.samples.values)
+
+    def test_breakdown_includes_idle(self):
+        sim = Simulator()
+        model = PowerModel(sim)
+        sim.run(until=1.0)
+        assert model.breakdown()["idle"] == pytest.approx(194.0)

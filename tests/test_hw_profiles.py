@@ -1,0 +1,150 @@
+"""Unit tests for calibration profiles."""
+
+import pytest
+
+from repro.hw.profiles import (
+    FIG10_FUNCTIONS,
+    FUNCTION_PROFILES,
+    LINE_RATE_GBPS,
+    SPECIAL_PROFILES,
+    EngineProfile,
+    bf3_profile,
+    get_profile,
+    spr_profile,
+)
+from repro.nf.pipeline import PIPELINE_NAMES
+from repro.nf.registry import FUNCTION_NAMES
+
+
+def make_profile(**overrides):
+    base = dict(
+        name="test",
+        capacity_gbps=10.0,
+        cores=4,
+        scaling_exponent=1.0,
+        base_latency_us=10.0,
+        dynamic_power_w=5.0,
+    )
+    base.update(overrides)
+    return EngineProfile(**base)
+
+
+class TestEngineProfile:
+    def test_capacity_with_cores_linear(self):
+        p = make_profile(scaling_exponent=1.0)
+        assert p.capacity_with_cores(2) == pytest.approx(5.0)
+        assert p.capacity_with_cores(4) == pytest.approx(10.0)
+
+    def test_capacity_sublinear_memory_bound(self):
+        p = make_profile(scaling_exponent=0.31)
+        # half the cores keep ~80% of capacity
+        assert p.capacity_with_cores(2) == pytest.approx(10.0 * 0.5**0.31, rel=1e-6)
+        assert p.capacity_with_cores(2) > 7.5
+
+    def test_capacity_core_bounds(self):
+        p = make_profile()
+        with pytest.raises(ValueError):
+            p.capacity_with_cores(0)
+        with pytest.raises(ValueError):
+            p.capacity_with_cores(5)
+
+    def test_scaled_caps_at_line_rate(self):
+        p = make_profile(capacity_gbps=80.0)
+        assert p.scaled(5.0).capacity_gbps == LINE_RATE_GBPS
+
+    def test_scaled_latency_factor(self):
+        p = make_profile(base_latency_us=10.0)
+        assert p.scaled(1.0, latency_factor=0.5).base_latency_us == 5.0
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            dict(capacity_gbps=0.0),
+            dict(cores=0),
+            dict(scaling_exponent=0.0),
+            dict(base_latency_us=-1.0),
+            dict(dynamic_power_w=-1.0),
+            dict(service_cv=5.0),
+            dict(overload_latency_us=-1.0),
+            dict(slo_knee_gbps=20.0),  # above capacity
+        ],
+    )
+    def test_validation(self, overrides):
+        with pytest.raises(ValueError):
+            make_profile(**overrides)
+
+
+class TestFunctionProfiles:
+    @pytest.mark.parametrize("name", FUNCTION_NAMES)
+    def test_every_base_function_has_profile(self, name):
+        profile = get_profile(name)
+        assert profile.snic.capacity_gbps > 0
+        assert profile.host.capacity_gbps > 0
+
+    @pytest.mark.parametrize("name", PIPELINE_NAMES)
+    def test_every_pipeline_has_profile(self, name):
+        assert get_profile(name).function == name
+
+    def test_slo_below_or_equal_snic_capacity(self):
+        for profile in FUNCTION_PROFILES.values():
+            assert profile.slo_gbps <= profile.snic.capacity_gbps * 1.01
+
+    def test_paper_ee_ratios_plausible(self):
+        for profile in FUNCTION_PROFILES.values():
+            assert 1.0 < profile.paper_snic_ee < 2.0
+
+    def test_stateful_marks_match_table_iv(self):
+        assert get_profile("kvs").stateful
+        assert get_profile("count").stateful
+        assert get_profile("ema").stateful
+        assert not get_profile("nat").stateful
+        assert not get_profile("rem").stateful
+
+    def test_compression_not_cooperative(self):
+        assert not get_profile("compress").cooperative
+        assert get_profile("nat").cooperative
+
+    def test_host_beats_snic_except_compression_and_rem_lite(self):
+        for name in FUNCTION_NAMES:
+            profile = get_profile(name)
+            if name == "compress":
+                assert profile.host.capacity_gbps < profile.snic.capacity_gbps
+            else:
+                assert profile.host.capacity_gbps > profile.snic.capacity_gbps
+
+    def test_accelerated_functions(self):
+        for name in ("rem", "crypto", "compress"):
+            assert get_profile(name).snic.accelerated
+        for name in ("nat", "count", "kvs"):
+            assert not get_profile(name).snic.accelerated
+
+    def test_specials_present(self):
+        for name in ("rem-lite", "crypto-pka", "dpdk-fwd"):
+            assert get_profile(name).function == name
+        # complex ruleset: SNIC accelerator wins big
+        lite = SPECIAL_PROFILES["rem-lite"]
+        assert lite.snic.capacity_gbps / lite.host.capacity_gbps > 10
+
+    def test_unknown_function(self):
+        with pytest.raises(KeyError):
+            get_profile("quantum")
+
+
+class TestNextGeneration:
+    @pytest.mark.parametrize("name", FIG10_FUNCTIONS)
+    def test_bf3_faster_than_bf2(self, name):
+        assert bf3_profile(name).capacity_gbps >= get_profile(name).snic.capacity_gbps
+
+    @pytest.mark.parametrize("name", FIG10_FUNCTIONS)
+    def test_spr_faster_than_skylake(self, name):
+        assert spr_profile(name).capacity_gbps >= get_profile(name).host.capacity_gbps
+
+    def test_gap_persists_for_heavy_functions(self):
+        # §VIII: SPR still wins clearly for non-line-limited functions
+        for name in ("kvs", "bm25", "bayes", "knn", "ema"):
+            assert spr_profile(name).capacity_gbps > bf3_profile(name).capacity_gbps
+
+    def test_light_functions_line_limited(self):
+        # Count/NAT saturate the 100 Gbps client on both platforms
+        assert bf3_profile("count").capacity_gbps == LINE_RATE_GBPS
+        assert spr_profile("count").capacity_gbps == LINE_RATE_GBPS

@@ -1,0 +1,54 @@
+"""Integration tests for the four pipelined workloads across systems."""
+
+import pytest
+
+from repro.exp.server import RunConfig, run_at_rate
+from repro.hw.profiles import get_profile
+from repro.nf.pipeline import PIPELINE_NAMES
+
+CFG = RunConfig(duration_s=0.05)
+
+
+@pytest.mark.parametrize("name", PIPELINE_NAMES)
+class TestPipelineWorkloads:
+    def test_profile_capacities_serialize(self, name):
+        """The composition can't be faster than either stage."""
+        profile = get_profile(name)
+        first, _, second = name.partition("+")
+        for side in ("snic", "host"):
+            pipe_cap = getattr(profile, side).capacity_gbps
+            for stage in (first, second):
+                stage_cap = getattr(get_profile(stage), side).capacity_gbps
+                assert pipe_cap <= stage_cap * 1.05, (name, side, stage)
+
+    def test_snic_saturates_below_stage_capacity(self, name):
+        profile = get_profile(name)
+        m = run_at_rate("snic", name, 80.0, CFG)
+        assert m.throughput_gbps == pytest.approx(
+            profile.snic.capacity_gbps, rel=0.12
+        )
+        assert m.drop_rate > 0.2
+
+    def test_hal_covers_the_gap(self, name):
+        hal = run_at_rate("hal", name, 80.0, CFG)
+        snic = run_at_rate("snic", name, 80.0, CFG)
+        assert hal.throughput_gbps > snic.throughput_gbps * 1.5
+        assert hal.drop_rate < 0.02
+        assert hal.p99_latency_us < snic.p99_latency_us
+
+    def test_functional_pipeline_composition(self, name):
+        """With functional processing on, both stages actually execute."""
+        from repro.core.static import SnicOnlySystem
+        from repro.net.traffic import ConstantRateGenerator, TrafficSpec
+
+        system = SnicOnlySystem(name, functional_rate=0.02)
+        generator = ConstantRateGenerator(
+            system.plan, TrafficSpec(batch=16), system.rng, 10.0
+        )
+        system.run(generator, 0.03)
+        assert system.nf.first.requests_processed > 0
+        assert system.nf.second.requests_processed > 0
+        assert (
+            system.nf.first.requests_processed
+            == system.nf.second.requests_processed
+        )

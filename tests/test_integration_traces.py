@@ -1,0 +1,88 @@
+"""Trace-driven integration tests: the Table V qualitative claims."""
+
+import pytest
+
+from repro.exp.server import RunConfig, run_trace
+
+CFG = RunConfig(duration_s=0.3, seed=11)
+
+
+@pytest.fixture(scope="module")
+def nat_grid():
+    """snic/host/hal on NAT under all three traces (computed once)."""
+    grid = {}
+    for trace in ("web", "cache", "hadoop"):
+        for kind in ("snic", "host", "hal"):
+            grid[(trace, kind)] = run_trace(kind, "nat", trace, CFG)
+    return grid
+
+
+class TestWebTrace(object):
+    def test_all_systems_deliver_average(self, nat_grid):
+        for kind in ("snic", "host", "hal"):
+            m = nat_grid[("web", kind)]
+            assert m.throughput_gbps == pytest.approx(1.6, rel=0.2)
+
+    def test_hal_matches_snic_power_at_light_load(self, nat_grid):
+        hal = nat_grid[("web", "hal")]
+        snic = nat_grid[("web", "snic")]
+        host = nat_grid[("web", "host")]
+        assert hal.average_power_w == pytest.approx(snic.average_power_w, rel=0.03)
+        assert hal.average_power_w < host.average_power_w - 30.0
+
+    def test_hal_ee_beats_host(self, nat_grid):
+        hal = nat_grid[("web", "hal")]
+        host = nat_grid[("web", "host")]
+        # paper: ~28% better EE for web on average
+        assert hal.energy_efficiency > host.energy_efficiency * 1.1
+
+
+class TestBurstyTraces(object):
+    @pytest.mark.parametrize("trace", ["cache", "hadoop"])
+    def test_snic_only_drops_bursts(self, nat_grid, trace):
+        assert nat_grid[(trace, "snic")].drop_rate > 0.2
+
+    @pytest.mark.parametrize("trace", ["cache", "hadoop"])
+    def test_hal_avoids_drops(self, nat_grid, trace):
+        assert nat_grid[(trace, "hal")].drop_rate < 0.02
+
+    @pytest.mark.parametrize("trace", ["cache", "hadoop"])
+    def test_hal_max_throughput_at_least_host(self, nat_grid, trace):
+        hal = nat_grid[(trace, "hal")].extras["max_window_gbps"]
+        host = nat_grid[(trace, "host")].extras["max_window_gbps"]
+        assert hal >= host * 0.98
+
+    @pytest.mark.parametrize("trace", ["cache", "hadoop"])
+    def test_hal_p99_far_below_snic(self, nat_grid, trace):
+        hal = nat_grid[(trace, "hal")]
+        snic = nat_grid[(trace, "snic")]
+        # paper: HAL cuts p99 by 64-94% versus SNIC-only
+        assert hal.p99_latency_us < snic.p99_latency_us * 0.45
+
+    @pytest.mark.parametrize("trace", ["cache", "hadoop"])
+    def test_hal_ee_beats_host(self, nat_grid, trace):
+        hal = nat_grid[(trace, "hal")]
+        host = nat_grid[(trace, "host")]
+        assert hal.energy_efficiency > host.energy_efficiency * 1.15
+
+
+class TestStatefulUnderTraces:
+    def test_count_hal_shares_state_coherently(self):
+        m = run_trace("hal", "count", "cache", CFG)
+        assert m.extras.get("sharing_ratio", 0.0) >= 0.0
+        assert "coherence_stall_s" in m.extras
+        assert m.drop_rate < 0.05
+
+    def test_pipeline_under_trace(self):
+        m = run_trace("hal", "nat+rem", "web", CFG)
+        assert m.throughput_gbps == pytest.approx(1.6, rel=0.25)
+        assert m.drop_rate < 0.05
+
+
+class TestSeedVariation:
+    def test_different_seeds_still_show_hal_win(self):
+        for seed in (1, 2):
+            cfg = RunConfig(duration_s=0.2, seed=seed)
+            hal = run_trace("hal", "nat", "hadoop", cfg)
+            host = run_trace("host", "nat", "hadoop", cfg)
+            assert hal.energy_efficiency > host.energy_efficiency

@@ -1,0 +1,99 @@
+"""Targeted coverage for smaller behaviours across the stack."""
+
+import pytest
+
+from repro.core.hlb import TrafficDirector
+from repro.core.lbp import LbpConfig, LoadBalancingPolicy
+from repro.exp.server import DEFAULT_CONFIG, RunConfig, measure_base_p99_us
+from repro.hw.snic import make_snic_engine
+from repro.net.addressing import AddressPlan
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+
+PLAN = AddressPlan.default()
+
+
+class TestRunConfig:
+    def test_shorter_scales_duration_only(self):
+        config = RunConfig(duration_s=0.4, seed=7)
+        short = config.shorter(0.25)
+        assert short.duration_s == pytest.approx(0.1)
+        assert short.seed == 7
+
+    def test_default_config_exists(self):
+        assert DEFAULT_CONFIG.duration_s > 0
+
+
+class TestMeasureBaseP99:
+    def test_low_rate_floor_close_to_profile_base(self):
+        floor = measure_base_p99_us(
+            "snic", "nat", RunConfig(duration_s=0.03, batch=4)
+        )
+        # profile base 22 us + delivery + small service
+        assert 20.0 < floor < 80.0
+
+    def test_host_floor_below_snic_floor(self):
+        config = RunConfig(duration_s=0.03, batch=4)
+        host = measure_base_p99_us("host", "nat", config)
+        snic = measure_base_p99_us("snic", "nat", config)
+        assert host < snic
+
+
+class TestRelativeStep:
+    def _policy(self, threshold, relative):
+        sim = Simulator()
+        engine = make_snic_engine(sim, "kvs")
+        director = TrafficDirector(sim, PLAN, fwd_threshold_gbps=threshold)
+        config = LbpConfig(
+            adaptive_step=False, relative_step=relative, step_gbps=1.0
+        )
+        return LoadBalancingPolicy(sim, engine, director, config), director
+
+    def test_small_threshold_takes_small_steps(self):
+        policy, director = self._policy(2.0, relative=True)
+        policy.set_forward_rate(snic_tp_gbps=1.9)  # near threshold, queues empty
+        step_taken = director.fwd_threshold_gbps - 2.0
+        assert 0 < step_taken < 0.2
+
+    def test_absolute_mode_takes_full_steps(self):
+        policy, director = self._policy(2.0, relative=False)
+        policy.set_forward_rate(snic_tp_gbps=1.9)
+        assert director.fwd_threshold_gbps == pytest.approx(3.0)
+
+
+class TestDirectorTokenClamp:
+    def test_lowering_threshold_clamps_stored_tokens(self):
+        sim = Simulator()
+        director = TrafficDirector(sim, PLAN, fwd_threshold_gbps=50.0)
+        director.set_threshold(0.1)
+        # stored credit cannot exceed the new bucket capacity
+        assert director._tokens_bits <= director._bucket_capacity_bits()
+
+    def test_min_bucket_admits_a_full_burst(self):
+        sim = Simulator()
+        director = TrafficDirector(sim, PLAN, fwd_threshold_gbps=0.01)
+        burst = Packet(src=PLAN.client, dst=PLAN.snic, multiplicity=32)
+        assert director.direct(burst).dst == PLAN.snic  # not starved
+
+
+class TestSnicShareBookkeeping:
+    def test_hal_share_matches_engine_split(self):
+        from repro.core.hal import HalSystem
+        from repro.net.traffic import ConstantRateGenerator, TrafficSpec
+
+        system = HalSystem("nat")
+        generator = ConstantRateGenerator(
+            system.plan, TrafficSpec(batch=16), system.rng, 80.0
+        )
+        m = system.run(generator, 0.05)
+        snic_bits = system.snic_engine.delivered_bits
+        host_bits = system.host_engine.delivered_bits
+        assert m.snic_share == pytest.approx(
+            snic_bits / (snic_bits + host_bits)
+        )
+        # conservation across the two engines
+        assert (
+            system.snic_engine.delivered_packets
+            + system.host_engine.delivered_packets
+            == m.delivered_packets
+        )

@@ -1,0 +1,76 @@
+"""Unit tests for MAC/IP parsing and the HAL address plan."""
+
+import pytest
+
+from repro.net.addressing import (
+    AddressError,
+    AddressPlan,
+    Endpoint,
+    format_ipv4,
+    format_mac,
+    parse_ipv4,
+    parse_mac,
+)
+
+
+class TestMac:
+    def test_round_trip(self):
+        text = "02:ab:cd:ef:01:99"
+        assert format_mac(parse_mac(text)) == text
+
+    def test_known_value(self):
+        assert parse_mac("00:00:00:00:00:01") == 1
+        assert parse_mac("01:00:00:00:00:00") == 1 << 40
+
+    @pytest.mark.parametrize(
+        "bad", ["", "00:00:00:00:00", "00:00:00:00:00:00:00", "zz:00:00:00:00:00", "0:00:00:00:00:00"]
+    )
+    def test_malformed(self, bad):
+        with pytest.raises(AddressError):
+            parse_mac(bad)
+
+    def test_format_out_of_range(self):
+        with pytest.raises(AddressError):
+            format_mac(1 << 48)
+
+
+class TestIpv4:
+    def test_round_trip(self):
+        assert format_ipv4(parse_ipv4("10.0.0.2")) == "10.0.0.2"
+
+    def test_known_value(self):
+        assert parse_ipv4("0.0.0.1") == 1
+        assert parse_ipv4("255.255.255.255") == (1 << 32) - 1
+
+    @pytest.mark.parametrize("bad", ["", "1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d"])
+    def test_malformed(self, bad):
+        with pytest.raises(AddressError):
+            parse_ipv4(bad)
+
+    def test_format_out_of_range(self):
+        with pytest.raises(AddressError):
+            format_ipv4(-1)
+
+
+class TestEndpoint:
+    def test_parse_and_str(self):
+        ep = Endpoint.parse("02:00:00:00:00:01", "10.0.0.1")
+        assert "10.0.0.1" in str(ep)
+        assert "02:00:00:00:00:01" in str(ep)
+
+    def test_equality_and_hash(self):
+        a = Endpoint.parse("02:00:00:00:00:01", "10.0.0.1")
+        b = Endpoint.parse("02:00:00:00:00:01", "10.0.0.1")
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestAddressPlan:
+    def test_default_distinct(self):
+        plan = AddressPlan.default()
+        assert len({plan.client, plan.snic, plan.host}) == 3
+
+    def test_duplicate_rejected(self):
+        ep = Endpoint.parse("02:00:00:00:00:01", "10.0.0.1")
+        with pytest.raises(AddressError):
+            AddressPlan(client=ep, snic=ep, host=Endpoint.parse("02:00:00:00:00:03", "10.0.0.3"))

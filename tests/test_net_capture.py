@@ -1,0 +1,115 @@
+"""Tests for the capture tap and its invariant queries."""
+
+import pytest
+
+from repro.net.addressing import AddressPlan
+from repro.net.capture import CaptureTap, CapturedPacket
+from repro.net.packet import Packet
+
+PLAN = AddressPlan.default()
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def make_tap(max_packets=100):
+    sunk = []
+    clock = FakeClock()
+    tap = CaptureTap(sunk.append, clock, max_packets=max_packets)
+    return tap, sunk, clock
+
+
+def test_passes_packets_through():
+    tap, sunk, _ = make_tap()
+    p = Packet(src=PLAN.client, dst=PLAN.snic)
+    tap(p)
+    assert sunk == [p]
+    assert tap.total_packets == 1
+
+
+def test_snapshot_is_immutable_record():
+    tap, _, clock = make_tap()
+    clock.now = 1.5
+    p = Packet(src=PLAN.client, dst=PLAN.snic, multiplicity=4)
+    tap(p)
+    record = tap.records[0]
+    assert isinstance(record, CapturedPacket)
+    assert record.time == 1.5
+    assert record.multiplicity == 4
+    # later mutation of the live packet does not alter the record
+    p.rewrite_destination(PLAN.host)
+    assert record.dst == PLAN.snic
+
+
+def test_bounded_window():
+    tap, _, _ = make_tap(max_packets=5)
+    for _ in range(10):
+        tap(Packet(src=PLAN.client, dst=PLAN.snic))
+    assert len(tap.records) == 5
+    assert tap.total_packets == 10
+
+
+def test_checksum_validity_tracked():
+    tap, _, _ = make_tap()
+    good = Packet(src=PLAN.client, dst=PLAN.snic)
+    tap(good)
+    bad = Packet(src=PLAN.client, dst=PLAN.snic)
+    bad.dst = PLAN.host  # corrupt without updating checksum
+    tap(bad)
+    assert not tap.all_checksums_valid()
+
+
+def test_single_source_illusion():
+    tap, _, _ = make_tap()
+    tap(Packet(src=PLAN.snic, dst=PLAN.client))
+    assert tap.single_source_illusion_holds(PLAN)
+    tap(Packet(src=PLAN.host, dst=PLAN.client))  # the leak HAL must prevent
+    assert not tap.single_source_illusion_holds(PLAN)
+
+
+def test_rate_measurement():
+    tap, _, clock = make_tap()
+    for i in range(11):
+        clock.now = i * 1e-3
+        tap(Packet(src=PLAN.client, dst=PLAN.snic, size_bytes=1250))
+    # 11 x 1250 B over 10 ms, measured span = 10 ms
+    assert tap.rate_gbps() == pytest.approx(11 * 1250 * 8 / 0.01 / 1e9, rel=0.01)
+
+
+def test_rate_empty():
+    tap, _, _ = make_tap()
+    assert tap.rate_gbps() == 0.0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        CaptureTap(lambda p: None, lambda: 0.0, max_packets=0)
+
+
+def test_hal_system_preserves_single_source_illusion():
+    """End to end: tap HAL's client-bound traffic and verify §V-A."""
+    from repro.core.hal import HalSystem
+    from repro.net.traffic import ConstantRateGenerator, TrafficSpec
+
+    system = HalSystem("nat")
+    tap = CaptureTap(system.client_sink, lambda: system.sim.now, name="client")
+    original_egress = system._host_egress
+
+    # interpose on both response paths
+    system.snic_engine.on_complete = tap
+    system.host_engine.on_complete = lambda pkt: tap(system.hlb.egress(pkt))
+
+    generator = ConstantRateGenerator(
+        system.plan, TrafficSpec(batch=16), system.rng, 80.0
+    )
+    system.run(generator, 0.05)
+    assert tap.total_packets > 0
+    assert tap.single_source_illusion_holds(system.plan)
+    assert tap.all_checksums_valid()
+    # both processors actually contributed responses
+    assert system.hlb.merger.merged_packets > 0

@@ -1,0 +1,91 @@
+"""Unit tests for the embedded switch (OvS data plane model)."""
+
+import pytest
+
+from repro.net.addressing import AddressPlan
+from repro.net.eswitch import EmbeddedSwitch, SwitchError
+from repro.net.packet import Packet
+
+PLAN = AddressPlan.default()
+
+
+def make_switch():
+    sw = EmbeddedSwitch()
+    received = {"snic": [], "host": []}
+    sw.attach_port("snic", received["snic"].append)
+    sw.attach_port("host", received["host"].append)
+    sw.add_rule(PLAN.snic, "snic")
+    sw.add_rule(PLAN.host, "host")
+    return sw, received
+
+
+def test_forwards_by_destination():
+    sw, received = make_switch()
+    to_snic = Packet(src=PLAN.client, dst=PLAN.snic)
+    to_host = Packet(src=PLAN.client, dst=PLAN.host)
+    assert sw.forward(to_snic)
+    assert sw.forward(to_host)
+    assert received["snic"] == [to_snic]
+    assert received["host"] == [to_host]
+
+
+def test_hal_redirection_path():
+    """A director-rewritten packet must land on the host port."""
+    sw, received = make_switch()
+    p = Packet(src=PLAN.client, dst=PLAN.snic)
+    p.rewrite_destination(PLAN.host)
+    sw.forward(p)
+    assert received["host"] == [p]
+    assert received["snic"] == []
+
+
+def test_unmatched_without_default_drops():
+    sw = EmbeddedSwitch()
+    sw.attach_port("snic", lambda p: None)
+    p = Packet(src=PLAN.client, dst=PLAN.snic, multiplicity=3)
+    assert not sw.forward(p)
+    assert sw.unmatched_drops == 3
+
+
+def test_default_port():
+    sw = EmbeddedSwitch()
+    got = []
+    sw.attach_port("snic", got.append)
+    sw.set_default("snic")
+    p = Packet(src=PLAN.client, dst=PLAN.host)
+    assert sw.forward(p)
+    assert got == [p]
+
+
+def test_lookup_without_forwarding():
+    sw, _ = make_switch()
+    assert sw.lookup(Packet(src=PLAN.client, dst=PLAN.snic)) == "snic"
+    assert sw.lookup(Packet(src=PLAN.client, dst=PLAN.client)) is None
+
+
+def test_port_stats_count_multiplicity():
+    sw, _ = make_switch()
+    sw.forward(Packet(src=PLAN.client, dst=PLAN.snic, size_bytes=100, multiplicity=5))
+    assert sw.stats["snic"].packets == 5
+    assert sw.stats["snic"].bytes == 500
+
+
+def test_remove_rule():
+    sw, _ = make_switch()
+    sw.remove_rule(PLAN.snic)
+    assert sw.rule_count() == 1
+    assert not sw.forward(Packet(src=PLAN.client, dst=PLAN.snic))
+
+
+def test_duplicate_port_rejected():
+    sw, _ = make_switch()
+    with pytest.raises(SwitchError):
+        sw.attach_port("snic", lambda p: None)
+
+
+def test_rule_to_unattached_port_rejected():
+    sw = EmbeddedSwitch()
+    with pytest.raises(SwitchError):
+        sw.add_rule(PLAN.snic, "ghost")
+    with pytest.raises(SwitchError):
+        sw.set_default("ghost")

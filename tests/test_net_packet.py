@@ -1,0 +1,137 @@
+"""Unit tests for packets, checksums, and HLB-style rewriting."""
+
+import pytest
+
+from repro.net.addressing import AddressPlan, Endpoint
+from repro.net.packet import (
+    HEADER_BYTES,
+    MTU_BYTES,
+    Packet,
+    incremental_checksum_update,
+    internet_checksum,
+)
+
+PLAN = AddressPlan.default()
+
+
+def make_packet(**kw):
+    kw.setdefault("src", PLAN.client)
+    kw.setdefault("dst", PLAN.snic)
+    return Packet(**kw)
+
+
+class TestInternetChecksum:
+    def test_known_zero(self):
+        # all-zero words checksum to 0xFFFF
+        assert internet_checksum([0, 0, 0]) == 0xFFFF
+
+    def test_ones_complement_wraps(self):
+        assert internet_checksum([0xFFFF, 0x0001]) == internet_checksum([0x0000, 0x0001])
+
+    def test_verification_property(self):
+        words = [0x4500, 0x0073, 0x0000, 0x4000, 0x4011]
+        checksum = internet_checksum(words)
+        # summing data + checksum must give the all-ones word
+        total = sum(words) + checksum
+        while total >> 16:
+            total = (total & 0xFFFF) + (total >> 16)
+        assert total == 0xFFFF
+
+    def test_word_out_of_range(self):
+        with pytest.raises(ValueError):
+            internet_checksum([0x10000])
+
+
+class TestIncrementalUpdate:
+    def test_matches_recompute(self):
+        words = [0x1234, 0xABCD, 0x0F0F]
+        checksum = internet_checksum(words)
+        words2 = [0x1234, 0x5678, 0x0F0F]
+        updated = incremental_checksum_update(checksum, 0xABCD, 0x5678)
+        assert updated == internet_checksum(words2)
+
+    def test_identity_update(self):
+        checksum = internet_checksum([0x1111, 0x2222])
+        assert incremental_checksum_update(checksum, 0x1111, 0x1111) == checksum
+
+    def test_out_of_range_checksum(self):
+        with pytest.raises(ValueError):
+            incremental_checksum_update(0x10000, 0, 0)
+
+
+class TestPacket:
+    def test_checksum_valid_at_creation(self):
+        assert make_packet().checksum_ok()
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            make_packet(size_bytes=HEADER_BYTES - 1)
+
+    def test_multiplicity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            make_packet(multiplicity=0)
+
+    def test_payload_bytes(self):
+        p = make_packet(size_bytes=MTU_BYTES)
+        assert p.payload_bytes == MTU_BYTES - HEADER_BYTES
+
+    def test_wire_bits_accounts_multiplicity(self):
+        p = make_packet(size_bytes=100, multiplicity=4)
+        assert p.wire_bits == 100 * 8 * 4
+
+    def test_unique_ids(self):
+        assert make_packet().packet_id != make_packet().packet_id
+
+    def test_corrupting_field_invalidates_checksum(self):
+        p = make_packet()
+        p.dst = PLAN.host  # manual edit without checksum maintenance
+        assert not p.checksum_ok()
+
+
+class TestRewriting:
+    def test_rewrite_destination_keeps_checksum_valid(self):
+        p = make_packet()
+        p.rewrite_destination(PLAN.host)
+        assert p.dst == PLAN.host
+        assert p.checksum_ok()
+
+    def test_rewrite_source_keeps_checksum_valid(self):
+        p = Packet(src=PLAN.host, dst=PLAN.client)
+        p.rewrite_source(PLAN.snic)
+        assert p.src == PLAN.snic
+        assert p.checksum_ok()
+
+    def test_double_rewrite_round_trip(self):
+        p = make_packet()
+        original_checksum = p.checksum
+        p.rewrite_destination(PLAN.host)
+        p.rewrite_destination(PLAN.snic)
+        assert p.checksum == original_checksum
+        assert p.checksum_ok()
+
+    def test_rewrite_to_same_endpoint_is_stable(self):
+        p = make_packet()
+        checksum = p.checksum
+        p.rewrite_destination(PLAN.snic)
+        assert p.checksum == checksum
+
+
+class TestResponse:
+    def test_swaps_endpoints(self):
+        p = make_packet()
+        r = p.make_response()
+        assert r.src == p.dst
+        assert r.dst == p.src
+        assert r.checksum_ok()
+
+    def test_preserves_timing_and_flow(self):
+        p = make_packet(flow_id=7)
+        p.created_at = 1.5
+        r = p.make_response()
+        assert r.created_at == 1.5
+        assert r.flow_id == 7
+        assert r.multiplicity == p.multiplicity
+
+    def test_custom_size(self):
+        r = make_packet().make_response(size_bytes=64)
+        assert r.size_bytes == 64

@@ -1,0 +1,174 @@
+"""Unit tests for BM25, KNN, and naive Bayes."""
+
+import pytest
+
+from repro.nf.base import NetworkFunctionError
+from repro.nf.bayes import BayesFunction, BayesRequest
+from repro.nf.bm25 import Bm25Function, Bm25Index, Bm25Request
+from repro.nf.knn import KnnFunction, KnnRequest, euclidean
+
+
+class TestBm25Index:
+    def test_exact_term_ranks_containing_doc_first(self):
+        docs = [["apple", "banana"], ["cherry", "date"], ["apple", "apple"]]
+        index = Bm25Index(docs)
+        results = index.score(["apple"], top_k=3)
+        assert {doc for doc, _ in results} == {0, 2}
+        # doc 2 has higher tf for "apple"
+        assert results[0][0] == 2
+
+    def test_unknown_term_scores_nothing(self):
+        index = Bm25Index([["a"], ["b"]])
+        assert index.score(["zzz"]) == []
+
+    def test_scores_non_negative_and_sorted(self):
+        docs = [["x", "y", "z"], ["x"], ["y", "y"]]
+        index = Bm25Index(docs)
+        results = index.score(["x", "y"], top_k=10)
+        scores = [s for _, s in results]
+        assert scores == sorted(scores, reverse=True)
+        assert all(s >= 0 for s in scores)
+
+    def test_top_k_limits(self):
+        docs = [["t"] for _ in range(20)]
+        index = Bm25Index(docs)
+        assert len(index.score(["t"], top_k=5)) == 5
+
+    def test_rare_term_outweighs_common(self):
+        docs = [["common", "rare"]] + [["common"]] * 20
+        index = Bm25Index(docs)
+        assert index.idf["rare"] > index.idf["common"]
+
+    def test_empty_collection_rejected(self):
+        with pytest.raises(ValueError):
+            Bm25Index([])
+
+
+class TestBm25Function:
+    def test_processes_query(self):
+        fn = Bm25Function(vocabulary_terms=200, n_docs=32, words_per_doc=16)
+        resp = fn.process(fn.make_request(1, 0))
+        assert all(isinstance(d, int) and s > 0 for d, s in resp.results)
+
+    def test_vocab_configs(self):
+        assert Bm25Function.CONFIGS == (2_000, 4_000)
+
+    def test_wrong_type(self):
+        with pytest.raises(NetworkFunctionError):
+            Bm25Function(vocabulary_terms=50, n_docs=4, words_per_doc=4).process(
+                "query"
+            )
+
+    def test_query_term_count(self):
+        fn = Bm25Function(vocabulary_terms=100, n_docs=8, words_per_doc=8, query_terms=6)
+        assert len(fn.make_request(1, 0).terms) == 6
+
+
+class TestEuclidean:
+    def test_known_distance(self):
+        assert euclidean((0, 0), (3, 4)) == pytest.approx(5.0)
+
+    def test_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            euclidean((1, 2), (1, 2, 3))
+
+
+class TestKnn:
+    def test_classifies_near_centroid(self):
+        fn = KnnFunction(set_size=8, n_classes=3, dims=4, seed=11)
+        # query exactly a class centroid: its own references dominate
+        hits = 0
+        for label, centroid in enumerate(fn._centroids):
+            resp = fn.process(KnnRequest(vector=centroid, k=5))
+            hits += resp.label == label
+        assert hits >= 2
+
+    def test_neighbour_ids_valid(self):
+        fn = KnnFunction(set_size=8, n_classes=2, dims=4)
+        resp = fn.process(fn.make_request(1, 0))
+        assert len(resp.neighbour_ids) == 3
+        assert all(0 <= i < len(fn.references) for i in resp.neighbour_ids)
+
+    def test_k1_returns_nearest(self):
+        fn = KnnFunction(set_size=4, n_classes=2, dims=4)
+        point, label = fn.references[0]
+        resp = fn.process(KnnRequest(vector=point, k=1))
+        assert resp.neighbour_ids == (0,)
+        assert resp.label == label
+
+    def test_set_size_configs(self):
+        assert KnnFunction.CONFIGS == (8, 16)
+        fn = KnnFunction(set_size=8, n_classes=4)
+        assert len(fn.references) == 8 * 4
+
+    def test_invalid_k(self):
+        fn = KnnFunction(set_size=4, n_classes=2, dims=2)
+        with pytest.raises(NetworkFunctionError):
+            fn.process(KnnRequest(vector=(0.0, 0.0), k=0))
+
+    def test_generated_requests_mostly_classified_right(self):
+        fn = KnnFunction(set_size=16, n_classes=4, dims=8, seed=5)
+        # labels are recoverable because requests are drawn near centroids
+        correct = 0
+        for i in range(40):
+            req = fn.make_request(i, 0)
+            resp = fn.process(req)
+            nearest_centroid = min(
+                range(fn.n_classes),
+                key=lambda c: euclidean(req.vector, fn._centroids[c]),
+            )
+            correct += resp.label == nearest_centroid
+        assert correct >= 30
+
+
+class TestBayes:
+    def test_feature_count_enforced(self):
+        fn = BayesFunction(n_features=16, n_classes=2)
+        with pytest.raises(NetworkFunctionError):
+            fn.process(BayesRequest(features=(0.0,) * 8))
+
+    def test_log_posteriors_shape(self):
+        fn = BayesFunction(n_features=16, n_classes=3)
+        resp = fn.process(fn.make_request(1, 0))
+        assert len(resp.log_posteriors) == 3
+        assert resp.label == max(
+            range(3), key=lambda c: (resp.log_posteriors[c], -c)
+        )
+
+    def test_classifies_class_means_correctly(self):
+        fn = BayesFunction(n_features=32, n_classes=3, seed=9)
+        correct = 0
+        for label in range(3):
+            resp = fn.process(BayesRequest(features=tuple(fn.means[label])))
+            correct += resp.label == label
+        assert correct == 3
+
+    def test_accuracy_on_generated_requests(self):
+        fn = BayesFunction(n_features=64, n_classes=4, seed=2)
+        # request generation notes the intended class via the centre used
+        correct = 0
+        trials = 50
+        for i in range(trials):
+            req = fn.make_request(i, 0)
+            resp = fn.process(req)
+            best = min(
+                range(fn.n_classes),
+                key=lambda c: sum(
+                    (x - m) ** 2 for x, m in zip(req.features, fn._class_means[c])
+                ),
+            )
+            correct += resp.label == best
+        assert correct / trials > 0.8
+
+    def test_feature_configs(self):
+        assert BayesFunction.CONFIGS == (128, 256)
+
+    def test_variances_positive(self):
+        fn = BayesFunction(n_features=8, n_classes=2)
+        assert all(v > 0 for row in fn.variances for v in row)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            BayesFunction(n_features=0)
+        with pytest.raises(ValueError):
+            BayesFunction(n_classes=1)

@@ -1,0 +1,237 @@
+"""Unit tests for the DEFLATE-style codec."""
+
+import pytest
+
+from repro.nf.base import NetworkFunctionError
+from repro.nf.compress import (
+    COMPRESS,
+    ROUNDTRIP,
+    BitReader,
+    BitWriter,
+    CompressFunction,
+    CompressRequest,
+    CompressionError,
+    canonical_codes,
+    deflate,
+    distance_to_symbol,
+    huffman_code_lengths,
+    inflate,
+    length_to_symbol,
+    lz77_detokenize,
+    lz77_tokenize,
+)
+from repro.nf.corpus import make_bytes
+
+
+class TestBitIO:
+    def test_roundtrip_various_widths(self):
+        w = BitWriter()
+        values = [(1, 1), (0b101, 3), (0xFF, 8), (0x1234, 16), (7, 5)]
+        for value, nbits in values:
+            w.write_bits(value, nbits)
+        r = BitReader(w.getvalue())
+        for value, nbits in values:
+            assert r.read_bits(nbits) == value
+
+    def test_overflow_value_rejected(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_bits(4, 2)
+
+    def test_read_past_end(self):
+        r = BitReader(b"\x00")
+        r.read_bits(8)
+        with pytest.raises(CompressionError):
+            r.read_bits(1)
+
+
+class TestSymbolMapping:
+    def test_length_roundtrip(self):
+        for length in (3, 4, 10, 11, 57, 130, 258):
+            symbol, extra_bits, extra = length_to_symbol(length)
+            assert 257 <= symbol <= 285
+            from repro.nf.compress import _LENGTH_BASES
+
+            assert _LENGTH_BASES[symbol - 257] + extra == length
+            assert extra < (1 << extra_bits) or extra_bits == 0
+
+    def test_distance_roundtrip(self):
+        for distance in (1, 2, 5, 100, 1024, 4096, 24577):
+            symbol, extra_bits, extra = distance_to_symbol(distance)
+            from repro.nf.compress import _DIST_BASES
+
+            assert _DIST_BASES[symbol] + extra == distance
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            length_to_symbol(2)
+        with pytest.raises(ValueError):
+            length_to_symbol(259)
+        with pytest.raises(ValueError):
+            distance_to_symbol(0)
+
+
+class TestHuffman:
+    def test_lengths_zero_for_unused(self):
+        lengths = huffman_code_lengths([5, 0, 3, 0])
+        assert lengths[1] == 0 and lengths[3] == 0
+        assert lengths[0] > 0 and lengths[2] > 0
+
+    def test_single_symbol_gets_one_bit(self):
+        assert huffman_code_lengths([0, 7, 0]) == [0, 1, 0]
+
+    def test_frequent_symbols_get_shorter_codes(self):
+        lengths = huffman_code_lengths([100, 1, 1, 1, 1])
+        assert lengths[0] == min(l for l in lengths if l > 0)
+
+    def test_kraft_inequality(self):
+        freqs = [13, 1, 50, 8, 2, 2, 99, 1]
+        lengths = huffman_code_lengths(freqs)
+        assert sum(2.0 ** -l for l in lengths if l > 0) <= 1.0 + 1e-9
+
+    def test_length_limit_respected(self):
+        # fibonacci-ish frequencies force deep trees
+        freqs = [1]
+        for _ in range(40):
+            freqs.append(freqs[-1] + (freqs[-2] if len(freqs) > 1 else 1))
+        lengths = huffman_code_lengths(freqs, max_length=15)
+        assert max(lengths) <= 15
+        assert sum(2.0 ** -l for l in lengths if l > 0) <= 1.0 + 1e-9
+
+    def test_canonical_codes_prefix_free(self):
+        lengths = huffman_code_lengths([10, 3, 3, 2, 1, 1])
+        codes = canonical_codes(lengths)
+        items = [(format(code, f"0{ln}b")) for code, ln in codes.values()]
+        for i, a in enumerate(items):
+            for j, b in enumerate(items):
+                if i != j:
+                    assert not b.startswith(a)
+
+
+class TestLz77:
+    def test_roundtrip_repetitive(self):
+        data = b"abcabcabcabcabc" * 20
+        tokens = lz77_tokenize(data)
+        assert lz77_detokenize(tokens) == data
+        assert any(isinstance(t, tuple) for t in tokens)  # found matches
+
+    def test_roundtrip_random(self):
+        data = make_bytes(2048, entropy=1.0, seed=1)
+        assert lz77_detokenize(lz77_tokenize(data)) == data
+
+    def test_empty(self):
+        assert lz77_tokenize(b"") == []
+        assert lz77_detokenize([]) == b""
+
+    def test_overlapping_match(self):
+        # the classic run-length case: "aaaa..." matches with distance 1
+        data = b"a" * 100
+        tokens = lz77_tokenize(data)
+        assert lz77_detokenize(tokens) == data
+
+    def test_invalid_distance_rejected(self):
+        with pytest.raises(CompressionError):
+            lz77_detokenize([(5, 1)])
+
+
+class TestDeflate:
+    @pytest.mark.parametrize("entropy", [0.0, 0.3, 0.7, 1.0])
+    def test_roundtrip_entropy_sweep(self, entropy):
+        data = make_bytes(4096, entropy=entropy, seed=7)
+        assert inflate(deflate(data)) == data
+
+    def test_empty_input(self):
+        assert inflate(deflate(b"")) == b""
+
+    def test_single_byte(self):
+        assert inflate(deflate(b"x")) == b"x"
+
+    def test_low_entropy_compresses_well(self):
+        data = make_bytes(8192, entropy=0.1, seed=3)
+        assert len(deflate(data)) < len(data) // 2
+
+    def test_high_entropy_barely_compresses(self):
+        data = make_bytes(4096, entropy=1.0, seed=3)
+        blob = deflate(data)
+        assert len(blob) > len(data) * 0.8
+
+    def test_compression_monotone_in_entropy(self):
+        sizes = [
+            len(deflate(make_bytes(4096, entropy=e, seed=11)))
+            for e in (0.1, 0.5, 0.9)
+        ]
+        assert sizes[0] < sizes[1] < sizes[2]
+
+    def test_truncated_stream_detected(self):
+        blob = deflate(b"hello world, hello world, hello world")
+        with pytest.raises(CompressionError):
+            inflate(blob[: len(blob) // 2])
+
+    def test_text_roundtrip(self):
+        text = ("the quick brown fox jumps over the lazy dog " * 50).encode()
+        assert inflate(deflate(text)) == text
+
+
+class TestCompressFunction:
+    def test_compress_op(self):
+        fn = CompressFunction(chunk_bytes=512)
+        resp = fn.process(fn.make_request(1, 0))
+        assert resp.ok
+        assert resp.output_bytes > 0
+        assert 0 < resp.ratio < 1.5
+
+    def test_roundtrip_op_verifies(self):
+        fn = CompressFunction(chunk_bytes=512)
+        data = make_bytes(512, entropy=0.3, seed=2)
+        resp = fn.process(CompressRequest(op=ROUNDTRIP, data=data))
+        assert resp.ok
+
+    def test_overall_ratio_tracked(self):
+        fn = CompressFunction(chunk_bytes=256, entropy=0.2)
+        for i in range(4):
+            fn.process(fn.make_request(i, 0))
+        assert 0 < fn.overall_ratio < 1.0
+
+    def test_not_cooperative(self):
+        assert CompressFunction.cooperative is False
+
+    def test_unknown_op(self):
+        with pytest.raises(NetworkFunctionError):
+            CompressFunction().process(CompressRequest(op="explode", data=b"x"))
+
+    def test_wrong_type(self):
+        with pytest.raises(NetworkFunctionError):
+            CompressFunction().process(b"raw bytes")
+
+
+class TestStoredBlockFallback:
+    def test_random_data_stays_near_original_size(self):
+        import os
+
+        data = bytes(os.urandom(1) for _ in range(0))  # keep deterministic below
+        data = make_bytes(3000, entropy=1.0, seed=99)
+        blob = deflate(data)
+        assert len(blob) <= len(data) + 5
+        assert inflate(blob) == data
+
+    def test_stored_block_markers(self):
+        from repro.nf.compress import _BLOCK_HUFFMAN, _BLOCK_STORED
+
+        incompressible = make_bytes(512, entropy=1.0, seed=5)
+        compressible = make_bytes(512, entropy=0.05, seed=5)
+        assert deflate(incompressible)[0] in (_BLOCK_STORED, _BLOCK_HUFFMAN)
+        assert deflate(compressible)[0] == _BLOCK_HUFFMAN
+
+    def test_truncated_stored_block(self):
+        data = make_bytes(600, entropy=1.0, seed=7)
+        blob = deflate(data)
+        if blob[0] == 0x00:
+            with pytest.raises(CompressionError):
+                inflate(blob[: len(blob) // 2])
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(CompressionError):
+            inflate(b"")
+
+    def test_unknown_block_type(self):
+        with pytest.raises(CompressionError):
+            inflate(b"\x7fgarbage")

@@ -1,0 +1,171 @@
+"""Unit tests for the cryptography primitives and function."""
+
+import random
+
+import pytest
+
+from repro.nf.base import NetworkFunctionError
+from repro.nf.crypto import (
+    DH_EXCHANGE,
+    DSA_SIGN,
+    RSA_SIGN,
+    CryptoFunction,
+    CryptoRequest,
+    dh_generate_group,
+    dh_keypair,
+    dh_shared_secret,
+    dsa_generate_params,
+    dsa_keypair,
+    dsa_sign,
+    dsa_verify,
+    generate_prime,
+    is_probable_prime,
+    modinv,
+    rsa_decrypt,
+    rsa_encrypt,
+    rsa_generate,
+    rsa_sign,
+    rsa_verify,
+)
+
+RNG = random.Random(1234)
+
+
+class TestNumberTheory:
+    def test_small_primes(self):
+        for p in (2, 3, 5, 7, 97, 7919):
+            assert is_probable_prime(p)
+
+    def test_small_composites(self):
+        for n in (0, 1, 4, 9, 100, 7917, 561, 1729):  # incl. Carmichael numbers
+            assert not is_probable_prime(n)
+
+    def test_generated_prime_has_bits(self):
+        p = generate_prime(64, random.Random(5))
+        assert p.bit_length() == 64
+        assert is_probable_prime(p)
+
+    def test_prime_min_size(self):
+        with pytest.raises(ValueError):
+            generate_prime(4, RNG)
+
+    def test_modinv(self):
+        assert (modinv(3, 11) * 3) % 11 == 1
+        assert (modinv(7, 97) * 7) % 97 == 1
+
+    def test_modinv_non_invertible(self):
+        with pytest.raises(ValueError):
+            modinv(6, 9)
+
+
+class TestRsa:
+    KEY = rsa_generate(256, random.Random(42))
+
+    def test_encrypt_decrypt_roundtrip(self):
+        message = 123456789
+        assert rsa_decrypt(self.KEY, rsa_encrypt(self.KEY, message)) == message
+
+    def test_sign_verify(self):
+        sig = rsa_sign(self.KEY, b"hello world")
+        assert rsa_verify(self.KEY, b"hello world", sig)
+
+    def test_verify_rejects_tampered_message(self):
+        sig = rsa_sign(self.KEY, b"hello world")
+        assert not rsa_verify(self.KEY, b"hello world!", sig)
+
+    def test_verify_rejects_tampered_signature(self):
+        sig = rsa_sign(self.KEY, b"msg")
+        assert not rsa_verify(self.KEY, b"msg", (sig + 1) % self.KEY.n)
+
+    def test_message_range_enforced(self):
+        with pytest.raises(ValueError):
+            rsa_encrypt(self.KEY, self.KEY.n)
+        with pytest.raises(ValueError):
+            rsa_decrypt(self.KEY, -1)
+
+    def test_key_structure(self):
+        key = self.KEY
+        assert key.p * key.q == key.n
+        assert (key.e * key.d) % ((key.p - 1) * (key.q - 1)) == 1
+
+    def test_min_bits(self):
+        with pytest.raises(ValueError):
+            rsa_generate(32, RNG)
+
+
+class TestDh:
+    GROUP = dh_generate_group(64, random.Random(43))
+
+    def test_group_is_safe_prime(self):
+        assert is_probable_prime(self.GROUP.p)
+        assert is_probable_prime((self.GROUP.p - 1) // 2)
+
+    def test_shared_secret_agreement(self):
+        rng = random.Random(44)
+        a_priv, a_pub = dh_keypair(self.GROUP, rng)
+        b_priv, b_pub = dh_keypair(self.GROUP, rng)
+        assert dh_shared_secret(self.GROUP, a_priv, b_pub) == dh_shared_secret(
+            self.GROUP, b_priv, a_pub
+        )
+
+    def test_invalid_peer_rejected(self):
+        with pytest.raises(ValueError):
+            dh_shared_secret(self.GROUP, 5, 1)
+        with pytest.raises(ValueError):
+            dh_shared_secret(self.GROUP, 5, self.GROUP.p - 1)
+
+
+class TestDsa:
+    PARAMS = dsa_generate_params(128, 48, random.Random(45))
+    KEY = dsa_keypair(PARAMS, random.Random(46))
+
+    def test_params_structure(self):
+        assert (self.PARAMS.p - 1) % self.PARAMS.q == 0
+        assert pow(self.PARAMS.g, self.PARAMS.q, self.PARAMS.p) == 1
+
+    def test_sign_verify(self):
+        sig = dsa_sign(self.KEY, b"packet data", random.Random(47))
+        assert dsa_verify(self.KEY, b"packet data", sig)
+
+    def test_verify_rejects_tampered(self):
+        sig = dsa_sign(self.KEY, b"packet data", random.Random(47))
+        assert not dsa_verify(self.KEY, b"other data", sig)
+
+    def test_verify_rejects_out_of_range(self):
+        assert not dsa_verify(self.KEY, b"m", (0, 1))
+        assert not dsa_verify(self.KEY, b"m", (1, self.PARAMS.q))
+
+    def test_q_smaller_than_p_required(self):
+        with pytest.raises(ValueError):
+            dsa_generate_params(64, 64, RNG)
+
+
+class TestCryptoFunction:
+    FN = CryptoFunction(key_bits=256, seed=3)
+
+    def test_rsa_request(self):
+        resp = self.FN.process(CryptoRequest(op=RSA_SIGN, message=b"m1"))
+        assert resp.ok and resp.op == RSA_SIGN
+
+    def test_dh_request(self):
+        resp = self.FN.process(CryptoRequest(op=DH_EXCHANGE, message=b"m2"))
+        assert resp.ok
+
+    def test_dsa_request(self):
+        resp = self.FN.process(CryptoRequest(op=DSA_SIGN, message=b"m3"))
+        assert resp.ok
+        assert len(resp.artifact) == 2
+
+    def test_unknown_op(self):
+        with pytest.raises(NetworkFunctionError):
+            self.FN.process(CryptoRequest(op="aes", message=b""))
+
+    def test_request_mix_cycles_ops(self):
+        ops = {self.FN.make_request(i, 0).op for i in range(3)}
+        assert ops == {RSA_SIGN, DH_EXCHANGE, DSA_SIGN}
+
+    def test_op_counters(self):
+        fn = CryptoFunction(key_bits=256, seed=5)
+        for i in range(6):
+            fn.process(fn.make_request(i, 0))
+        assert sum(fn.op_counts.values()) == 6

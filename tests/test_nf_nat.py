@@ -1,0 +1,114 @@
+"""Unit tests for the NAT function."""
+
+import pytest
+
+from repro.nf.base import NetworkFunctionError
+from repro.nf.nat import NatFunction, NatRequest, NatTable
+
+
+class TestNatTable:
+    def test_new_binding_then_reuse(self):
+        table = NatTable(capacity=4, external_ip=0x0A000064)
+        port1, new1 = table.translate(1, 1000)
+        port2, new2 = table.translate(1, 1000)
+        assert new1 and not new2
+        assert port1 == port2
+
+    def test_distinct_endpoints_get_distinct_ports(self):
+        table = NatTable(capacity=8, external_ip=0)
+        ports = {table.translate(i, 1000)[0] for i in range(8)}
+        assert len(ports) == 8
+
+    def test_reverse_inverts_forward(self):
+        table = NatTable(capacity=8, external_ip=0)
+        port, _ = table.translate(42, 4242)
+        assert table.reverse(port) == (42, 4242)
+
+    def test_reverse_unknown_port(self):
+        table = NatTable(capacity=2, external_ip=0)
+        assert table.reverse(99999) is None
+
+    def test_lru_eviction(self):
+        table = NatTable(capacity=2, external_ip=0)
+        pa, _ = table.translate(1, 1)
+        pb, _ = table.translate(2, 2)
+        table.translate(1, 1)  # touch A so B becomes LRU
+        table.translate(3, 3)  # evicts B
+        assert table.evictions == 1
+        assert table.reverse(pb) is None or table.reverse(pb) == (3, 3)
+        assert table.reverse(pa) == (1, 1)
+
+    def test_evicted_port_recycled(self):
+        table = NatTable(capacity=1, external_ip=0)
+        pa, _ = table.translate(1, 1)
+        pb, _ = table.translate(2, 2)
+        assert pb == pa  # freed port reused
+
+    def test_capacity_bound_holds(self):
+        table = NatTable(capacity=10, external_ip=0)
+        for i in range(100):
+            table.translate(i, i)
+        assert len(table) == 10
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            NatTable(capacity=0, external_ip=0)
+
+    def test_clear(self):
+        table = NatTable(capacity=4, external_ip=0)
+        table.translate(1, 1)
+        table.clear()
+        assert len(table) == 0
+
+
+class TestNatFunction:
+    def test_translates_source(self):
+        nat = NatFunction(entries=100)
+        req = NatRequest(src_ip=0xC0A80001, src_port=1234, dst_ip=1, dst_port=53)
+        resp = nat.process(req)
+        assert resp.src_ip == nat.external_ip
+        assert resp.src_ip != req.src_ip
+        assert resp.dst_ip == req.dst_ip
+        assert resp.dst_port == req.dst_port
+        assert resp.binding_new
+
+    def test_same_flow_stable_translation(self):
+        nat = NatFunction(entries=100)
+        req = NatRequest(src_ip=5, src_port=500, dst_ip=1, dst_port=53)
+        r1 = nat.process(req)
+        r2 = nat.process(req)
+        assert r1.src_port == r2.src_port
+        assert not r2.binding_new
+
+    def test_reverse_lookup(self):
+        nat = NatFunction(entries=100)
+        resp = nat.process(NatRequest(src_ip=9, src_port=900, dst_ip=1, dst_port=1))
+        assert nat.reverse_lookup(resp.src_port) == (9, 900)
+
+    def test_table_iv_configs(self):
+        assert NatFunction.CONFIGS == (1_000, 10_000)
+        for entries in NatFunction.CONFIGS:
+            assert NatFunction(entries=entries).entries == entries
+
+    def test_make_request_shape(self):
+        nat = NatFunction(entries=1_000)
+        req = nat.make_request(1, 0)
+        assert isinstance(req, NatRequest)
+        assert nat.process(req).src_ip == nat.external_ip
+
+    def test_wrong_request_type(self):
+        with pytest.raises(NetworkFunctionError):
+            NatFunction().process("not a request")
+
+    def test_reset_clears_bindings(self):
+        nat = NatFunction(entries=100)
+        nat.process(NatRequest(src_ip=1, src_port=1, dst_ip=1, dst_port=1))
+        nat.reset()
+        assert len(nat.table) == 0
+        assert nat.requests_processed == 0
+
+    def test_counts_requests(self):
+        nat = NatFunction(entries=100)
+        for i in range(5):
+            nat.process(nat.make_request(i, 0))
+        assert nat.requests_processed == 5

@@ -1,0 +1,146 @@
+"""Unit tests for pipelines, registry, and the corpus helpers."""
+
+import pytest
+
+from repro.nf.base import NetworkFunctionError
+from repro.nf.corpus import (
+    make_bytes,
+    make_documents,
+    make_keys,
+    make_text,
+    make_vectors,
+    make_vocabulary,
+    zipf_weights,
+)
+from repro.nf.count import CountFunction
+from repro.nf.nat import NatFunction
+from repro.nf.pipeline import PIPELINE_NAMES, PipelineFunction
+from repro.nf.registry import (
+    FUNCTION_NAMES,
+    TABLE5_SINGLE_FUNCTIONS,
+    available_functions,
+    create_function,
+)
+
+
+class TestPipeline:
+    def test_name_and_statefulness(self):
+        p = PipelineFunction(NatFunction(entries=10), CountFunction(batch_size=4))
+        assert p.name == "nat+count"
+        assert p.stateful  # count is stateful
+
+    def test_stateless_pair(self):
+        p = PipelineFunction(NatFunction(entries=10), NatFunction(entries=10))
+        assert not p.stateful
+
+    def test_processes_both_stages(self):
+        first, second = NatFunction(entries=10), CountFunction(batch_size=4)
+        p = PipelineFunction(first, second)
+        resp = p.process(p.make_request(1, 0))
+        assert len(resp.stage_responses) == 2
+        assert first.requests_processed == 1
+        assert second.requests_processed == 1
+
+    def test_same_instance_rejected(self):
+        nat = NatFunction(entries=10)
+        with pytest.raises(ValueError):
+            PipelineFunction(nat, nat)
+
+    def test_wrong_request_type(self):
+        p = PipelineFunction(NatFunction(entries=10), CountFunction(batch_size=4))
+        with pytest.raises(NetworkFunctionError):
+            p.process("flat request")
+
+    def test_reset_cascades(self):
+        p = PipelineFunction(NatFunction(entries=10), CountFunction(batch_size=4))
+        p.process(p.make_request(1, 0))
+        p.reset()
+        assert p.first.requests_processed == 0
+        assert p.second.requests_processed == 0
+
+
+class TestRegistry:
+    def test_ten_base_functions(self):
+        assert len(FUNCTION_NAMES) == 10
+
+    def test_table5_functions_subset(self):
+        assert set(TABLE5_SINGLE_FUNCTIONS) <= set(FUNCTION_NAMES)
+
+    @pytest.mark.parametrize("name", FUNCTION_NAMES)
+    def test_create_and_run_each(self, name):
+        fn = create_function(name)
+        assert fn.name == name
+        fn.process(fn.make_request(1, 0))
+
+    @pytest.mark.parametrize("name", PIPELINE_NAMES)
+    def test_create_pipelines(self, name):
+        fn = create_function(name)
+        assert fn.name == name
+        fn.process(fn.make_request(1, 0))
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            create_function("quantum-nat")
+
+    def test_available_lists_everything(self):
+        names = available_functions()
+        assert set(FUNCTION_NAMES) <= set(names)
+        assert set(PIPELINE_NAMES) <= set(names)
+
+
+class TestCorpus:
+    def test_vocabulary_distinct_and_deterministic(self):
+        v1 = make_vocabulary(50, seed=1)
+        v2 = make_vocabulary(50, seed=1)
+        assert v1 == v2
+        assert len(set(v1)) == 50
+
+    def test_vocabulary_seed_sensitivity(self):
+        assert make_vocabulary(50, seed=1) != make_vocabulary(50, seed=2)
+
+    def test_zipf_weights_decreasing(self):
+        w = zipf_weights(10)
+        assert all(a > b for a, b in zip(w, w[1:]))
+
+    def test_make_text_word_count(self):
+        vocab = make_vocabulary(20, seed=1)
+        text = make_text(vocab, 100, seed=2)
+        assert len(text.split()) == 100
+        assert set(text.split()) <= set(vocab)
+
+    def test_make_documents_shape(self):
+        vocab = make_vocabulary(20, seed=1)
+        docs = make_documents(vocab, 5, 12, seed=3)
+        assert len(docs) == 5
+        assert all(len(d) == 12 for d in docs)
+
+    def test_make_bytes_length_and_determinism(self):
+        assert len(make_bytes(1000, entropy=0.5, seed=1)) == 1000
+        assert make_bytes(100, seed=4) == make_bytes(100, seed=4)
+
+    def test_make_bytes_entropy_bounds(self):
+        with pytest.raises(ValueError):
+            make_bytes(10, entropy=1.5)
+        with pytest.raises(ValueError):
+            make_bytes(-1)
+
+    def test_make_vectors(self):
+        vecs = make_vectors(5, 3, seed=1)
+        assert len(vecs) == 5
+        assert all(len(v) == 3 for v in vecs)
+
+    def test_make_keys_distinct(self):
+        keys = make_keys(100, seed=1)
+        assert len(set(keys)) == 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_vocabulary(0)
+        with pytest.raises(ValueError):
+            make_vectors(0, 3)
+        with pytest.raises(ValueError):
+            make_keys(0)
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+        with pytest.raises(ValueError):
+            make_text([], 10)

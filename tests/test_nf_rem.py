@@ -1,0 +1,217 @@
+"""Unit tests for the REM engine: Aho-Corasick + Thompson NFA."""
+
+import re
+
+import pytest
+
+from repro.nf.base import NetworkFunctionError
+from repro.nf.rem import (
+    AhoCorasick,
+    RegexNfa,
+    RegexSyntaxError,
+    RemFunction,
+    RemRequest,
+    Ruleset,
+    make_lite_ruleset,
+    make_tea_ruleset,
+)
+
+
+class TestAhoCorasick:
+    def test_single_pattern(self):
+        ac = AhoCorasick(["abc"])
+        assert ac.search("xxabcxx") == [(4, 0)]
+        assert ac.contains_any("xxabcxx")
+        assert not ac.contains_any("xyz")
+
+    def test_multiple_overlapping_patterns(self):
+        ac = AhoCorasick(["he", "she", "his", "hers"])
+        matches = ac.search("ushers")
+        found = {(offset, ac.patterns[idx]) for offset, idx in matches}
+        assert (3, "she") in found
+        assert (3, "he") in found
+        assert (5, "hers") in found
+
+    def test_pattern_inside_pattern(self):
+        ac = AhoCorasick(["ab", "abab"])
+        matched = [ac.patterns[i] for _, i in ac.search("abab")]
+        assert matched.count("ab") == 2
+        assert matched.count("abab") == 1
+
+    def test_matches_against_python_re(self):
+        patterns = ["cat", "dog", "bird", "at", "do"]
+        ac = AhoCorasick(patterns)
+        text = "the cat chased the dog while the bird watched at dawn"
+        expected = []
+        for idx, pat in enumerate(patterns):
+            for m in re.finditer(f"(?={re.escape(pat)})", text):
+                expected.append((m.start() + len(pat) - 1, idx))
+        assert sorted(ac.search(text)) == sorted(expected)
+
+    def test_no_match(self):
+        ac = AhoCorasick(["needle"])
+        assert ac.search("haystack" * 10) == []
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            AhoCorasick([""])
+        with pytest.raises(ValueError):
+            AhoCorasick([])
+
+    def test_state_count_reasonable(self):
+        ac = AhoCorasick(["abc", "abd"])
+        assert ac.state_count == 5  # root, a, ab, abc, abd (shared prefix)
+
+
+class TestRegexNfa:
+    @pytest.mark.parametrize(
+        "pattern,text,expected",
+        [
+            ("abc", "abc", True),
+            ("abc", "abd", False),
+            ("a*", "", True),
+            ("a*", "aaaa", True),
+            ("a+", "", False),
+            ("a+", "aa", True),
+            ("a?b", "b", True),
+            ("a?b", "ab", True),
+            ("a?b", "aab", False),
+            ("a|b", "a", True),
+            ("a|b", "b", True),
+            ("a|b", "c", False),
+            ("(ab)+", "ababab", True),
+            ("(ab)+", "aba", False),
+            ("a.c", "abc", True),
+            ("a.c", "ac", False),
+            ("[abc]+", "cab", True),
+            ("[a-z]+", "hello", True),
+            ("[a-z]+", "HELLO", False),
+            ("[^0-9]+", "abc", True),
+            ("[^0-9]+", "a1c", False),
+            ("x(y|z)*w", "xw", True),
+            ("x(y|z)*w", "xyzyzw", True),
+            (r"a\+b", "a+b", True),
+            (r"a\+b", "aab", False),
+        ],
+    )
+    def test_full_match(self, pattern, text, expected):
+        assert RegexNfa(pattern).matches(text) is expected
+
+    @pytest.mark.parametrize(
+        "pattern,text,expected",
+        [
+            ("bc", "abcd", True),
+            ("bd", "abcd", False),
+            ("a+", "xxxayy", True),
+            ("q|z", "the quick", True),
+        ],
+    )
+    def test_search_unanchored(self, pattern, text, expected):
+        assert RegexNfa(pattern).search(text) is expected
+
+    def test_agreement_with_python_re(self):
+        patterns = ["ab*c", "x(y|z)+", "[0-9][0-9]*", "fo?o", "a.b"]
+        texts = ["", "abc", "ac", "xyzzy", "12", "foo", "fo", "a_b", "aXb", "xyx"]
+        for pattern in patterns:
+            nfa = RegexNfa(pattern)
+            compiled = re.compile(pattern)
+            for text in texts:
+                assert nfa.matches(text) == bool(compiled.fullmatch(text)), (
+                    pattern,
+                    text,
+                )
+                assert nfa.search(text) == bool(compiled.search(text)), (pattern, text)
+
+    @pytest.mark.parametrize("bad", ["(", ")", "a(b", "[abc", "*a", "a|*", "[z-a]", "a\\"])
+    def test_syntax_errors(self, bad):
+        with pytest.raises(RegexSyntaxError):
+            RegexNfa(bad)
+
+    def test_empty_pattern_matches_empty(self):
+        nfa = RegexNfa("")
+        assert nfa.matches("")
+        assert not nfa.matches("a")
+
+
+class TestRulesets:
+    def test_tea_is_large_and_simple(self):
+        ruleset = make_tea_ruleset(n_patterns=100)
+        assert len(ruleset.literals) == 100
+        assert not ruleset.regexes
+
+    def test_lite_has_regex_rules(self):
+        ruleset = make_lite_ruleset(n_literals=20, n_regexes=4)
+        assert len(ruleset.literals) == 20
+        assert len(ruleset.regexes) == 4
+
+    def test_compiled_complexity_ordering(self):
+        tea = make_tea_ruleset(n_patterns=200).compile()
+        lite = make_lite_ruleset(n_literals=40, n_regexes=6).compile()
+        assert tea.complexity > 0 and lite.complexity > 0
+
+    def test_scan_finds_planted_literal(self):
+        ruleset = Ruleset(name="t", literals=["secret"], regexes=["ab?c"])
+        compiled = ruleset.compile()
+        hits, regex_hits = compiled.scan("this has a secret and an ac too")
+        assert hits == 1
+        assert regex_hits == (0,)
+
+
+class TestRemFunction:
+    def test_processes_generated_payloads(self):
+        fn = RemFunction(ruleset="tea", scale=0.02)
+        responses = [fn.process(fn.make_request(i, 0)) for i in range(20)]
+        assert any(r.matched for r in responses)  # vocabulary overlap guarantees hits
+
+    def test_explicit_hit_and_miss(self):
+        fn = RemFunction(ruleset="tea", scale=0.02)
+        pattern = fn.compiled.automaton.patterns[0]
+        assert fn.process(RemRequest(text=f"xx {pattern} yy")).literal_hits >= 1
+        assert not fn.process(RemRequest(text="0123456789")).matched
+
+    def test_lite_ruleset_regexes_scan(self):
+        fn = RemFunction(ruleset="lite", scale=0.05)
+        resp = fn.process(RemRequest(text="nothing interesting"))
+        assert isinstance(resp.regex_hits, tuple)
+
+    def test_unknown_ruleset(self):
+        with pytest.raises(ValueError):
+            RemFunction(ruleset="nope")
+
+    def test_wrong_request_type(self):
+        with pytest.raises(NetworkFunctionError):
+            RemFunction(ruleset="tea", scale=0.02).process(b"raw")
+
+
+class TestAnchors:
+    @pytest.mark.parametrize(
+        "pattern,text,expected",
+        [
+            ("^abc", "abcdef", True),
+            ("^abc", "xabc", False),
+            ("abc$", "xxabc", True),
+            ("abc$", "abcx", False),
+            ("^abc$", "abc", True),
+            ("^abc$", "abcc", False),
+            ("a+$", "baaa", True),
+            ("a+$", "aaab", False),
+            ("^(a|b)c", "bcz", True),
+            ("^(a|b)c", "zbc", False),
+            ("^$", "", True),
+            ("^$", "x", False),
+        ],
+    )
+    def test_anchored_search(self, pattern, text, expected):
+        assert RegexNfa(pattern).search(text) is expected
+
+    def test_escaped_dollar_is_literal(self):
+        assert RegexNfa(r"a\$b").search("xa$by")
+
+    def test_interior_anchor_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            RegexNfa("a^b")
+        with pytest.raises(RegexSyntaxError):
+            RegexNfa("a$b")
+
+    def test_anchor_inside_class_is_negation_not_anchor(self):
+        assert RegexNfa("[^a]").matches("b")

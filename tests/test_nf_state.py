@@ -1,0 +1,107 @@
+"""Unit tests for the shared-state coherence domain (§V-C)."""
+
+import pytest
+
+from repro.nf.state import (
+    CXL_COSTS,
+    PCIE_COSTS,
+    CoherenceCosts,
+    SharedStateDomain,
+)
+
+
+def make_domain(costs=CXL_COSTS, blocks=64):
+    return SharedStateDomain(costs, block_count=blocks, home_agent="host")
+
+
+class TestCoherenceCosts:
+    def test_presets(self):
+        assert CXL_COSTS.coherent
+        assert not PCIE_COSTS.coherent
+        assert PCIE_COSTS.ownership_s > CXL_COSTS.ownership_s
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CoherenceCosts(read_miss_s=-1.0, ownership_s=0.0)
+
+
+class TestSharedStateDomain:
+    def test_home_agent_first_write_is_free(self):
+        domain = make_domain()
+        assert domain.access("host", "key", write=True) == 0.0
+        assert domain.stats.local_hits == 1
+
+    def test_remote_write_pays_ownership(self):
+        domain = make_domain()
+        cost = domain.access("snic", "key", write=True)
+        assert cost == CXL_COSTS.ownership_s
+        assert domain.stats.ownership_transfers == 1
+
+    def test_repeated_writer_hits_locally(self):
+        domain = make_domain()
+        domain.access("snic", "key", write=True)
+        assert domain.access("snic", "key", write=True) == 0.0
+
+    def test_ping_pong_pays_every_time(self):
+        domain = make_domain()
+        total = 0.0
+        for agent in ("snic", "host") * 5:
+            total += domain.access(agent, "key", write=True)
+        assert total == pytest.approx(10 * CXL_COSTS.ownership_s)
+
+    def test_read_after_remote_write_pays_miss(self):
+        domain = make_domain()
+        domain.access("snic", "key", write=True)
+        assert domain.access("host", "key", write=False) == CXL_COSTS.read_miss_s
+        # now shared: second read free
+        assert domain.access("host", "key", write=False) == 0.0
+
+    def test_write_invalidates_sharers(self):
+        domain = make_domain()
+        domain.access("snic", "key", write=True)
+        domain.access("host", "key", write=False)
+        domain.access("snic", "key", write=True)  # must invalidate host
+        assert domain.stats.invalidations >= 1
+        assert domain.access("host", "key", write=False) == CXL_COSTS.read_miss_s
+
+    def test_blocks_hashed_independently(self):
+        domain = make_domain(blocks=2)
+        domain.access("snic", 0, write=True)
+        domain.access("snic", 1, write=True)
+        # keys 0 and 1 hash to different blocks of 2
+        assert domain.stats.ownership_transfers == 2
+
+    def test_sharing_ratio(self):
+        domain = make_domain()
+        assert domain.sharing_ratio() == 0.0
+        domain.access("snic", "a", write=True)   # transfer
+        domain.access("snic", "a", write=True)   # hit
+        assert domain.sharing_ratio() == pytest.approx(0.5)
+
+    def test_total_stall_accumulates(self):
+        domain = make_domain(costs=PCIE_COSTS)
+        domain.access("snic", "a", write=True)
+        domain.access("host", "a", write=True)
+        assert domain.stats.total_stall_s == pytest.approx(2 * PCIE_COSTS.ownership_s)
+
+    def test_pcie_stalls_exceed_cxl(self):
+        pcie, cxl = make_domain(PCIE_COSTS), make_domain(CXL_COSTS)
+        for domain in (pcie, cxl):
+            for agent in ("snic", "host") * 20:
+                domain.access(agent, "k", write=True)
+        assert pcie.stats.total_stall_s > 4 * cxl.stats.total_stall_s
+
+    def test_reset(self):
+        domain = make_domain()
+        domain.access("snic", "a", write=True)
+        domain.reset()
+        assert domain.stats.ownership_transfers == 0
+        assert domain.sharing_ratio() == 0.0
+
+    def test_agent_required(self):
+        with pytest.raises(ValueError):
+            make_domain().access(None, "k", write=True)
+
+    def test_invalid_block_count(self):
+        with pytest.raises(ValueError):
+            SharedStateDomain(CXL_COSTS, block_count=0)

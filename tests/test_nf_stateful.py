@@ -1,0 +1,167 @@
+"""Unit tests for the stateful functions: KVS, Count, EMA."""
+
+import pytest
+
+from repro.nf.base import NetworkFunctionError
+from repro.nf.count import CountFunction, CountRequest
+from repro.nf.ema import EmaFunction, EmaRequest
+from repro.nf.kvs import DELETE, GET, INSERT, PUT, KvRequest, KvsFunction
+from repro.nf.state import CXL_COSTS, SharedStateDomain
+
+
+class TestKvs:
+    def test_get_preloaded_key(self):
+        kvs = KvsFunction(key_space=64)
+        key = kvs._keys[0]  # preloaded half
+        resp = kvs.process(KvRequest(GET, key))
+        assert resp.ok
+        assert resp.value == kvs.get(key)
+
+    def test_get_missing_key(self):
+        kvs = KvsFunction(key_space=64)
+        resp = kvs.process(KvRequest(GET, "no-such-key"))
+        assert not resp.ok
+        assert kvs.misses == 1
+
+    def test_insert_then_get(self):
+        kvs = KvsFunction(key_space=64)
+        resp = kvs.process(KvRequest(INSERT, "fresh", b"value"))
+        assert resp.ok
+        assert kvs.process(KvRequest(GET, "fresh")).value == b"value"
+
+    def test_insert_existing_reports_not_created(self):
+        kvs = KvsFunction(key_space=64)
+        kvs.process(KvRequest(INSERT, "k", b"1"))
+        assert not kvs.process(KvRequest(INSERT, "k", b"2")).ok
+
+    def test_put_updates_existing(self):
+        kvs = KvsFunction(key_space=64)
+        kvs.process(KvRequest(INSERT, "k", b"old"))
+        assert kvs.process(KvRequest(PUT, "k", b"new")).ok
+        assert kvs.get("k") == b"new"
+
+    def test_put_missing_fails(self):
+        kvs = KvsFunction(key_space=64)
+        assert not kvs.process(KvRequest(PUT, "missing", b"x")).ok
+
+    def test_unknown_op(self):
+        with pytest.raises(NetworkFunctionError):
+            KvsFunction(key_space=64).process(KvRequest("scan", "k"))
+
+    def test_delete_existing(self):
+        kvs = KvsFunction(key_space=64)
+        kvs.process(KvRequest(INSERT, "gone", b"v"))
+        assert kvs.process(KvRequest(DELETE, "gone")).ok
+        assert not kvs.process(KvRequest(GET, "gone")).ok
+
+    def test_delete_missing_reports_false(self):
+        kvs = KvsFunction(key_space=64)
+        assert not kvs.process(KvRequest(DELETE, "never-there")).ok
+
+    def test_request_mix_mostly_reads(self):
+        kvs = KvsFunction(key_space=256, read_fraction=0.9, seed=3)
+        ops = [kvs.make_request(i, 0).op for i in range(500)]
+        assert 0.8 < ops.count(GET) / len(ops) < 0.97
+
+    def test_reset_restores_preload(self):
+        kvs = KvsFunction(key_space=64)
+        before = kvs.size
+        kvs.process(KvRequest(INSERT, "zzz", b"v"))
+        kvs.reset()
+        assert kvs.size == before
+        assert kvs.get("zzz") is None
+
+    def test_invalid_fractions(self):
+        with pytest.raises(ValueError):
+            KvsFunction(read_fraction=1.5)
+        with pytest.raises(ValueError):
+            KvsFunction(read_fraction=0.9, insert_fraction=0.5)
+
+    def test_state_domain_accessed(self):
+        domain = SharedStateDomain(CXL_COSTS)
+        kvs = KvsFunction(key_space=64)
+        kvs.attach_state_domain(domain, "snic")
+        kvs.process(KvRequest(GET, kvs._keys[0]))
+        stats = domain.stats
+        assert stats.local_hits + stats.read_misses + stats.ownership_transfers == 1
+
+
+class TestCount:
+    def test_counts_accumulate(self):
+        count = CountFunction(batch_size=4, key_space=32)
+        resp = count.process(CountRequest(items=("a", "a", "b", "a")))
+        assert resp.counts == (1, 2, 1, 3)
+        assert count.frequency("a") == 3
+        assert count.frequency("b") == 1
+
+    def test_total(self):
+        count = CountFunction(batch_size=4, key_space=32)
+        count.process(CountRequest(items=("x",) * 4))
+        assert count.total() == 4
+
+    def test_batch_configs(self):
+        assert CountFunction.CONFIGS == (4, 8)
+        for batch in CountFunction.CONFIGS:
+            fn = CountFunction(batch_size=batch)
+            assert len(fn.make_request(1, 0).items) == batch
+
+    def test_unknown_item_zero(self):
+        assert CountFunction().frequency("nope") == 0
+
+    def test_wrong_type(self):
+        with pytest.raises(NetworkFunctionError):
+            CountFunction().process(["a"])
+
+    def test_reset(self):
+        count = CountFunction(batch_size=4)
+        count.process(count.make_request(1, 0))
+        count.reset()
+        assert count.total() == 0
+
+
+class TestEma:
+    def test_first_sample_sets_value(self):
+        ema = EmaFunction(batch_size=4, alpha=0.5)
+        resp = ema.process(EmaRequest(samples=(("k", 10.0),) * 1 + (("j", 4.0),) * 3))
+        assert resp.averages[0] == pytest.approx(10.0)
+
+    def test_ema_recurrence(self):
+        ema = EmaFunction(batch_size=1, alpha=0.5)
+        ema.process(EmaRequest(samples=(("k", 10.0),)))
+        resp = ema.process(EmaRequest(samples=(("k", 20.0),)))
+        assert resp.averages[0] == pytest.approx(15.0)
+        assert ema.average("k") == pytest.approx(15.0)
+
+    def test_converges_to_constant_input(self):
+        ema = EmaFunction(batch_size=1, alpha=0.3)
+        ema.process(EmaRequest(samples=(("k", 0.0),)))
+        for _ in range(100):
+            ema.process(EmaRequest(samples=(("k", 50.0),)))
+        assert ema.average("k") == pytest.approx(50.0, abs=0.01)
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(KeyError):
+            EmaFunction().average("missing")
+
+    def test_batch_configs(self):
+        assert EmaFunction.CONFIGS == (4, 8)
+        for batch in EmaFunction.CONFIGS:
+            fn = EmaFunction(batch_size=batch)
+            assert len(fn.make_request(1, 0).samples) == batch
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            EmaFunction(alpha=0.0)
+        with pytest.raises(ValueError):
+            EmaFunction(alpha=1.5)
+
+    def test_tracked_keys(self):
+        ema = EmaFunction(batch_size=2)
+        ema.process(EmaRequest(samples=(("a", 1.0), ("b", 2.0))))
+        assert ema.tracked_keys() == 2
+
+    def test_reset(self):
+        ema = EmaFunction(batch_size=1)
+        ema.process(EmaRequest(samples=(("a", 1.0),)))
+        ema.reset()
+        assert ema.tracked_keys() == 0

@@ -1,0 +1,97 @@
+"""Table IV configuration coverage: every function's published
+configurations behave distinguishably."""
+
+import pytest
+
+from repro.nf.bayes import BayesFunction
+from repro.nf.bm25 import Bm25Function
+from repro.nf.count import CountFunction
+from repro.nf.ema import EmaFunction
+from repro.nf.knn import KnnFunction
+from repro.nf.nat import NatFunction, NatRequest
+from repro.nf.rem import RemFunction, make_lite_ruleset, make_tea_ruleset
+
+
+class TestNatEntryConfigs:
+    def test_small_table_churns_more(self):
+        """1K vs 10K entries: the small table evicts under the same load."""
+        small = NatFunction(entries=1_000, seed=1)
+        large = NatFunction(entries=10_000, seed=1)
+        for fn in (small, large):
+            for client in range(3_000):
+                fn.process(
+                    NatRequest(src_ip=client, src_port=1000, dst_ip=1, dst_port=1)
+                )
+        assert small.table.evictions > 0
+        assert large.table.evictions == 0
+
+    def test_both_configs_translate_correctly(self):
+        for entries in NatFunction.CONFIGS:
+            fn = NatFunction(entries=entries)
+            resp = fn.process(
+                NatRequest(src_ip=7, src_port=70, dst_ip=1, dst_port=1)
+            )
+            assert fn.reverse_lookup(resp.src_port) == (7, 70)
+
+
+class TestBatchConfigs:
+    @pytest.mark.parametrize("batch", CountFunction.CONFIGS)
+    def test_count_batches(self, batch):
+        fn = CountFunction(batch_size=batch)
+        resp = fn.process(fn.make_request(1, 0))
+        assert len(resp.counts) == batch
+
+    @pytest.mark.parametrize("batch", EmaFunction.CONFIGS)
+    def test_ema_batches(self, batch):
+        fn = EmaFunction(batch_size=batch)
+        resp = fn.process(fn.make_request(1, 0))
+        assert len(resp.averages) == batch
+
+    def test_larger_batch_more_state_touches(self):
+        from repro.nf.state import CXL_COSTS, SharedStateDomain
+
+        touches = {}
+        for batch in (4, 8):
+            domain = SharedStateDomain(CXL_COSTS)
+            fn = CountFunction(batch_size=batch, seed=2)
+            fn.attach_state_domain(domain, "snic")
+            fn.process(fn.make_request(1, 0))
+            stats = domain.stats
+            touches[batch] = (
+                stats.local_hits + stats.read_misses + stats.ownership_transfers
+            )
+        assert touches[8] == 2 * touches[4]
+
+
+class TestVocabularyAndFeatureConfigs:
+    @pytest.mark.parametrize("terms", Bm25Function.CONFIGS)
+    def test_bm25_vocabulary_sizes(self, terms):
+        fn = Bm25Function(vocabulary_terms=terms, n_docs=16, words_per_doc=8)
+        assert len(fn.vocabulary) == terms
+
+    @pytest.mark.parametrize("features", BayesFunction.CONFIGS)
+    def test_bayes_feature_counts(self, features):
+        fn = BayesFunction(n_features=features, n_classes=2, train_per_class=8)
+        assert len(fn.make_request(1, 0).features) == features
+
+    @pytest.mark.parametrize("set_size", KnnFunction.CONFIGS)
+    def test_knn_set_sizes(self, set_size):
+        fn = KnnFunction(set_size=set_size, n_classes=2, dims=4)
+        assert len(fn.references) == set_size * 2
+
+
+class TestRemRulesetConfigs:
+    def test_tea_vs_lite_complexity(self):
+        """The complex ruleset compiles to a much larger automaton per
+        rule, driving the §III-A performance inversion."""
+        tea = make_tea_ruleset(n_patterns=250).compile()
+        lite = make_lite_ruleset(n_literals=40, n_regexes=8).compile()
+        tea_states_per_rule = tea.complexity / 250
+        lite_states_per_rule = lite.complexity / 48
+        assert lite_states_per_rule > 3 * tea_states_per_rule
+
+    @pytest.mark.parametrize("ruleset", RemFunction.CONFIGS)
+    def test_both_rulesets_scan(self, ruleset):
+        fn = RemFunction(ruleset=ruleset, scale=0.02)
+        fn.process(fn.make_request(1, 0))
+        assert fn.requests_processed == 1

@@ -1,0 +1,247 @@
+"""Property-based tests (hypothesis) for core data structures and
+invariants: checksums, the codec, the regex engine, NAT, coherence, and
+the token-bucket director.
+"""
+
+import re
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.hlb import TrafficDirector
+from repro.net.addressing import AddressPlan, Endpoint
+from repro.net.packet import (
+    Packet,
+    incremental_checksum_update,
+    internet_checksum,
+)
+from repro.nf.compress import (
+    canonical_codes,
+    deflate,
+    huffman_code_lengths,
+    inflate,
+    lz77_detokenize,
+    lz77_tokenize,
+)
+from repro.nf.crypto import modinv
+from repro.nf.nat import NatTable
+from repro.nf.rem import AhoCorasick, RegexNfa
+from repro.nf.state import CXL_COSTS, SharedStateDomain
+from repro.sim.engine import Simulator
+from repro.sim.metrics import percentile
+
+PLAN = AddressPlan.default()
+
+words16 = st.integers(min_value=0, max_value=0xFFFF)
+endpoints = st.builds(
+    Endpoint,
+    mac=st.integers(min_value=0, max_value=(1 << 48) - 1),
+    ip=st.integers(min_value=0, max_value=(1 << 32) - 1),
+)
+
+
+class TestChecksumProperties:
+    @given(st.lists(words16, min_size=1, max_size=40))
+    def test_verification_sums_to_all_ones(self, words):
+        checksum = internet_checksum(words)
+        total = sum(words) + checksum
+        while total >> 16:
+            total = (total & 0xFFFF) + (total >> 16)
+        assert total == 0xFFFF
+
+    @given(st.lists(words16, min_size=2, max_size=20), st.data())
+    def test_incremental_equals_recompute(self, words, data):
+        index = data.draw(st.integers(min_value=0, max_value=len(words) - 1))
+        new_word = data.draw(words16)
+        checksum = internet_checksum(words)
+        updated_words = list(words)
+        updated_words[index] = new_word
+        incremental = incremental_checksum_update(checksum, words[index], new_word)
+        recomputed = internet_checksum(updated_words)
+        # ones-complement ±0: for all-zero data the two agree only up to
+        # the double zero representation (RFC 1624 §3)
+        assert incremental == recomputed or (
+            recomputed == 0xFFFF and incremental == 0x0000
+        )
+
+    @given(endpoints, endpoints, endpoints)
+    def test_packet_rewrites_preserve_checksum_validity(self, src, dst, new_dst):
+        packet = Packet(src=src, dst=dst, size_bytes=100)
+        packet.rewrite_destination(new_dst)
+        assert packet.checksum_ok()
+        packet.rewrite_source(new_dst)
+        assert packet.checksum_ok()
+
+
+class TestCodecProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.binary(min_size=0, max_size=3000))
+    def test_deflate_inflate_identity(self, data):
+        assert inflate(deflate(data)) == data
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.binary(min_size=0, max_size=2000))
+    def test_lz77_identity(self, data):
+        assert lz77_detokenize(lz77_tokenize(data)) == data
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.text(alphabet="ab", min_size=1, max_size=40).map(str.encode),
+        st.integers(min_value=2, max_value=30),
+    )
+    def test_repetitive_data_compresses(self, unit, repeats):
+        data = unit * repeats * 10
+        blob = deflate(data)
+        assert inflate(blob) == data
+        if len(data) > 600:
+            assert len(blob) < len(data)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=64))
+    def test_huffman_lengths_satisfy_kraft(self, freqs):
+        lengths = huffman_code_lengths(freqs)
+        used = [l for l in lengths if l > 0]
+        if not used:
+            return
+        assert sum(2.0 ** -l for l in used) <= 1.0 + 1e-9
+        assert max(used) <= 15
+        codes = canonical_codes(lengths)
+        binary = [format(code, f"0{ln}b") for code, ln in codes.values()]
+        assert len(set(binary)) == len(binary)
+        for a in binary:
+            for b in binary:
+                assert a == b or not b.startswith(a)
+
+
+class TestRegexProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.text(alphabet="abcd", min_size=1, max_size=4), min_size=1, max_size=8
+        ),
+        st.text(alphabet="abcd", min_size=0, max_size=60),
+    )
+    def test_aho_corasick_agrees_with_re(self, patterns, text):
+        ac = AhoCorasick(patterns)
+        expected = set()
+        for idx, pattern in enumerate(patterns):
+            for m in re.finditer(f"(?={re.escape(pattern)})", text):
+                expected.add((m.start() + len(pattern) - 1, idx))
+        assert set(ac.search(text)) == expected
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.text(alphabet="abc", min_size=0, max_size=12))
+    def test_nfa_literal_matches_exactly_itself(self, literal):
+        nfa = RegexNfa(literal)
+        assert nfa.matches(literal)
+        if literal:
+            assert not nfa.matches(literal + "x")
+            assert not nfa.matches(literal[:-1])
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.sampled_from(["a*b", "(ab)+", "a|bc", "[ab]+c?", "a.b*", "x[^a]y"]),
+        st.text(alphabet="abxy", min_size=0, max_size=10),
+    )
+    def test_nfa_agrees_with_python_re(self, pattern, text):
+        nfa = RegexNfa(pattern)
+        compiled = re.compile(pattern)
+        assert nfa.matches(text) == bool(compiled.fullmatch(text))
+        assert nfa.search(text) == bool(compiled.search(text))
+
+
+class TestNatProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=50),
+                st.integers(min_value=0, max_value=50),
+            ),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    def test_forward_reverse_inverse_and_bounded(self, endpoints_seq):
+        table = NatTable(capacity=16, external_ip=0)
+        for src_ip, src_port in endpoints_seq:
+            port, _ = table.translate(src_ip, src_port)
+            # the binding just made must reverse correctly
+            assert table.reverse(port) == (src_ip, src_port)
+            assert len(table) <= 16
+        # all live bindings invert
+        for key, port in table._forward.items():
+            assert table.reverse(port) == key
+
+
+class TestCoherenceProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["snic", "host"]),
+                st.integers(min_value=0, max_value=10),
+                st.booleans(),
+            ),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    def test_stats_consistent_and_costs_bounded(self, accesses):
+        domain = SharedStateDomain(CXL_COSTS, block_count=8)
+        total = 0.0
+        for agent, key, write in accesses:
+            cost = domain.access(agent, key, write)
+            assert cost in (0.0, CXL_COSTS.read_miss_s, CXL_COSTS.ownership_s)
+            total += cost
+        stats = domain.stats
+        assert stats.total_stall_s == total
+        assert (
+            stats.local_hits + stats.read_misses + stats.ownership_transfers
+            == len(accesses)
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=60))
+    def test_single_agent_pays_at_most_once_per_block(self, keys):
+        domain = SharedStateDomain(CXL_COSTS, block_count=64)
+        paying = sum(
+            1 for key in keys if domain.access("snic", key, write=True) > 0
+        )
+        assert paying <= len(set(hash(k) % 64 for k in keys))
+
+
+class TestDirectorProperties:
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        st.floats(min_value=1.0, max_value=90.0),
+        st.integers(min_value=50, max_value=300),
+    )
+    def test_conservation_and_rate_limit(self, threshold, n_packets):
+        sim = Simulator()
+        director = TrafficDirector(sim, PLAN, fwd_threshold_gbps=threshold)
+        interval = 1.2e-6  # 10 Gbps offered in 1500B packets
+        for i in range(n_packets):
+            director.direct(Packet(src=PLAN.client, dst=PLAN.snic))
+            sim.schedule(interval, lambda: None)
+            sim.run()
+        stats = director.stats
+        # conservation: every packet goes somewhere
+        assert stats.to_snic_packets + stats.to_host_packets == n_packets
+        # rate limit: SNIC bytes never exceed threshold*time plus the
+        # bucket's starting credit (floored at one full burst)
+        elapsed = n_packets * interval
+        allowed_bits = (
+            threshold * 1e9 * (elapsed + director.bucket_depth_s)
+            + TrafficDirector.MIN_BUCKET_BITS
+        )
+        assert stats.to_snic_bytes * 8 <= allowed_bits * 1.001
+
+
+class TestPercentileProperties:
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=200))
+    def test_bounds_and_monotonicity(self, values):
+        ordered = sorted(values)
+        p50 = percentile(ordered, 0.5)
+        p99 = percentile(ordered, 0.99)
+        assert ordered[0] <= p50 <= p99 <= ordered[-1]

@@ -1,0 +1,110 @@
+"""System-level property tests: conservation, determinism, and bounds
+hold across randomly drawn operating points."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.hal import HalSystem
+from repro.core.slb import SlbSystem
+from repro.core.static import HostOnlySystem, SnicOnlySystem
+from repro.net.traffic import ConstantRateGenerator, TrafficSpec
+
+SLOW = settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def run_system(system, rate, duration=0.03, batch=16):
+    generator = ConstantRateGenerator(
+        system.plan, TrafficSpec(batch=batch), system.rng, rate
+    )
+    metrics = system.run(generator, duration)
+    return generator, metrics
+
+
+def assert_conservation(generator, metrics):
+    """Every generated packet is delivered, dropped, or still queued."""
+    backlog = metrics.extras.get("final_backlog_packets", 0.0)
+    accounted = metrics.delivered_packets + metrics.dropped_packets
+    # after the drain, backlog packets have been delivered or dropped too
+    assert accounted >= generator.generated_packets - 1
+    assert accounted <= generator.generated_packets + 1
+    assert backlog >= 0
+
+
+class TestConservation:
+    @SLOW
+    @given(
+        rate=st.floats(min_value=2.0, max_value=100.0),
+        kind=st.sampled_from(["host", "snic"]),
+        function=st.sampled_from(["nat", "count", "rem"]),
+    )
+    def test_static_systems_conserve_packets(self, rate, kind, function):
+        system = (HostOnlySystem if kind == "host" else SnicOnlySystem)(function)
+        generator, metrics = run_system(system, rate)
+        assert_conservation(generator, metrics)
+        assert metrics.throughput_gbps <= rate * 1.05
+
+    @SLOW
+    @given(rate=st.floats(min_value=2.0, max_value=100.0))
+    def test_hal_conserves_packets(self, rate):
+        system = HalSystem("nat")
+        generator, metrics = run_system(system, rate)
+        assert_conservation(generator, metrics)
+        assert 0.0 <= metrics.snic_share <= 1.0
+
+    @SLOW
+    @given(
+        rate=st.floats(min_value=10.0, max_value=95.0),
+        threshold=st.floats(min_value=5.0, max_value=60.0),
+        cores=st.integers(min_value=1, max_value=6),
+    )
+    def test_slb_conserves_packets(self, rate, threshold, cores):
+        system = SlbSystem("nat", fwd_threshold_gbps=threshold, slb_cores=cores)
+        generator, metrics = run_system(system, rate)
+        assert_conservation(generator, metrics)
+
+
+class TestBounds:
+    @SLOW
+    @given(rate=st.floats(min_value=2.0, max_value=100.0))
+    def test_power_within_physical_envelope(self, rate):
+        for system in (HostOnlySystem("nat"), SnicOnlySystem("nat"), HalSystem("nat")):
+            _, metrics = run_system(system, rate)
+            assert 194.0 <= metrics.average_power_w <= 420.0
+
+    @SLOW
+    @given(
+        rate=st.floats(min_value=2.0, max_value=100.0),
+        function=st.sampled_from(["nat", "rem", "count"]),
+    )
+    def test_latency_positive_and_finite(self, rate, function):
+        _, metrics = run_system(HalSystem(function), rate)
+        if metrics.delivered_packets:
+            assert 0 < metrics.p99_latency_us < 1e6
+            assert metrics.mean_latency_us <= metrics.p99_latency_us * 1.01
+
+
+class TestDeterminism:
+    @settings(max_examples=4, deadline=None)
+    @given(
+        rate=st.floats(min_value=5.0, max_value=90.0),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_same_seed_same_result(self, rate, seed):
+        results = []
+        for _ in range(2):
+            system = HalSystem("nat", seed=seed)
+            _, metrics = run_system(system, rate)
+            results.append(
+                (
+                    metrics.delivered_packets,
+                    metrics.dropped_packets,
+                    round(metrics.p99_latency_us, 6),
+                    round(metrics.average_power_w, 6),
+                )
+            )
+        assert results[0] == results[1]

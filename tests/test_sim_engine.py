@@ -1,0 +1,176 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+def test_initial_state():
+    sim = Simulator()
+    assert sim.now == 0.0
+    assert sim.events_processed == 0
+    assert sim.pending() == 0
+    assert sim.peek() is None
+
+
+def test_schedule_and_run_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(0.3, fired.append, "c")
+    sim.schedule(0.1, fired.append, "a")
+    sim.schedule(0.2, fired.append, "b")
+    sim.run()
+    assert fired == ["a", "b", "c"]
+    assert sim.now == pytest.approx(0.3)
+
+
+def test_same_time_priority_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(0.1, fired.append, "late", priority=Simulator.PRIORITY_LATE)
+    sim.schedule(0.1, fired.append, "normal", priority=Simulator.PRIORITY_NORMAL)
+    sim.schedule(0.1, fired.append, "control", priority=Simulator.PRIORITY_CONTROL)
+    sim.run()
+    assert fired == ["control", "normal", "late"]
+
+
+def test_same_time_same_priority_fifo():
+    sim = Simulator()
+    fired = []
+    for i in range(5):
+        sim.schedule(0.1, fired.append, i)
+    sim.run()
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_run_until_stops_clock_at_until():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run(until=0.5)
+    assert sim.now == pytest.approx(0.5)
+    assert sim.pending() == 1
+    sim.run()
+    assert sim.now == pytest.approx(1.0)
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_past_rejected():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_cancel_event():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(0.1, fired.append, "x")
+    handle.cancel()
+    assert handle.cancelled
+    sim.run()
+    assert fired == []
+    assert sim.events_processed == 0
+
+
+def test_cancel_after_fire_is_noop():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(0.1, fired.append, "x")
+    sim.run()
+    handle.cancel()  # must not raise
+    assert fired == ["x"]
+
+
+def test_events_scheduled_during_run_execute():
+    sim = Simulator()
+    fired = []
+
+    def outer():
+        fired.append("outer")
+        sim.schedule(0.1, fired.append, "inner")
+
+    sim.schedule(0.1, outer)
+    sim.run()
+    assert fired == ["outer", "inner"]
+    assert sim.now == pytest.approx(0.2)
+
+
+def test_every_recurs_and_stops():
+    sim = Simulator()
+    count = [0]
+
+    def tick():
+        count[0] += 1
+
+    stop = sim.every(0.1, tick)
+    sim.run(until=0.55)
+    assert count[0] == 5
+    stop()
+    sim.run(until=2.0)
+    assert count[0] == 5
+
+
+def test_every_with_custom_start():
+    sim = Simulator()
+    times = []
+    sim.every(0.1, lambda: times.append(sim.now), start=0.0)
+    sim.run(until=0.25)
+    assert times[0] == pytest.approx(0.0)
+    assert len(times) == 3
+
+
+def test_every_rejects_nonpositive_period():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.every(0.0, lambda: None)
+
+
+def test_step_executes_one_event():
+    sim = Simulator()
+    fired = []
+    sim.schedule(0.1, fired.append, 1)
+    sim.schedule(0.2, fired.append, 2)
+    assert sim.step()
+    assert fired == [1]
+    assert sim.step()
+    assert fired == [1, 2]
+    assert not sim.step()
+
+
+def test_peek_skips_cancelled():
+    sim = Simulator()
+    handle = sim.schedule(0.1, lambda: None)
+    sim.schedule(0.2, lambda: None)
+    handle.cancel()
+    assert sim.peek() == pytest.approx(0.2)
+
+
+def test_max_events_bound():
+    sim = Simulator()
+    for i in range(10):
+        sim.schedule(0.1 * (i + 1), lambda: None)
+    sim.run(max_events=3)
+    assert sim.events_processed == 3
+
+
+def test_reentrant_run_rejected():
+    sim = Simulator()
+
+    def reenter():
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    sim.schedule(0.1, reenter)
+    sim.run()
+
+
+def test_clock_advances_to_until_even_with_no_events():
+    sim = Simulator()
+    sim.run(until=3.0)
+    assert sim.now == pytest.approx(3.0)

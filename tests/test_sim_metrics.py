@@ -1,0 +1,182 @@
+"""Unit tests for metrics primitives."""
+
+import pytest
+
+from repro.sim.metrics import (
+    LatencyReservoir,
+    PowerIntegrator,
+    RunMetrics,
+    ThroughputMeter,
+    TimeSeries,
+    percentile,
+)
+
+
+class TestPercentile:
+    def test_single_value(self):
+        assert percentile([5.0], 0.99) == 5.0
+
+    def test_endpoints(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 1.0) == 4.0
+
+    def test_interpolation(self):
+        assert percentile([0.0, 10.0], 0.5) == pytest.approx(5.0)
+
+    def test_median_odd(self):
+        assert percentile([1.0, 2.0, 9.0], 0.5) == 2.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+    def test_out_of_range_fraction(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+
+class TestLatencyReservoir:
+    def test_basic_stats(self):
+        r = LatencyReservoir()
+        for v in (1.0, 2.0, 3.0):
+            r.record(v)
+        assert r.count == 3
+        assert r.mean == pytest.approx(2.0)
+        assert r.max == 3.0
+
+    def test_p99_of_uniform_ramp(self):
+        r = LatencyReservoir()
+        for i in range(1000):
+            r.record(float(i))
+        assert r.p99() == pytest.approx(989.01, rel=0.01)
+        assert r.p50() == pytest.approx(499.5, rel=0.01)
+
+    def test_negative_rejected(self):
+        r = LatencyReservoir()
+        with pytest.raises(ValueError):
+            r.record(-1.0)
+
+    def test_empty_quantile_zero(self):
+        assert LatencyReservoir().p99() == 0.0
+
+    def test_reservoir_bounded_memory(self):
+        r = LatencyReservoir(max_samples=100)
+        for i in range(10_000):
+            r.record(float(i % 50))
+        assert len(r._samples) == 100
+        assert r.count == 10_000
+        # all sampled values must come from the recorded population
+        assert all(0 <= v < 50 for v in r._samples)
+
+    def test_reservoir_sampling_roughly_unbiased(self):
+        r = LatencyReservoir(max_samples=500)
+        # bimodal population: half zeros, half hundreds
+        for i in range(20_000):
+            r.record(0.0 if i % 2 == 0 else 100.0)
+        assert 30.0 < r.quantile(0.5 - 1e-9) or r.quantile(0.6) == 100.0
+
+
+class TestThroughputMeter:
+    def test_rates(self):
+        m = ThroughputMeter()
+        m.start_window(0.0)
+        m.record(125_000_000, npackets=1000)  # 1 Gbit
+        assert m.gbps(1.0) == pytest.approx(1.0)
+        assert m.mpps(1.0) == pytest.approx(0.001)
+
+    def test_zero_elapsed(self):
+        m = ThroughputMeter()
+        m.start_window(5.0)
+        assert m.gbps(5.0) == 0.0
+
+    def test_negative_rejected(self):
+        m = ThroughputMeter()
+        with pytest.raises(ValueError):
+            m.record(-1)
+
+
+class TestPowerIntegrator:
+    def test_constant_level(self):
+        p = PowerIntegrator()
+        p.set_level("idle", 100.0, 0.0)
+        assert p.average_watts(10.0) == pytest.approx(100.0)
+        assert p.energy_joules(10.0) == pytest.approx(1000.0)
+
+    def test_level_change_weighted(self):
+        p = PowerIntegrator()
+        p.set_level("cpu", 0.0, 0.0)
+        p.set_level("cpu", 100.0, 5.0)
+        assert p.average_watts(10.0) == pytest.approx(50.0)
+
+    def test_multiple_components(self):
+        p = PowerIntegrator()
+        p.set_level("a", 10.0, 0.0)
+        p.set_level("b", 20.0, 0.0)
+        assert p.average_watts(2.0) == pytest.approx(30.0)
+        assert p.average_watts(2.0, "a") == pytest.approx(10.0)
+        assert set(p.components()) == {"a", "b"}
+
+    def test_instantaneous(self):
+        p = PowerIntegrator()
+        p.set_level("a", 42.0, 0.0)
+        assert p.instantaneous_watts() == 42.0
+
+    def test_backwards_time_rejected(self):
+        p = PowerIntegrator()
+        p.set_level("a", 1.0, 5.0)
+        with pytest.raises(ValueError):
+            p.set_level("a", 2.0, 1.0)
+
+    def test_negative_power_rejected(self):
+        p = PowerIntegrator()
+        with pytest.raises(ValueError):
+            p.set_level("a", -1.0, 0.0)
+
+
+class TestTimeSeries:
+    def test_append_and_stats(self):
+        ts = TimeSeries("rates")
+        ts.append(0.0, 1.0)
+        ts.append(1.0, 3.0)
+        assert len(ts) == 2
+        assert ts.mean == pytest.approx(2.0)
+        assert ts.maximum == 3.0
+
+    def test_time_order_enforced(self):
+        ts = TimeSeries("x")
+        ts.append(1.0, 1.0)
+        with pytest.raises(ValueError):
+            ts.append(0.5, 2.0)
+
+    def test_empty_stats(self):
+        ts = TimeSeries("empty")
+        assert ts.mean == 0.0
+        assert ts.maximum == 0.0
+
+
+class TestRunMetrics:
+    def test_throughput(self):
+        m = RunMetrics(duration_s=2.0, delivered_bytes=250_000_000)
+        assert m.throughput_gbps == pytest.approx(1.0)
+
+    def test_zero_duration(self):
+        assert RunMetrics().throughput_gbps == 0.0
+
+    def test_drop_rate(self):
+        m = RunMetrics(generated_packets=100, dropped_packets=5)
+        assert m.drop_rate == pytest.approx(0.05)
+        assert RunMetrics().drop_rate == 0.0
+
+    def test_energy_efficiency(self):
+        m = RunMetrics(duration_s=1.0, delivered_bytes=12_500_000_000)
+        m.average_power_w = 200.0
+        assert m.energy_efficiency == pytest.approx(0.5)
+        m.average_power_w = 0.0
+        assert m.energy_efficiency == 0.0
+
+    def test_latency_conversions(self):
+        m = RunMetrics()
+        m.latency.record(100e-6)
+        assert m.p99_latency_us == pytest.approx(100.0)
+        assert m.mean_latency_us == pytest.approx(100.0)

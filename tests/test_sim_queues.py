@@ -1,0 +1,112 @@
+"""Unit tests for bounded FIFO queues."""
+
+import pytest
+
+from repro.sim.queues import BoundedQueue
+
+
+def test_fifo_order():
+    q = BoundedQueue(4)
+    for i in range(4):
+        assert q.push(i)
+    assert [q.pop() for _ in range(4)] == [0, 1, 2, 3]
+
+
+def test_capacity_enforced_and_drops_counted():
+    q = BoundedQueue(2)
+    assert q.push("a")
+    assert q.push("b")
+    assert not q.push("c")
+    assert q.dropped == 1
+    assert len(q) == 2
+
+
+def test_pop_empty_returns_none():
+    q = BoundedQueue(1)
+    assert q.pop() is None
+
+
+def test_occupancy_and_free():
+    q = BoundedQueue(3)
+    q.push(1)
+    assert q.occupancy == 1
+    assert q.free == 2
+    assert not q.is_empty()
+    assert not q.is_full()
+    q.push(2)
+    q.push(3)
+    assert q.is_full()
+
+
+def test_pop_burst():
+    q = BoundedQueue(10)
+    for i in range(5):
+        q.push(i)
+    burst = q.pop_burst(3)
+    assert burst == [0, 1, 2]
+    assert q.occupancy == 2
+    assert q.pop_burst(10) == [3, 4]
+    assert q.pop_burst(10) == []
+
+
+def test_push_many_partial():
+    q = BoundedQueue(3)
+    accepted = q.push_many([1, 2, 3, 4, 5])
+    assert accepted == 3
+    assert q.dropped == 2
+
+
+def test_peak_occupancy_tracking():
+    q = BoundedQueue(10)
+    for i in range(7):
+        q.push(i)
+    for _ in range(7):
+        q.pop()
+    assert q.peak_occupancy == 7
+    assert q.occupancy == 0
+
+
+def test_counters():
+    q = BoundedQueue(5)
+    for i in range(5):
+        q.push(i)
+    q.pop()
+    q.pop()
+    assert q.enqueued == 5
+    assert q.dequeued == 2
+
+
+def test_reset_stats_preserves_items():
+    q = BoundedQueue(5)
+    q.push(1)
+    q.push(2)
+    q.reset_stats()
+    assert q.enqueued == 0
+    assert q.occupancy == 2
+    assert q.peak_occupancy == 2
+
+
+def test_clear():
+    q = BoundedQueue(5)
+    q.push(1)
+    q.clear()
+    assert q.is_empty()
+
+
+def test_peek_does_not_remove():
+    q = BoundedQueue(5)
+    q.push("head")
+    assert q.peek() == "head"
+    assert q.occupancy == 1
+
+
+def test_invalid_capacity():
+    with pytest.raises(ValueError):
+        BoundedQueue(0)
+
+
+def test_iteration():
+    q = BoundedQueue(5)
+    q.push(1)
+    q.push(2)
+    assert list(q) == [1, 2]

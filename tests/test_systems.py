@@ -1,0 +1,213 @@
+"""Integration tests for the four evaluated server systems.
+
+These exercise complete client→server→client simulations and assert the
+paper's qualitative findings hold in the model.
+"""
+
+import pytest
+
+from repro.core.hal import HalSystem
+from repro.core.slb import HostSideSlbSystem, SlbSystem
+from repro.core.static import HostOnlySystem, PlatformSystem, SnicOnlySystem
+from repro.net.traffic import ConstantRateGenerator, TrafficSpec
+
+DURATION = 0.1
+
+
+def run(system, rate_gbps, duration=DURATION, batch=16):
+    generator = ConstantRateGenerator(
+        system.plan, TrafficSpec(batch=batch), system.rng, rate_gbps
+    )
+    return system.run(generator, duration)
+
+
+class TestHostOnly:
+    def test_sustains_high_rate(self):
+        m = run(HostOnlySystem("nat"), 80.0)
+        assert m.throughput_gbps == pytest.approx(80.0, rel=0.02)
+        assert m.drop_rate < 0.01
+
+    def test_power_includes_polling(self):
+        m = run(HostOnlySystem("nat"), 5.0)
+        assert m.average_power_w > 194.0 + 40.0  # idle + polling floor
+
+    def test_latency_flat_below_capacity(self):
+        low = run(HostOnlySystem("nat"), 10.0)
+        mid = run(HostOnlySystem("nat"), 60.0)
+        assert mid.p99_latency_us < low.p99_latency_us * 2.5
+
+
+class TestSnicOnly:
+    def test_saturates_at_capacity(self):
+        m = run(SnicOnlySystem("nat"), 80.0)
+        assert m.throughput_gbps == pytest.approx(41.5, rel=0.05)
+        assert m.drop_rate > 0.3
+
+    def test_low_rate_low_power(self):
+        m = run(SnicOnlySystem("nat"), 10.0)
+        assert m.average_power_w < 200.0
+
+    def test_energy_advantage_below_slo(self):
+        """§III-C: the SNIC wins system EE at low rates."""
+        snic = run(SnicOnlySystem("nat"), 30.0)
+        host = run(HostOnlySystem("nat"), 30.0)
+        assert snic.energy_efficiency > host.energy_efficiency * 1.15
+
+    def test_p99_explodes_past_capacity(self):
+        below = run(SnicOnlySystem("nat"), 35.0)
+        above = run(SnicOnlySystem("nat"), 60.0)
+        assert above.p99_latency_us > below.p99_latency_us * 5
+
+
+class TestHal:
+    def test_tracks_snic_at_low_rate(self):
+        hal = run(HalSystem("nat"), 20.0)
+        snic = run(SnicOnlySystem("nat"), 20.0)
+        assert hal.snic_share == pytest.approx(1.0)
+        assert hal.average_power_w == pytest.approx(snic.average_power_w, rel=0.02)
+        # §VII-A: ~3% latency difference at low rates
+        assert hal.p99_latency_us == pytest.approx(snic.p99_latency_us, rel=0.10)
+
+    def test_linear_throughput_past_snic_capacity(self):
+        for rate in (60.0, 80.0):
+            m = run(HalSystem("nat"), rate)
+            assert m.throughput_gbps == pytest.approx(rate, rel=0.02)
+            assert m.drop_rate < 0.01
+
+    def test_p99_bounded_at_high_rate(self):
+        hal = run(HalSystem("nat"), 80.0)
+        snic = run(SnicOnlySystem("nat"), 80.0)
+        assert hal.p99_latency_us < snic.p99_latency_us / 3
+
+    def test_power_between_snic_and_host(self):
+        hal = run(HalSystem("nat"), 80.0)
+        host = run(HostOnlySystem("nat"), 80.0)
+        snic = run(SnicOnlySystem("nat"), 80.0)
+        assert snic.average_power_w < hal.average_power_w < host.average_power_w
+
+    def test_ee_beats_host_at_all_rates(self):
+        for rate in (10.0, 41.0, 80.0):
+            hal = run(HalSystem("nat"), rate)
+            host = run(HostOnlySystem("nat"), rate)
+            assert hal.energy_efficiency > host.energy_efficiency
+
+    def test_merger_rewrites_host_responses(self):
+        system = HalSystem("nat")
+        run(system, 80.0)
+        assert system.hlb.merger.merged_packets > 0
+        assert system.metrics.extras["merged_packets"] > 0
+
+    def test_host_sleeps_at_low_rate(self):
+        system = HalSystem("nat")
+        run(system, 10.0)
+        assert system.host_engine.sleeping
+        assert system.metrics.extras["host_wakeups"] == 0
+
+    def test_host_wakes_under_excess(self):
+        system = HalSystem("nat")
+        run(system, 80.0)
+        assert system.metrics.extras["host_wakeups"] >= 1
+
+    def test_threshold_converges_near_slo(self):
+        system = HalSystem("nat")
+        run(system, 80.0, duration=0.2)
+        threshold = system.metrics.extras["fwd_threshold_gbps"]
+        assert 35.0 < threshold < 48.0
+
+    def test_stateful_uses_cxl_domain(self):
+        system = HalSystem("count", interconnect="cxl")
+        run(system, 80.0)
+        assert system.state_domain is not None
+        assert "coherence_stall_s" in system.metrics.extras
+
+    def test_pcie_interconnect_costlier_for_stateful(self):
+        cxl = HalSystem("count", interconnect="cxl")
+        pcie = HalSystem("count", interconnect="pcie")
+        run(cxl, 80.0)
+        run(pcie, 80.0)
+        assert (
+            pcie.state_domain.costs.ownership_s > cxl.state_domain.costs.ownership_s
+        )
+
+    def test_stateless_has_no_domain(self):
+        system = HalSystem("nat")
+        assert system.state_domain is None
+
+    def test_compression_rejected(self):
+        with pytest.raises(ValueError):
+            HalSystem("compress")
+
+    def test_invalid_interconnect(self):
+        with pytest.raises(ValueError):
+            HalSystem("count", interconnect="infiniband")
+
+
+class TestSlb:
+    def test_four_cores_forward_sixty_gbps(self):
+        m = run(SlbSystem("nat", fwd_threshold_gbps=20.0, slb_cores=4), 80.0)
+        assert m.throughput_gbps == pytest.approx(80.0, rel=0.05)
+
+    def test_one_core_drops_most_excess(self):
+        m = run(SlbSystem("nat", fwd_threshold_gbps=20.0, slb_cores=1), 80.0)
+        assert 0.45 < m.drop_rate < 0.70  # paper: 58-61%
+
+    def test_throughput_decays_with_high_threshold(self):
+        low = run(SlbSystem("nat", fwd_threshold_gbps=20.0, slb_cores=4), 80.0)
+        high = run(SlbSystem("nat", fwd_threshold_gbps=60.0, slb_cores=4), 80.0)
+        assert high.throughput_gbps < low.throughput_gbps
+        assert high.throughput_gbps == pytest.approx(53.0, rel=0.1)
+
+    def test_worse_p99_than_hal(self):
+        slb = run(SlbSystem("nat", fwd_threshold_gbps=40.0, slb_cores=4), 80.0)
+        hal = run(HalSystem("nat"), 80.0)
+        assert slb.p99_latency_us > hal.p99_latency_us * 2
+
+    def test_core_split_validation(self):
+        with pytest.raises(ValueError):
+            SlbSystem("nat", slb_cores=0)
+        with pytest.raises(ValueError):
+            SlbSystem("nat", slb_cores=8)
+
+    def test_forward_stats_recorded(self):
+        system = SlbSystem("nat", fwd_threshold_gbps=20.0, slb_cores=4)
+        m = run(system, 80.0)
+        assert m.extras["forwarded_packets"] > 0
+
+
+class TestHostSideSlb:
+    def test_functionally_balances(self):
+        m = run(HostSideSlbSystem("nat", fwd_threshold_gbps=30.0), 80.0)
+        assert m.throughput_gbps == pytest.approx(80.0, rel=0.1)
+        assert 0.0 < m.snic_share < 1.0
+
+    def test_worse_p99_than_snic_direct_for_dpdk_forwarding(self):
+        """§IV: host-side SLB doubles DPDK processing (~2.3x HAL's p99
+        for MTU-size DPDK packet processing)."""
+        host_slb = run(HostSideSlbSystem("dpdk-fwd", fwd_threshold_gbps=58.0), 40.0)
+        snic = run(SnicOnlySystem("dpdk-fwd"), 40.0)
+        assert host_slb.p99_latency_us > snic.p99_latency_us * 1.5
+
+    def test_keeps_host_powered_at_low_rates(self):
+        host_slb = run(HostSideSlbSystem("nat", fwd_threshold_gbps=41.0), 10.0)
+        hal = run(HalSystem("nat"), 10.0)
+        assert host_slb.average_power_w > hal.average_power_w + 30.0
+
+
+class TestPlatformSystem:
+    def test_bf3_vs_spr_gap(self):
+        bf3 = run(PlatformSystem("knn", platform="bf3"), 80.0)
+        spr = run(PlatformSystem("knn", platform="spr"), 80.0)
+        assert spr.throughput_gbps > bf3.throughput_gbps
+
+    def test_unknown_platform(self):
+        with pytest.raises(ValueError):
+            PlatformSystem("nat", platform="riscv")
+
+
+class TestFunctionalMode:
+    def test_real_nf_runs_during_simulation(self):
+        system = HostOnlySystem("nat", functional_rate=0.01)
+        run(system, 20.0)
+        assert system.nf is not None
+        assert system.nf.requests_processed > 0
+        assert len(system.nf.table) > 0
