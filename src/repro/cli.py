@@ -4,11 +4,18 @@ Usage::
 
     python -m repro list
     python -m repro fig9 [--duration 0.5] [--seed 7] [--out results.txt]
-    python -m repro all
+    python -m repro fig5 --jobs 4            # fan runs out over 4 processes
+    python -m repro all --cache              # content-addressed result cache
+    python -m repro artifact --jobs 0        # batch mode, one worker per core
 
 Each experiment prints the reproduced table/figure series; ``--out``
 additionally writes it to a file (like the artifact's per-figure .txt
-outputs).
+outputs).  ``--jobs N`` runs the experiment's independent simulations
+through a process pool (``0`` = one worker per CPU core; the default
+``1`` keeps the historical sequential, in-process execution).
+``--cache``/``--no-cache`` control the on-disk result cache under
+``--cache-dir`` (default ``.repro-cache``); artifact mode caches by
+default so interrupted batches resume and re-runs are near-free.
 """
 
 from __future__ import annotations
@@ -18,8 +25,9 @@ import sys
 import time
 from typing import List, Optional
 
-from repro.exp.experiments import available_experiments, run_experiment
+from repro.exp.experiments import available_experiments, run_experiment_via
 from repro.exp.server import RunConfig
+from repro.runner import DEFAULT_CACHE_DIR, ResultCache, Runner, use_runner
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -54,6 +62,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--functional-rate", type=float, default=0.0,
         help="fraction of packets that run the real NF computation",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for independent simulation runs "
+        "(default 1 = sequential in-process; 0 = one per CPU core)",
+    )
+    parser.add_argument(
+        "--cache", dest="cache", action="store_true", default=None,
+        help="reuse/store results in the content-addressed cache "
+        "(default: on for artifact mode, off otherwise)",
+    )
+    parser.add_argument(
+        "--no-cache", dest="cache", action="store_false",
+        help="disable the result cache",
+    )
+    parser.add_argument(
+        "--cache-dir", type=str, default=DEFAULT_CACHE_DIR,
+        help=f"result cache directory (default {DEFAULT_CACHE_DIR})",
+    )
     parser.add_argument("--out", type=str, default=None, help="also write to file")
     parser.add_argument(
         "--plot", type=str, default=None, metavar="YCOL",
@@ -61,6 +87,16 @@ def build_parser() -> argparse.ArgumentParser:
         "given column against offered_gbps (e.g. --plot p99_us)",
     )
     return parser
+
+
+def make_runner(args: argparse.Namespace) -> Runner:
+    """Translate --jobs/--cache/--cache-dir into a Runner."""
+    cache_on = args.cache if args.cache is not None else args.experiment == "artifact"
+    return Runner(
+        jobs=args.jobs,
+        cache=ResultCache(args.cache_dir) if cache_on else None,
+        progress=args.jobs != 1,
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -76,31 +112,41 @@ def main(argv: Optional[List[str]] = None) -> int:
         batch=args.batch,
         functional_rate=args.functional_rate,
     )
+    runner = make_runner(args)
     if args.experiment == "artifact":
         from repro.exp.artifact import run_all
 
-        run = run_all(args.run_name, results_dir=args.results_dir, config=config)
+        run = run_all(
+            args.run_name,
+            results_dir=args.results_dir,
+            config=config,
+            runner=runner,
+        )
         for name, wall in run.wall_times_s.items():
-            print(f"{name:20s} {wall:7.1f}s -> {run.run_dir}/{name}.txt")
+            status = " (cached)" if run.cached.get(name) else ""
+            if name in run.failures:
+                status = " FAILED"
+            print(f"{name:20s} {wall:7.1f}s -> {run.run_dir}/{name}.txt{status}")
         print(f"manifest: {run.run_dir}/MANIFEST.txt")
-        return 0
+        return 1 if run.failures else 0
 
     names = (
         available_experiments() if args.experiment == "all" else [args.experiment]
     )
     outputs: List[str] = []
-    for name in names:
-        started = time.time()
-        result = run_experiment(name, config)
-        text = result.to_text()
-        if args.plot and "offered_gbps" in result.columns:
-            from repro.exp.plots import chart_experiment
+    with use_runner(runner):
+        for name in names:
+            started = time.time()
+            result = run_experiment_via(runner, name, config)
+            text = result.to_text()
+            if args.plot and "offered_gbps" in result.columns:
+                from repro.exp.plots import chart_experiment
 
-            text += "\n\n" + chart_experiment(result, "offered_gbps", args.plot)
-        text += f"\n({time.time() - started:.1f}s wall)"
-        print(text)
-        print()
-        outputs.append(text)
+                text += "\n\n" + chart_experiment(result, "offered_gbps", args.plot)
+            text += f"\n({time.time() - started:.1f}s wall)"
+            print(text)
+            print()
+            outputs.append(text)
     if args.out:
         with open(args.out, "w") as fh:
             fh.write("\n\n".join(outputs) + "\n")

@@ -2,22 +2,30 @@
 
 The paper's artifact drives everything through
 ``run_all_fig.sh <run_name>`` and stores per-figure ``.txt`` results.
-This module mirrors that workflow: :func:`run_all` executes a chosen set
-of experiments, writes ``<results_dir>/<run_name>/<experiment>.txt`` for
-each, plus a ``MANIFEST.txt`` with the configuration and wall times, and
-returns the collected results.
+This module mirrors that workflow on top of the orchestration
+subsystem: :func:`run_all` fans the chosen experiments out through a
+:class:`repro.runner.Runner` (process pool and/or result cache when one
+is supplied, plain in-process execution otherwise), writes
+``<results_dir>/<run_name>/<experiment>.txt`` for each, plus a
+``MANIFEST.txt`` with the configuration, wall times, and any failures,
+and returns the collected results.
+
+A failed experiment is recorded in the manifest and in
+:attr:`ArtifactRun.failures`; its siblings still run to completion, so
+an interrupted or partially-broken batch can be re-run and — with the
+cache warm — only redo the missing work.
 """
 
 from __future__ import annotations
 
 import os
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.exp.experiments import available_experiments, run_experiment
+from repro.exp.experiments import available_experiments
 from repro.exp.report import ExperimentResult
 from repro.exp.server import RunConfig
+from repro.runner import JobSpec, Runner
 
 #: the cheap always-on set; heavyweight grids opt in explicitly
 DEFAULT_EXPERIMENTS = (
@@ -40,6 +48,8 @@ class ArtifactRun:
     config: RunConfig
     results: Dict[str, ExperimentResult] = field(default_factory=dict)
     wall_times_s: Dict[str, float] = field(default_factory=dict)
+    cached: Dict[str, bool] = field(default_factory=dict)
+    failures: Dict[str, str] = field(default_factory=dict)
 
     @property
     def run_dir(self) -> str:
@@ -51,39 +61,58 @@ def run_all(
     results_dir: str = "results",
     experiments: Optional[Sequence[str]] = None,
     config: RunConfig = RunConfig(),
+    runner: Optional[Runner] = None,
 ) -> ArtifactRun:
     """Execute ``experiments`` and persist one .txt per figure/table."""
     names = list(experiments) if experiments else list(DEFAULT_EXPERIMENTS)
     unknown = set(names) - set(available_experiments())
     if unknown:
         raise KeyError(f"unknown experiments: {sorted(unknown)}")
+    runner = runner or Runner()
 
     run = ArtifactRun(run_name=run_name, results_dir=results_dir, config=config)
     os.makedirs(run.run_dir, exist_ok=True)
-    for name in names:
-        started = time.time()
-        result = run_experiment(name, config)
-        run.wall_times_s[name] = time.time() - started
+    specs = [JobSpec.experiment(name, config) for name in names]
+    report = runner.run(specs, strict=False)
+    for name, outcome in zip(names, report.outcomes):
+        run.wall_times_s[name] = outcome.wall_s
+        run.cached[name] = outcome.cached
+        if not outcome.ok:
+            run.failures[name] = outcome.error or "unknown failure"
+            continue
+        result = outcome.decoded()
         run.results[name] = result
         path = os.path.join(run.run_dir, f"{name}.txt")
         with open(path, "w") as fh:
             fh.write(result.to_text() + "\n")
-    _write_manifest(run)
+    _write_manifest(run, runner)
     return run
 
 
-def _write_manifest(run: ArtifactRun) -> None:
+def _write_manifest(run: ArtifactRun, runner: Runner) -> None:
     lines: List[str] = [
         f"run: {run.run_name}",
         f"duration_s per run: {run.config.duration_s}",
         f"seed: {run.config.seed}",
+        f"jobs: {runner.jobs}",
+        f"cache: {runner.cache.root if runner.cache else 'off'}",
         "",
         "experiment            wall_s  rows",
     ]
-    for name, result in run.results.items():
+    for name in run.wall_times_s:
+        if name in run.failures:
+            lines.append(f"{name:20s} {run.wall_times_s[name]:7.1f}  FAILED")
+            continue
+        result = run.results[name]
+        cached = "  (cached)" if run.cached.get(name) else ""
         lines.append(
-            f"{name:20s} {run.wall_times_s[name]:7.1f}  {len(result.rows):4d}"
+            f"{name:20s} {run.wall_times_s[name]:7.1f}  {len(result.rows):4d}{cached}"
         )
+    if run.failures:
+        lines.append("")
+        for name, error in run.failures.items():
+            lines.append(f"FAILED {name}:")
+            lines.extend(f"  {line}" for line in error.strip().splitlines())
     with open(os.path.join(run.run_dir, "MANIFEST.txt"), "w") as fh:
         fh.write("\n".join(lines) + "\n")
 

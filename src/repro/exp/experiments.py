@@ -1,4 +1,11 @@
-"""Experiment registry: figure/table id → runner."""
+"""Experiment registry: figure/table id → runner function.
+
+:func:`run_experiment` is the raw in-process path.
+:func:`run_experiment_via` layers the orchestration subsystem on top:
+an experiment-level entry in the runner's result cache, and the runner
+installed as *current* while the experiment executes so its internal
+fan-out (rate sweeps, trace grids) parallelizes and caches per run.
+"""
 
 from __future__ import annotations
 
@@ -54,3 +61,24 @@ def run_experiment(name: str, config: RunConfig) -> ExperimentResult:
             f"unknown experiment {name!r}; known: {available_experiments()}"
         )
     return EXPERIMENTS[name](config)
+
+
+def run_experiment_via(runner, name: str, config: RunConfig) -> ExperimentResult:
+    """Run one experiment through ``runner`` (cache + parallel fan-out)."""
+    from repro.runner import JobSpec, use_runner
+    from repro.runner.executor import experiment_payload
+
+    if name not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {name!r}; known: {available_experiments()}"
+        )
+    spec = JobSpec.experiment(name, config)
+    if runner.cache is not None:
+        payload = runner.cache.get(spec)
+        if payload is not None:
+            return ExperimentResult.from_dict(payload["data"])
+    with use_runner(runner):
+        result = run_experiment(name, config)
+    if runner.cache is not None:
+        runner.cache.put(spec, experiment_payload(result))
+    return result

@@ -12,8 +12,8 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.exp.report import ExperimentResult
-from repro.exp.server import DEFAULT_CONFIG, RunConfig, build_system
-from repro.net.traffic import ConstantRateGenerator
+from repro.exp.server import DEFAULT_CONFIG, RunConfig
+from repro.runner import JobSpec, current_runner
 
 OFFERED_GBPS = 80.0
 THRESHOLDS = (20.0, 30.0, 40.0, 50.0, 60.0)
@@ -38,10 +38,18 @@ def run(
             "forwarded_gbps",
         ),
     )
-    # reference: the SNIC simply processing everything (no SLB)
-    baseline = build_system("snic", "nat", config)
-    gen = ConstantRateGenerator(baseline.plan, config.spec(offered_gbps), baseline.rng, offered_gbps)
-    base_metrics = baseline.run(gen, config.duration_s)
+    # reference: the SNIC simply processing everything (no SLB), followed
+    # by the (cores × threshold) grid — one batch, fanned out by the runner
+    specs = [JobSpec.at_rate("snic", "nat", offered_gbps, config)]
+    grid = [(cores, threshold) for cores in core_counts for threshold in thresholds]
+    specs += [
+        JobSpec.at_rate(
+            "slb", "nat", offered_gbps, config,
+            fwd_threshold_gbps=threshold, slb_cores=cores,
+        )
+        for cores, threshold in grid
+    ]
+    base_metrics, *grid_metrics = current_runner().map_metrics(specs)
     result.add_note(
         f"SNIC-only reference at {offered_gbps:.0f} Gbps: "
         f"tp={base_metrics.throughput_gbps:.1f} Gbps, "
@@ -49,27 +57,18 @@ def run(
         f"drops={base_metrics.drop_rate:.0%}"
     )
 
-    for cores in core_counts:
-        for threshold in thresholds:
-            system = build_system(
-                "slb", "nat", config,
-                fwd_threshold_gbps=threshold, slb_cores=cores,
-            )
-            generator = ConstantRateGenerator(
-                system.plan, config.spec(offered_gbps), system.rng, offered_gbps
-            )
-            m = system.run(generator, config.duration_s)
-            forwarded_bits = (
-                m.extras.get("forwarded_packets", 0.0) * config.packet_bytes * 8
-            )
-            result.add_row(
-                slb_cores=cores,
-                fwd_th_gbps=threshold,
-                tp_gbps=m.throughput_gbps,
-                p99_us=m.p99_latency_us,
-                drop_rate=m.drop_rate,
-                forwarded_gbps=forwarded_bits / config.duration_s / 1e9,
-            )
+    for (cores, threshold), m in zip(grid, grid_metrics):
+        forwarded_bits = (
+            m.extras.get("forwarded_packets", 0.0) * config.packet_bytes * 8
+        )
+        result.add_row(
+            slb_cores=cores,
+            fwd_th_gbps=threshold,
+            tp_gbps=m.throughput_gbps,
+            p99_us=m.p99_latency_us,
+            drop_rate=m.drop_rate,
+            forwarded_gbps=forwarded_bits / config.duration_s / 1e9,
+        )
     result.add_note(
         "paper: 1 core drops 58-61%; 4 cores ~80 Gbps at Fwd_Th=20 (p99 worse "
         "than no SLB at all), decaying to ~53 Gbps at Fwd_Th=60"

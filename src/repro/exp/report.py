@@ -54,6 +54,26 @@ class ExperimentResult:
             raise KeyError(f"unknown column {name!r}")
         return [row.get(name) for row in self.rows]
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe form; ``from_dict`` round-trips ``to_text`` exactly."""
+        return {
+            "experiment": self.experiment,
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [dict(row) for row in self.rows],
+            "notes": list(self.notes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ExperimentResult":
+        return cls(
+            experiment=data["experiment"],
+            title=data["title"],
+            columns=list(data["columns"]),
+            rows=[dict(row) for row in data["rows"]],
+            notes=list(data["notes"]),
+        )
+
     def to_text(self, precision: int = 2) -> str:
         headers = list(self.columns)
         table = [

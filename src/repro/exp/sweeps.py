@@ -21,10 +21,24 @@ from repro.exp.server import (
     RunConfig,
     auto_batch,
     measure_base_p99_us,
-    run_at_rate,
 )
 from repro.hw.profiles import LINE_RATE_GBPS, bf3_profile, get_profile, spr_profile
+from repro.runner import JobSpec, current_runner
 from repro.sim.metrics import RunMetrics
+
+
+def run_at_rate(
+    kind: str,
+    function: str,
+    rate_gbps: float,
+    config: RunConfig = DEFAULT_CONFIG,
+    **kwargs,
+) -> RunMetrics:
+    """One constant-rate run, routed through the ambient runner so search
+    probes hit the result cache when one is active."""
+    return current_runner().run_one(
+        JobSpec.at_rate(kind, function, rate_gbps, config, **kwargs)
+    )
 
 
 @dataclass
@@ -50,10 +64,11 @@ def rate_sweep(
 ) -> List[SweepPoint]:
     rates = list(rates)
     config = _pin_batch(config, sorted(rates)[len(rates) // 2])
-    return [
-        SweepPoint(rate, run_at_rate(kind, function, rate, config, **kwargs))
-        for rate in rates
+    specs = [
+        JobSpec.at_rate(kind, function, rate, config, **kwargs) for rate in rates
     ]
+    metrics = current_runner().map_metrics(specs)
+    return [SweepPoint(rate, m) for rate, m in zip(rates, metrics)]
 
 
 def find_max_throughput(

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import math
 import random
+import zlib
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional
@@ -121,7 +122,10 @@ class ProcessingEngine:
         # gamma-distributed per-packet service when the profile declares a
         # coefficient of variation (input-dependent work, §III / Table II)
         self.service_cv = profile.service_cv
-        self._jitter_rng = random.Random(hash(self.name) & 0xFFFF)
+        # zlib.crc32 rather than hash(): str hashing is randomized per
+        # interpreter invocation, which would make otherwise-identical runs
+        # (and the runner's content-addressed cache) non-reproducible
+        self._jitter_rng = random.Random(zlib.crc32(self.name.encode()) & 0xFFFF)
 
         # delivered-rate EWMA feeding the overload-latency model: engines
         # running above their SLO knee hold work in deeper pipeline/ring

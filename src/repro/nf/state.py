@@ -16,6 +16,7 @@ who must pay coherence latency when.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, Set
 
@@ -81,6 +82,12 @@ class SharedStateDomain:
         self.stats = CoherenceStats()
 
     def _block_of(self, key: object) -> int:
+        # str/bytes hashing is randomized per interpreter invocation, which
+        # would make block placement (and the runner's content-addressed
+        # cache) non-reproducible; crc32 is stable
+        if isinstance(key, (str, bytes)):
+            data = key.encode() if isinstance(key, str) else key
+            return zlib.crc32(data) % self.block_count
         return hash(key) % self.block_count
 
     def access(self, agent: str, key: object, write: bool) -> float:

@@ -1,0 +1,30 @@
+"""Parallel experiment orchestration with a content-addressed cache.
+
+* :mod:`repro.runner.spec` — :class:`JobSpec`, the pure/hashable job model;
+* :mod:`repro.runner.executor` — worker-side execution, payload codecs;
+* :mod:`repro.runner.cache` — the ``.repro-cache/`` JSON result store;
+* :mod:`repro.runner.runner` — :class:`Runner` (process pool, retries,
+  progress) and :class:`BatchReport`;
+* :mod:`repro.runner.context` — the ambient runner experiment code uses.
+"""
+
+from repro.runner.cache import DEFAULT_CACHE_DIR, ResultCache, code_salt
+from repro.runner.context import current_runner, use_runner
+from repro.runner.executor import decode_payload, execute_job
+from repro.runner.runner import BatchReport, JobOutcome, Runner, RunnerError
+from repro.runner.spec import JobSpec
+
+__all__ = [
+    "BatchReport",
+    "DEFAULT_CACHE_DIR",
+    "JobOutcome",
+    "JobSpec",
+    "ResultCache",
+    "Runner",
+    "RunnerError",
+    "code_salt",
+    "current_runner",
+    "decode_payload",
+    "execute_job",
+    "use_runner",
+]

@@ -1,0 +1,98 @@
+"""Content-addressed on-disk result cache.
+
+Results live under ``<root>/<code-salt>/<hh>/<hash>.json`` where
+``hash`` is the :meth:`JobSpec.content_hash` and ``code-salt`` digests
+every ``.py`` file of the :mod:`repro` package — editing any simulator
+source invalidates the whole cache tier rather than serving results
+computed by old code.
+
+Entries are written atomically (temp file + ``os.replace``) so an
+interrupted batch never leaves a half-written JSON behind; reads treat
+any unreadable, unparsable, or spec-mismatched entry as a miss and let
+the runner recompute.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from functools import lru_cache
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.runner.spec import JobSpec
+
+#: default cache location, relative to the working directory
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: bump to invalidate caches across payload-format changes
+PAYLOAD_VERSION = 1
+
+
+@lru_cache(maxsize=1)
+def code_salt() -> str:
+    """Digest of the repro package sources (the cache's version key)."""
+    import repro
+
+    root = Path(repro.__file__).parent
+    digest = hashlib.sha256()
+    digest.update(f"payload-v{PAYLOAD_VERSION}".encode())
+    for path in sorted(root.rglob("*.py")):
+        digest.update(path.relative_to(root).as_posix().encode())
+        digest.update(path.read_bytes())
+    return digest.hexdigest()[:16]
+
+
+class ResultCache:
+    """Get/put of job payloads, keyed by spec content hash."""
+
+    def __init__(self, root: str = DEFAULT_CACHE_DIR) -> None:
+        self.root = root
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, spec: JobSpec) -> str:
+        digest = spec.content_hash()
+        return os.path.join(self.root, code_salt(), digest[:2], f"{digest}.json")
+
+    def get(self, spec: JobSpec) -> Optional[Dict[str, Any]]:
+        """The cached payload for ``spec``, or None on any kind of miss."""
+        path = self.path_for(spec)
+        try:
+            with open(path) as fh:
+                entry = json.load(fh)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        payload = entry.get("payload") if isinstance(entry, dict) else None
+        # the spec echo guards against hash collisions and hand-edited files
+        if (
+            not isinstance(payload, dict)
+            or "kind" not in payload
+            or "data" not in payload
+            or entry.get("spec") != spec.canonical()
+        ):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, spec: JobSpec, payload: Dict[str, Any]) -> None:
+        path = self.path_for(spec)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        entry = {"spec": spec.canonical(), "payload": payload}
+        fd, tmp = tempfile.mkstemp(
+            dir=os.path.dirname(path), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(entry, fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise

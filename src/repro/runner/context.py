@@ -1,0 +1,41 @@
+"""The ambient runner.
+
+Experiment code (``exp.sweeps``, ``exp.fig5``, ``exp.table5``, …) does
+not thread a runner argument through every call chain; it asks for the
+*current* runner.  The default is a sequential, uncached runner — byte
+identical to the pre-runner in-process loops — and the CLI (or a test)
+installs a parallel/cached one around a whole experiment with
+:func:`use_runner`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runner.runner import Runner
+
+_current: Optional["Runner"] = None
+
+
+def current_runner() -> "Runner":
+    """The active runner (a sequential, uncached one by default)."""
+    global _current
+    if _current is None:
+        from repro.runner.runner import Runner
+
+        _current = Runner()
+    return _current
+
+
+@contextmanager
+def use_runner(runner: "Runner") -> Iterator["Runner"]:
+    """Make ``runner`` current for the duration of the block."""
+    global _current
+    previous = _current
+    _current = runner
+    try:
+        yield runner
+    finally:
+        _current = previous

@@ -1,0 +1,81 @@
+"""Job execution — the code that actually runs inside worker processes.
+
+:func:`execute_job` is a module-level function (so it pickles cleanly
+for ``ProcessPoolExecutor``) mapping a :class:`JobSpec` to a JSON-safe
+payload dict ``{"kind": "metrics"|"experiment", "data": ...}``.  The
+same function backs the sequential path, so parallel and sequential
+execution share one code path and one result format.
+
+``experiment`` jobs install a *sequential* cache-backed runner inside
+the worker: the nested per-run jobs the experiment fans out then
+populate the same cache at run granularity, which is what lets an
+interrupted ``artifact`` batch resume mid-experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.exp.server import run_at_rate, run_trace
+from repro.runner.spec import JobSpec
+
+#: number of jobs actually computed (not served from cache) in this
+#: process — tests assert cache hits through this counter
+EXECUTION_COUNT = 0
+
+
+def metrics_payload(metrics: Any) -> Dict[str, Any]:
+    return {"kind": "metrics", "data": metrics.to_dict()}
+
+
+def experiment_payload(result: Any) -> Dict[str, Any]:
+    return {"kind": "experiment", "data": result.to_dict()}
+
+
+def decode_payload(payload: Dict[str, Any]) -> Any:
+    """Payload dict → RunMetrics / ExperimentResult."""
+    from repro.exp.report import ExperimentResult
+    from repro.sim.metrics import RunMetrics
+
+    if payload["kind"] == "metrics":
+        return RunMetrics.from_dict(payload["data"])
+    if payload["kind"] == "experiment":
+        return ExperimentResult.from_dict(payload["data"])
+    raise ValueError(f"unknown payload kind {payload['kind']!r}")
+
+
+def _compute(spec: JobSpec) -> Dict[str, Any]:
+    global EXECUTION_COUNT
+    EXECUTION_COUNT += 1
+    params = dict(spec.params)
+    if spec.op == "at_rate":
+        return metrics_payload(
+            run_at_rate(spec.kind, spec.function, spec.rate_gbps, spec.config, **params)
+        )
+    if spec.op == "trace":
+        return metrics_payload(
+            run_trace(spec.kind, spec.function, spec.trace, spec.config, **params)
+        )
+    if spec.op == "experiment":
+        # imported lazily: experiments → fig modules → sweeps → runner
+        from repro.exp.experiments import run_experiment
+
+        return experiment_payload(run_experiment(spec.name, spec.config))
+    raise ValueError(f"unknown job op {spec.op!r}")
+
+
+def execute_job(spec: JobSpec, cache_dir: Optional[str] = None) -> Dict[str, Any]:
+    """Worker entry point: compute one spec's payload.
+
+    When ``cache_dir`` is given, nested runs (the fan-out inside an
+    ``experiment`` job) go through a sequential runner backed by that
+    cache; the top-level get/put for ``spec`` itself is the parent
+    runner's responsibility.
+    """
+    from repro.runner.cache import ResultCache
+    from repro.runner.context import use_runner
+    from repro.runner.runner import Runner
+
+    inner = Runner(jobs=1, cache=ResultCache(cache_dir) if cache_dir else None)
+    with use_runner(inner):
+        return _compute(spec)

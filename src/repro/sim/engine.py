@@ -29,15 +29,17 @@ class _Event:
     callback: Callable[..., None] = field(compare=False)
     args: Tuple[Any, ...] = field(compare=False, default=())
     cancelled: bool = field(compare=False, default=False)
+    popped: bool = field(compare=False, default=False)
 
 
 class EventHandle:
     """Handle to a scheduled event, allowing cancellation."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_sim")
 
-    def __init__(self, event: _Event) -> None:
+    def __init__(self, event: _Event, sim: "Simulator") -> None:
         self._event = event
+        self._sim = sim
 
     @property
     def time(self) -> float:
@@ -49,7 +51,11 @@ class EventHandle:
 
     def cancel(self) -> None:
         """Cancel the event; a no-op if it already fired or was cancelled."""
-        self._event.cancelled = True
+        event = self._event
+        if event.cancelled or event.popped:
+            return
+        event.cancelled = True
+        self._sim._note_cancelled()
 
 
 class Simulator:
@@ -67,12 +73,34 @@ class Simulator:
     #: priority for bookkeeping that must follow data events
     PRIORITY_LATE = 20
 
+    #: cancelled events are compacted out of the heap once they outnumber
+    #: the live ones (and the heap is big enough for a rebuild to pay off)
+    _COMPACT_MIN_CANCELLED = 16
+
     def __init__(self) -> None:
         self._heap: List[_Event] = []
         self._seq = itertools.count()
         self._now = 0.0
         self._running = False
         self._events_processed = 0
+        self._cancelled_in_heap = 0
+
+    def _note_cancelled(self) -> None:
+        self._cancelled_in_heap += 1
+        if (
+            self._cancelled_in_heap > self._COMPACT_MIN_CANCELLED
+            and self._cancelled_in_heap * 2 > len(self._heap)
+        ):
+            self._heap = [e for e in self._heap if not e.cancelled]
+            heapq.heapify(self._heap)
+            self._cancelled_in_heap = 0
+
+    def _pop_event(self) -> _Event:
+        event = heapq.heappop(self._heap)
+        event.popped = True
+        if event.cancelled:
+            self._cancelled_in_heap -= 1
+        return event
 
     @property
     def now(self) -> float:
@@ -110,7 +138,7 @@ class Simulator:
             )
         event = _Event(when, priority, next(self._seq), callback, args)
         heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        return EventHandle(event, self)
 
     def every(
         self,
@@ -157,7 +185,7 @@ class Simulator:
                 event = self._heap[0]
                 if until is not None and event.time > until:
                     break
-                heapq.heappop(self._heap)
+                self._pop_event()
                 if event.cancelled:
                     continue
                 self._now = event.time
@@ -175,7 +203,7 @@ class Simulator:
     def step(self) -> bool:
         """Execute exactly one pending event. Returns False if none remain."""
         while self._heap:
-            event = heapq.heappop(self._heap)
+            event = self._pop_event()
             if event.cancelled:
                 continue
             self._now = event.time
@@ -187,9 +215,9 @@ class Simulator:
     def peek(self) -> Optional[float]:
         """Time of the next pending (non-cancelled) event, or None."""
         while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+            self._pop_event()
         return self._heap[0].time if self._heap else None
 
     def pending(self) -> int:
         """Number of scheduled, not-yet-cancelled events."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        return len(self._heap) - self._cancelled_in_heap

@@ -50,7 +50,9 @@ class LatencyReservoir:
         if max_samples <= 0:
             raise ValueError("max_samples must be positive")
         self._max_samples = max_samples
+        self._seed = seed
         self._samples: List[float] = []
+        self._sorted: Optional[List[float]] = None
         self._count = 0
         self._sum = 0.0
         self._max = 0.0
@@ -65,6 +67,7 @@ class LatencyReservoir:
             raise ValueError(f"latency cannot be negative (got {value})")
         self._count += 1
         self._sum += value
+        self._sorted = None
         if value > self._max:
             self._max = value
         if len(self._samples) < self._max_samples:
@@ -89,7 +92,9 @@ class LatencyReservoir:
     def quantile(self, fraction: float) -> float:
         if not self._samples:
             return 0.0
-        return percentile(sorted(self._samples), fraction)
+        if self._sorted is None:
+            self._sorted = sorted(self._samples)
+        return percentile(self._sorted, fraction)
 
     def p50(self) -> float:
         return self.quantile(0.50)
@@ -99,6 +104,35 @@ class LatencyReservoir:
 
     def p999(self) -> float:
         return self.quantile(0.999)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe snapshot (floats round-trip exactly through ``json``)."""
+        return {
+            "max_samples": self._max_samples,
+            "seed": self._seed,
+            "count": self._count,
+            "sum": self._sum,
+            "max": self._max,
+            "samples": list(self._samples),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "LatencyReservoir":
+        """Rebuild a reservoir snapshot.
+
+        Percentile/mean/max queries are exact. The sampling RNG restarts
+        from the original seed, so only a reservoir that is *recorded
+        into again* after more than ``max_samples`` prior observations
+        could diverge from the never-serialized original.
+        """
+        reservoir = cls(
+            max_samples=int(data["max_samples"]), seed=int(data["seed"])
+        )
+        reservoir._samples = [float(v) for v in data["samples"]]
+        reservoir._count = int(data["count"])
+        reservoir._sum = float(data["sum"])
+        reservoir._max = float(data["max"])
+        return reservoir
 
 
 class ThroughputMeter:
@@ -249,3 +283,35 @@ class RunMetrics:
         if self.average_power_w <= 0:
             return 0.0
         return self.throughput_gbps / self.average_power_w
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe form, the unit the runner's result cache stores."""
+        return {
+            "offered_gbps": self.offered_gbps,
+            "duration_s": self.duration_s,
+            "delivered_bytes": self.delivered_bytes,
+            "delivered_packets": self.delivered_packets,
+            "dropped_packets": self.dropped_packets,
+            "generated_packets": self.generated_packets,
+            "latency": self.latency.to_dict(),
+            "average_power_w": self.average_power_w,
+            "power_breakdown": dict(self.power_breakdown),
+            "snic_share": self.snic_share,
+            "extras": dict(self.extras),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RunMetrics":
+        return cls(
+            offered_gbps=float(data["offered_gbps"]),
+            duration_s=float(data["duration_s"]),
+            delivered_bytes=int(data["delivered_bytes"]),
+            delivered_packets=int(data["delivered_packets"]),
+            dropped_packets=int(data["dropped_packets"]),
+            generated_packets=int(data["generated_packets"]),
+            latency=LatencyReservoir.from_dict(data["latency"]),
+            average_power_w=float(data["average_power_w"]),
+            power_breakdown=dict(data["power_breakdown"]),
+            snic_share=float(data["snic_share"]),
+            extras=dict(data["extras"]),
+        )

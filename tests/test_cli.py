@@ -66,3 +66,58 @@ class TestArtifactMode:
         assert "MANIFEST" in out
         assert (tmp_path / "t" / "table1.txt").exists()
         assert (tmp_path / "t" / "costs.txt").exists()
+
+
+class TestRunnerFlags:
+    def test_defaults_sequential_uncached(self):
+        from repro.cli import make_runner
+
+        args = build_parser().parse_args(["fig8"])
+        assert args.jobs == 1
+        assert args.cache is None
+        runner = make_runner(args)
+        assert runner.jobs == 1
+        assert runner.cache is None
+
+    def test_artifact_caches_by_default(self):
+        from repro.cli import make_runner
+
+        args = build_parser().parse_args(["artifact"])
+        runner = make_runner(args)
+        assert runner.cache is not None
+
+    def test_no_cache_overrides_artifact_default(self):
+        from repro.cli import make_runner
+
+        args = build_parser().parse_args(["artifact", "--no-cache"])
+        assert make_runner(args).cache is None
+
+    def test_cache_dir_and_jobs(self, tmp_path):
+        from repro.cli import make_runner
+
+        args = build_parser().parse_args(
+            ["fig4", "--jobs", "3", "--cache", "--cache-dir", str(tmp_path)]
+        )
+        runner = make_runner(args)
+        assert runner.jobs == 3
+        assert runner.cache.root == str(tmp_path)
+
+    def test_jobs_zero_means_all_cores(self):
+        import os
+
+        from repro.cli import make_runner
+
+        args = build_parser().parse_args(["fig4", "--jobs", "0"])
+        assert make_runner(args).jobs == (os.cpu_count() or 1)
+
+    def test_cached_rerun_prints_identical_table(self, tmp_path, capsys):
+        flags = ["costs", "--cache", "--cache-dir", str(tmp_path / "c")]
+        assert main(flags) == 0
+        first = capsys.readouterr().out
+        assert main(flags) == 0
+        second = capsys.readouterr().out
+
+        def table(text):  # strip the wall-clock line, which always differs
+            return [l for l in text.splitlines() if "s wall" not in l]
+
+        assert table(first) == table(second)

@@ -174,3 +174,57 @@ def test_clock_advances_to_until_even_with_no_events():
     sim = Simulator()
     sim.run(until=3.0)
     assert sim.now == pytest.approx(3.0)
+
+
+def test_cancelled_events_compacted_from_heap():
+    sim = Simulator()
+    handles = [sim.schedule(0.1 * (i + 1), lambda: None) for i in range(100)]
+    for handle in handles[:60]:
+        handle.cancel()
+    # more than half the heap was cancelled → lazy compaction kicked in
+    # (at the triggering cancel; later cancels below threshold may remain)
+    assert len(sim._heap) <= 49
+    assert sim.pending() == 40
+    sim.run()
+    assert sim.events_processed == 40
+
+
+def test_pending_is_exact_without_compaction():
+    sim = Simulator()
+    handles = [sim.schedule(0.1 * (i + 1), lambda: None) for i in range(10)]
+    handles[3].cancel()
+    handles[7].cancel()
+    assert sim.pending() == 8  # below threshold: no rebuild, still exact
+    sim.run()
+    assert sim.events_processed == 8
+
+
+def test_double_cancel_counts_once():
+    sim = Simulator()
+    keep = [sim.schedule(0.1 * (i + 1), lambda: None) for i in range(5)]
+    victim = sim.schedule(1.0, lambda: None)
+    victim.cancel()
+    victim.cancel()
+    assert sim.pending() == 5
+    sim.run()
+    assert sim.events_processed == 5
+    assert keep
+
+
+def test_cancel_after_fire_is_noop():
+    sim = Simulator()
+    handle = sim.schedule(0.1, lambda: None)
+    sim.run()
+    handle.cancel()  # already fired; must not corrupt the pending count
+    assert sim.pending() == 0
+    sim.schedule(0.2, lambda: None)
+    assert sim.pending() == 1
+
+
+def test_peek_skips_cancelled_and_keeps_count():
+    sim = Simulator()
+    first = sim.schedule(0.1, lambda: None)
+    sim.schedule(0.2, lambda: None)
+    first.cancel()
+    assert sim.peek() == pytest.approx(0.2)
+    assert sim.pending() == 1

@@ -180,3 +180,79 @@ class TestRunMetrics:
         m.latency.record(100e-6)
         assert m.p99_latency_us == pytest.approx(100.0)
         assert m.mean_latency_us == pytest.approx(100.0)
+
+
+class TestSerialization:
+    def test_reservoir_round_trip(self):
+        from repro.sim.metrics import LatencyReservoir
+
+        reservoir = LatencyReservoir(max_samples=100, seed=9)
+        for i in range(50):
+            reservoir.record(i * 1e-6)
+        restored = LatencyReservoir.from_dict(reservoir.to_dict())
+        assert restored.count == reservoir.count
+        assert restored.mean == reservoir.mean
+        assert restored.max == reservoir.max
+        for q in (0.5, 0.99, 0.999):
+            assert restored.quantile(q) == reservoir.quantile(q)
+
+    def test_reservoir_round_trip_is_json_safe(self):
+        import json
+
+        from repro.sim.metrics import LatencyReservoir
+
+        reservoir = LatencyReservoir()
+        reservoir.record(1.25e-6)
+        reservoir.record(7.375e-6)
+        data = json.loads(json.dumps(reservoir.to_dict()))
+        assert LatencyReservoir.from_dict(data).p99() == reservoir.p99()
+
+    def test_run_metrics_round_trip(self):
+        import json
+
+        m = RunMetrics(
+            offered_gbps=40.0,
+            duration_s=0.25,
+            delivered_bytes=1_000_000,
+            delivered_packets=667,
+            dropped_packets=3,
+            generated_packets=670,
+            average_power_w=250.5,
+            power_breakdown={"host": 200.0, "snic": 50.5},
+            snic_share=0.4,
+            extras={"final_backlog_packets": 12.0},
+        )
+        m.latency.record(50e-6)
+        m.latency.record(80e-6)
+        restored = RunMetrics.from_dict(json.loads(json.dumps(m.to_dict())))
+        assert restored.to_dict() == m.to_dict()
+        assert restored.throughput_gbps == m.throughput_gbps
+        assert restored.p99_latency_us == m.p99_latency_us
+        assert restored.drop_rate == m.drop_rate
+        assert restored.energy_efficiency == m.energy_efficiency
+
+
+class TestQuantileSortCache:
+    def test_sorted_view_reused_across_queries(self):
+        from repro.sim.metrics import LatencyReservoir
+
+        reservoir = LatencyReservoir()
+        for value in (3.0, 1.0, 2.0):
+            reservoir.record(value)
+        assert reservoir._sorted is None
+        reservoir.p50()
+        first = reservoir._sorted
+        assert first == [1.0, 2.0, 3.0]
+        reservoir.p99()
+        reservoir.p999()
+        assert reservoir._sorted is first  # no re-sort between queries
+
+    def test_record_invalidates_sorted_view(self):
+        from repro.sim.metrics import LatencyReservoir
+
+        reservoir = LatencyReservoir()
+        reservoir.record(2.0)
+        assert reservoir.quantile(1.0) == 2.0
+        reservoir.record(5.0)
+        assert reservoir._sorted is None
+        assert reservoir.quantile(1.0) == 5.0
