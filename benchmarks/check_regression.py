@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Gate a hot-path benchmark run against the committed baseline.
+
+Usage::
+
+    python benchmarks/check_regression.py BENCH_results.json \
+        [--baseline benchmarks/baseline.json] [--tolerance 0.30]
+
+Exit status 1 when any metric regresses past the tolerance — throughput
+metrics (``*_per_s``) by dropping below ``baseline * (1 - tolerance)``,
+wall-clock metrics by rising above ``baseline * (1 + tolerance)``.
+Direction per metric comes from :data:`repro.bench.METRIC_DIRECTIONS`.
+
+The fig5 identity fields are compared exactly: a payload-hash change
+means the "optimisation" changed simulated results and always fails,
+whatever the timings say. A spec-hash change only warns — the cache key
+covers the source tree, so it moves with any code edit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+sys.path.insert(0, "src")
+
+from repro.bench import METRIC_DIRECTIONS  # noqa: E402
+
+DEFAULT_BASELINE = "benchmarks/baseline.json"
+DEFAULT_TOLERANCE = 0.30
+
+
+def check(current: dict, baseline: dict, tolerance: float) -> int:
+    failures = 0
+    if current.get("scale") != baseline.get("scale"):
+        print(
+            f"WARNING: scale mismatch (current {current.get('scale')} vs "
+            f"baseline {baseline.get('scale')}) — timings not comparable"
+        )
+    for name, base_value in baseline["metrics"].items():
+        value = current["metrics"].get(name)
+        if value is None:
+            print(f"FAIL {name}: missing from current results")
+            failures += 1
+            continue
+        direction = METRIC_DIRECTIONS.get(name, "higher")
+        if direction == "higher":
+            bound = base_value * (1.0 - tolerance)
+            ok = value >= bound
+            verdict = f"{value:,.0f} vs baseline {base_value:,.0f} (floor {bound:,.0f})"
+        else:
+            bound = base_value * (1.0 + tolerance)
+            ok = value <= bound
+            verdict = f"{value:.3f} vs baseline {base_value:.3f} (ceiling {bound:.3f})"
+        print(f"{'ok  ' if ok else 'FAIL'} {name}: {verdict}")
+        if not ok:
+            failures += 1
+
+    base_sha = baseline.get("identity", {}).get("fig5_payload_sha256")
+    cur_sha = current.get("identity", {}).get("fig5_payload_sha256")
+    if base_sha and cur_sha:
+        if base_sha == cur_sha:
+            print(f"ok   fig5 payload identity: {cur_sha[:16]}…")
+        else:
+            print(
+                f"FAIL fig5 payload identity: {cur_sha[:16]}… != "
+                f"baseline {base_sha[:16]}… (simulated results changed)"
+            )
+            failures += 1
+    base_key = baseline.get("identity", {}).get("fig5_spec_hash")
+    cur_key = current.get("identity", {}).get("fig5_spec_hash")
+    if base_key and cur_key and base_key != cur_key:
+        print(
+            f"note fig5 cache key moved ({cur_key[:16]}… vs {base_key[:16]}…) "
+            "— expected whenever repro sources change"
+        )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("results", help="BENCH_results.json from a bench run")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE)
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE)
+    args = parser.parse_args(argv)
+    with open(args.results) as fh:
+        current = json.load(fh)
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    failures = check(current, baseline, args.tolerance)
+    if failures:
+        print(f"{failures} benchmark regression(s) past ±{args.tolerance:.0%}")
+        return 1
+    print(f"all benchmarks within ±{args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,163 @@
+"""Perf-regression benchmarks for the simulation hot path.
+
+Three numbers summarise the layers the hot-path work targets:
+
+* ``kernel_events_per_s`` — raw event throughput of the simulation
+  kernel, measured on a self-scheduling event chain (no packet work);
+* ``datapath_packets_per_s`` — packet construct + HLB director/merger
+  rewrite + checksum-read cycles per second (no simulator);
+* ``fig5_cell_wall_s`` — wall-clock of one fixed Fig. 5 smoke cell run
+  end-to-end through :func:`repro.runner.executor.execute_job`.
+
+Alongside the timings, the fig5 cell's result-payload SHA-256 and its
+:meth:`JobSpec.content_hash` cache key are recorded so a perf change that
+silently alters simulated results (the one thing this PR's optimisations
+must never do) shows up as an identity diff, not just a speed diff.
+
+Entry points: ``python -m repro bench [--bench-json FILE]``, the
+``--bench-json`` option of ``pytest benchmarks/``, and
+``benchmarks/check_regression.py`` for the CI gate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+from time import perf_counter
+from typing import Any, Dict, Optional
+
+#: bump when the metric definitions change incompatibly
+BENCH_SCHEMA = 1
+
+#: throughput metrics regress when they go *down*; wall-clock metrics
+#: regress when they go *up* — check_regression.py reads this map
+METRIC_DIRECTIONS: Dict[str, str] = {
+    "kernel_events_per_s": "higher",
+    "datapath_packets_per_s": "higher",
+    "fig5_cell_wall_s": "lower",
+}
+
+
+def bench_kernel(num_events: int = 200_000, repeats: int = 3) -> float:
+    """Events/second over a self-scheduling chain (best of ``repeats``)."""
+    from repro.sim.engine import Simulator
+
+    best = 0.0
+    for _ in range(repeats):
+        sim = Simulator()
+
+        def chain(remaining: int) -> None:
+            if remaining:
+                sim.schedule(1e-6, chain, remaining - 1)
+
+        chain(num_events)
+        t0 = perf_counter()
+        sim.run()
+        best = max(best, sim.events_processed / (perf_counter() - t0))
+    return best
+
+
+def bench_datapath(cycles: int = 50_000, repeats: int = 3) -> float:
+    """Packet construct + rewrite + checksum cycles/second (best of N)."""
+    from repro.net.addressing import AddressPlan
+    from repro.net.packet import Packet
+
+    plan = AddressPlan.default()
+    best = 0.0
+    for _ in range(repeats):
+        t0 = perf_counter()
+        for _ in range(cycles):
+            p = Packet(src=plan.client, dst=plan.snic)
+            p.rewrite_destination(plan.host)
+            p.rewrite_source(plan.snic)
+            p.checksum  # force the lazy computation
+        best = max(best, cycles / (perf_counter() - t0))
+    return best
+
+
+def fig5_smoke_spec():
+    """The fixed Fig. 5 cell benchmarked end-to-end (SLB, NAT @ 80 Gbps,
+    20 Gbps threshold, 4 cores, 0.05 simulated seconds, seed 2024)."""
+    from repro.exp.server import RunConfig
+    from repro.runner.spec import JobSpec
+
+    config = RunConfig(duration_s=0.05, seed=2024)
+    return JobSpec.at_rate(
+        "slb", "nat", 80.0, config, fwd_threshold_gbps=20.0, slb_cores=4
+    )
+
+
+def bench_fig5(repeats: int = 3) -> Dict[str, Any]:
+    """Wall-clock + result identity of the fixed fig5 smoke cell."""
+    # build the spec before touching the executor: repro.exp must load
+    # ahead of repro.runner or their circular import trips
+    spec = fig5_smoke_spec()
+    from repro.runner.executor import execute_job
+    best_wall = float("inf")
+    payload = None
+    for _ in range(repeats):
+        t0 = perf_counter()
+        payload = execute_job(spec)
+        best_wall = min(best_wall, perf_counter() - t0)
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return {
+        "wall_s": best_wall,
+        "payload_sha256": hashlib.sha256(blob.encode()).hexdigest(),
+        "spec_hash": spec.content_hash(),
+    }
+
+
+def run_bench(scale: float = 1.0) -> Dict[str, Any]:
+    """Run all benchmarks; ``scale`` shrinks/grows the workload sizes
+    (CI smoke runs use ``scale < 1`` — regression gating should compare
+    like-for-like scales only)."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    kernel_events = max(1_000, int(200_000 * scale))
+    datapath_cycles = max(1_000, int(50_000 * scale))
+    fig5 = bench_fig5()
+    return {
+        "schema": BENCH_SCHEMA,
+        "scale": scale,
+        "python": platform.python_version(),
+        "metrics": {
+            "kernel_events_per_s": bench_kernel(kernel_events),
+            "datapath_packets_per_s": bench_datapath(datapath_cycles),
+            "fig5_cell_wall_s": fig5["wall_s"],
+        },
+        "identity": {
+            "fig5_payload_sha256": fig5["payload_sha256"],
+            "fig5_spec_hash": fig5["spec_hash"],
+        },
+    }
+
+
+def format_results(results: Dict[str, Any]) -> str:
+    metrics = results["metrics"]
+    identity = results["identity"]
+    lines = [
+        "hot-path benchmarks (scale %g)" % results["scale"],
+        f"  kernel     {metrics['kernel_events_per_s']:12,.0f} events/s",
+        f"  datapath   {metrics['datapath_packets_per_s']:12,.0f} packets/s",
+        f"  fig5 cell  {metrics['fig5_cell_wall_s']:12.3f} s wall",
+        f"  fig5 payload sha256 {identity['fig5_payload_sha256'][:16]}…",
+        f"  fig5 cache key      {identity['fig5_spec_hash'][:16]}…",
+    ]
+    return "\n".join(lines)
+
+
+def write_results(results: Dict[str, Any], path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(results, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def run_and_report(bench_json: Optional[str] = None, scale: float = 1.0) -> Dict[str, Any]:
+    """CLI helper: run, print the summary, optionally write the JSON."""
+    results = run_bench(scale=scale)
+    print(format_results(results))
+    if bench_json:
+        write_results(results, bench_json)
+        print(f"wrote {bench_json}")
+    return results

@@ -7,6 +7,7 @@ Usage::
     python -m repro fig5 --jobs 4            # fan runs out over 4 processes
     python -m repro all --cache              # content-addressed result cache
     python -m repro artifact --jobs 0        # batch mode, one worker per core
+    python -m repro bench --bench-json BENCH_results.json
 
 Each experiment prints the reproduced table/figure series; ``--out``
 additionally writes it to a file (like the artifact's per-figure .txt
@@ -38,7 +39,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         help="experiment id (fig2..fig10, table1/2/5, costs, ...), 'all', "
-        "'list', or 'artifact' (batch-run the default set into --results-dir)",
+        "'list', 'bench' (hot-path perf benchmarks), or 'artifact' "
+        "(batch-run the default set into --results-dir)",
+    )
+    parser.add_argument(
+        "--bench-json", type=str, default=None, metavar="FILE",
+        help="bench mode: also write the benchmark results as JSON "
+        "(e.g. BENCH_results.json, diffed by benchmarks/check_regression.py)",
+    )
+    parser.add_argument(
+        "--bench-scale", type=float, default=1.0,
+        help="bench mode: scale factor for the benchmark workload sizes "
+        "(default 1.0; CI smoke runs may use less)",
     )
     parser.add_argument(
         "--run-name", type=str, default="run0",
@@ -104,6 +116,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.experiment == "list":
         for name in available_experiments():
             print(name)
+        return 0
+    if args.experiment == "bench":
+        from repro.bench import run_and_report
+
+        run_and_report(bench_json=args.bench_json, scale=args.bench_scale)
         return 0
 
     config = RunConfig(

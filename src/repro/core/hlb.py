@@ -27,7 +27,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.net.addressing import AddressPlan
-from repro.net.packet import Packet
+from repro.net.packet import Packet, rewrite_delta
 from repro.sim.engine import Simulator
 
 #: measured round-trip addition of the FPGA HLB datapath (§VII-C)
@@ -117,6 +117,10 @@ class TrafficDirector:
         self._tokens_bits = self._bucket_capacity_bits()  # start full
         self._last_refill = sim.now
         self.stats = DirectorStats()
+        # warm the memoized RFC 1624 delta for the one rewrite this block
+        # performs (snic → host), so the steady-state redirect is a single
+        # cached incremental-update application
+        rewrite_delta(plan.snic, plan.host)
 
     @property
     def fwd_threshold_gbps(self) -> float:
@@ -172,6 +176,8 @@ class TrafficMerger:
     def __init__(self, plan: AddressPlan) -> None:
         self.plan = plan
         self.merged_packets = 0
+        # warm the memoized host → snic masquerade delta (see TrafficDirector)
+        rewrite_delta(plan.host, plan.snic)
 
     def merge(self, packet: Packet) -> Packet:
         if packet.src == self.plan.host:

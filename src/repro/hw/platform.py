@@ -26,7 +26,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional
 
-from repro.hw.profiles import EngineProfile
+from repro.hw.profiles import EngineProfile, service_costs
 from repro.net.packet import Packet
 from repro.sim.engine import Simulator
 from repro.sim.metrics import LatencyReservoir, RunMetrics
@@ -134,13 +134,29 @@ class ProcessingEngine:
         self._rate_bps_ewma = 0.0
         self._rate_last_t = sim.now
 
-        capacity_bps = profile.capacity_with_cores(self.active_cores) * 1e9
-        self._per_core_bps = capacity_bps / self.active_cores
+        # pre-derived per-service constants (unit conversions, per-core
+        # rate, cv²) — see repro.hw.profiles.service_costs. Profiles are
+        # frozen and engine coefficients never change after construction,
+        # so the hot path reads these instead of converting per packet.
+        costs = service_costs(profile, self.active_cores)
+        self._per_core_bps = costs.per_core_bps
+        self._per_packet_overhead_s = costs.per_packet_overhead_s
+        self._base_latency_s = costs.base_latency_s
+        self._overload_ramp_s = costs.overload_latency_s
+        self._service_cv_sq = costs.service_cv_sq
+        self._capacity_gbps = costs.capacity_gbps
+        # the forward-stage back-dating charge, summed exactly as the hot
+        # path's parenthesized (base + delivery) expression did
+        self._forward_charge_s = costs.base_latency_s + delivery_latency_s
         self._rings: List[PacketRing] = [
             PacketRing(profile.queue_capacity_packets)
             for _ in range(self.active_cores)
         ]
         self._core_busy: List[bool] = [False] * self.active_cores
+        # running count of True entries in _core_busy: busy_cores (and the
+        # power model's utilization reads through it) is on the per-service
+        # path, so it must not re-sum the list every transition
+        self._busy_count = 0
         # packets that finished service but are still in flight through the
         # deepened pipeline while the engine runs above its SLO knee; they
         # count toward the observable ring occupancy (backpressure)
@@ -183,20 +199,21 @@ class ProcessingEngine:
 
     @property
     def busy_cores(self) -> int:
-        return sum(self._core_busy)
+        return self._busy_count
 
     @property
     def utilization(self) -> float:
-        return self.busy_cores / self.active_cores
+        return self._busy_count / self.active_cores
 
     @property
     def capacity_gbps(self) -> float:
-        return self._per_core_bps * self.active_cores / 1e9
+        return self._capacity_gbps
 
     # -- data path -------------------------------------------------------
     def receive(self, packet: Packet) -> None:
         """Packet delivered to this engine's Rx rings (RSS by flow)."""
-        self.received_packets += packet.multiplicity
+        multiplicity = packet.multiplicity
+        self.received_packets += multiplicity
         if self.dispatch == "roundrobin":
             core = self._dispatch_counter % self.active_cores
             self._dispatch_counter += 1
@@ -204,9 +221,9 @@ class ProcessingEngine:
             core = packet.flow_id % self.active_cores
         ring = self._rings[core]
         if not ring.push(packet):
-            self.dropped_packets += packet.multiplicity
+            self.dropped_packets += multiplicity
             if self.metrics is not None:
-                self.metrics.dropped_packets += packet.multiplicity
+                self.metrics.dropped_packets += multiplicity
             return
         if self.sleeping:
             self._begin_wake()
@@ -234,25 +251,29 @@ class ProcessingEngine:
         packet = self._rings[core].pop()
         if packet is None:
             return
-        self._core_busy[core] = True
-        self._notify_power()
-        service_s = packet.wire_bits / self._per_core_bps
-        if self.profile.per_packet_overhead_us > 0:
+        if not self._core_busy[core]:
+            self._core_busy[core] = True
+            self._busy_count += 1
+        callback = self.on_power_change
+        if callback is not None:
+            callback(self)
+        multiplicity = packet.multiplicity
+        service_s = packet.size_bytes * 8 * multiplicity / self._per_core_bps
+        if self._per_packet_overhead_s > 0:
             # fixed per-packet cost: descriptor handling, header parsing —
             # dominates for small packets (§III-A)
-            service_s += (
-                self.profile.per_packet_overhead_us * 1e-6 * packet.multiplicity
-            )
+            service_s += self._per_packet_overhead_s * multiplicity
         if self.service_cv > 0:
             # mean-preserving gamma draw; a batched event of B packets
             # averages B draws, so its relative spread shrinks by sqrt(B)
-            shape = packet.multiplicity / (self.service_cv**2)
+            shape = multiplicity / self._service_cv_sq
             service_s *= self._jitter_rng.gammavariate(shape, 1.0 / shape)
         if self.service_jitter:
             service_s *= 1.0 + self.service_jitter * (
                 2.0 * self._jitter_rng.random() - 1.0
             )
-        service_s += self._coherence_stall(packet)
+        if self.state_domain is not None:
+            service_s += self._coherence_stall(packet)
         self.sim.schedule(service_s, self._finish_service, core, packet)
 
     def _coherence_stall(self, packet: Packet) -> float:
@@ -264,7 +285,7 @@ class ProcessingEngine:
         return self.state_domain.access(self.state_agent, packet.flow_id, write=True)
 
     def _update_rate_ewma(self, wire_bits: int) -> None:
-        now = self.sim.now
+        now = self.sim._now
         dt = now - self._rate_last_t
         if dt > 0:
             self._rate_bps_ewma *= math.exp(-dt / self._rate_tau_s)
@@ -273,26 +294,26 @@ class ProcessingEngine:
 
     def _overload_latency_s(self) -> float:
         knee = self.profile.slo_knee_gbps
-        if knee is None or self.profile.overload_latency_us <= 0:
+        if knee is None or self._overload_ramp_s <= 0:
             return 0.0
-        cap = self.capacity_gbps
+        cap = self._capacity_gbps
         if cap <= knee:
             return 0.0
         frac = (self._rate_bps_ewma / 1e9 - knee) / (cap - knee)
         if frac <= 0:
             return 0.0
-        return self.profile.overload_latency_us * 1e-6 * min(1.0, frac) ** 2
+        return self._overload_ramp_s * min(1.0, frac) ** 2
 
     def _finish_service(self, core: int, packet: Packet) -> None:
-        self.delivered_packets += packet.multiplicity
-        self.delivered_bits += packet.wire_bits
-        self._update_rate_ewma(packet.wire_bits)
+        multiplicity = packet.multiplicity
+        wire_bits = packet.size_bytes * 8 * multiplicity
+        self.delivered_packets += multiplicity
+        self.delivered_bits += wire_bits
+        self._update_rate_ewma(wire_bits)
         if self.forward_stage:
             # mid-path hop: charge its delivery latency by back-dating the
             # packet and hand the original packet to the next stage
-            packet.created_at -= (
-                self.profile.base_latency_us * 1e-6 + self.delivery_latency_s
-            )
+            packet.created_at -= self._forward_charge_s
             if self.on_complete is not None:
                 self.on_complete(packet)
         else:
@@ -300,7 +321,7 @@ class ProcessingEngine:
             if overload_s > 0:
                 # overload deepens the pipeline: completion is delayed and
                 # the packet keeps occupying the observable input backlog
-                self._in_pipeline[core] += packet.multiplicity
+                self._in_pipeline[core] += multiplicity
                 self.sim.schedule(overload_s, self._deliver, core, packet, True)
             else:
                 self._deliver(core, packet, False)
@@ -308,34 +329,37 @@ class ProcessingEngine:
             self._start_service(core)
         else:
             self._core_busy[core] = False
-            self._notify_power()
-            if self.sleep_enabled and self.busy_cores == 0:
+            self._busy_count -= 1
+            callback = self.on_power_change
+            if callback is not None:
+                callback(self)
+            if self.sleep_enabled and self._busy_count == 0:
                 self._schedule_sleep_check()
 
     def _deliver(self, core: int, packet: Packet, pipelined: bool) -> None:
+        multiplicity = packet.multiplicity
         if pipelined:
-            self._in_pipeline[core] -= packet.multiplicity
+            self._in_pipeline[core] -= multiplicity
         packet.processed_by = self.name
         # midpoint correction: a batched event of B wire packets is served
         # as one block, but the representative (median) packet finishes
         # half a block earlier than the block completion
-        batch_service = packet.wire_bits / self._per_core_bps
-        midpoint = batch_service * (packet.multiplicity - 1) / (
-            2 * packet.multiplicity
-        )
+        batch_service = packet.size_bytes * 8 * multiplicity / self._per_core_bps
+        midpoint = batch_service * (multiplicity - 1) / (2 * multiplicity)
         latency = (
-            self.sim.now
+            self.sim._now
             - packet.created_at
-            + self.profile.base_latency_us * 1e-6
+            + self._base_latency_s
             + self.delivery_latency_s
             - midpoint
         )
-        latency = max(latency, batch_service / packet.multiplicity)
+        latency = max(latency, batch_service / multiplicity)
         self.latency.record(latency)
-        if self.metrics is not None:
-            self.metrics.delivered_packets += packet.multiplicity
-            self.metrics.delivered_bytes += packet.size_bytes * packet.multiplicity
-            self.metrics.latency.record(latency)
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.delivered_packets += multiplicity
+            metrics.delivered_bytes += packet.size_bytes * multiplicity
+            metrics.latency.record(latency)
         self._maybe_run_function(packet)
         if self.on_complete is not None:
             self.on_complete(packet.make_response())

@@ -67,10 +67,40 @@ class PowerModel:
         if engine.name in self._roles:
             raise ValueError(f"engine {engine.name!r} already tracked")
         self._roles[engine.name] = role
-        engine.on_power_change = self._engine_changed
-        self._engine_changed(engine)
+        # bake the per-engine constants (name, role, dynamic power, the
+        # host polling draw) into the callback: power updates fire on
+        # every busy/idle transition, so the hot path is one utilization
+        # read and one integrator update with no dict lookups
+        name = engine.name
+        dynamic_w = engine.profile.dynamic_power_w
+        poll_w = self.config.host_poll_w_per_core
+        integrator = self.integrator
+        sim = self.sim
+
+        if role == ROLE_HOST:
+
+            def changed(e: ProcessingEngine) -> None:
+                # same reads as the utilization/now properties, sans the
+                # descriptor calls — this fires on every busy/idle edge
+                watts = dynamic_w * (e._busy_count / e.active_cores)
+                if not e.sleeping:
+                    watts += poll_w * e.active_cores
+                integrator.set_level(name, watts, sim._now)
+
+        else:
+
+            def changed(e: ProcessingEngine) -> None:
+                integrator.set_level(
+                    name, dynamic_w * (e._busy_count / e.active_cores), sim._now
+                )
+
+        engine.on_power_change = changed
+        changed(engine)
 
     def _engine_changed(self, engine: ProcessingEngine) -> None:
+        """Recompute one tracked engine's power level (slow path; the
+        per-transition callback installed by :meth:`track` is the fast
+        path with identical arithmetic)."""
         role = self._roles.get(engine.name)
         if role is None:
             return

@@ -22,7 +22,8 @@ ratios are carried alongside so experiments can report paper-vs-measured.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, Optional, Tuple
+from functools import lru_cache
+from typing import Dict, NamedTuple, Optional, Tuple
 
 #: BlueField-2 line rate (Gbps) — upper bound for any engine.
 LINE_RATE_GBPS = 100.0
@@ -96,6 +97,51 @@ class EngineProfile:
             base_latency_us=self.base_latency_us * latency_factor,
             cores=cores if cores is not None else self.cores,
         )
+
+
+class ServiceCosts(NamedTuple):
+    """Pre-derived per-service constants for one (profile, active_cores).
+
+    :class:`repro.hw.platform.ProcessingEngine` computes these once at
+    construction instead of re-deriving unit conversions (µs → s,
+    capacity → per-core bit rate, cv → cv²) on every packet service.
+    Each field is a single converted coefficient — sums that the hot path
+    adds term by term stay separate so the float results are bit-identical
+    to the unconverted expressions.
+    """
+
+    #: per-core service rate in bits/s at the given active-core count
+    per_core_bps: float
+    #: fixed per-packet cost in seconds (``per_packet_overhead_us`` × 1e-6)
+    per_packet_overhead_s: float
+    #: low-load latency floor in seconds (``base_latency_us`` × 1e-6)
+    base_latency_s: float
+    #: full-ramp overload latency in seconds (``overload_latency_us`` × 1e-6)
+    overload_latency_s: float
+    #: squared coefficient of variation — the gamma-shape denominator
+    service_cv_sq: float
+    #: aggregate capacity in Gbps at the given active-core count
+    capacity_gbps: float
+
+
+@lru_cache(maxsize=None)
+def service_costs(profile: EngineProfile, active_cores: int) -> ServiceCosts:
+    """The :class:`ServiceCosts` table for ``profile`` at ``active_cores``.
+
+    Cached per (profile, core-count) pair: profiles are frozen and every
+    engine of a run shares the same handful of NF profiles, so repeated
+    engine construction (sweeps, figure grids) hits the cache.
+    """
+    capacity_bps = profile.capacity_with_cores(active_cores) * 1e9
+    per_core_bps = capacity_bps / active_cores
+    return ServiceCosts(
+        per_core_bps=per_core_bps,
+        per_packet_overhead_s=profile.per_packet_overhead_us * 1e-6,
+        base_latency_s=profile.base_latency_us * 1e-6,
+        overload_latency_s=profile.overload_latency_us * 1e-6,
+        service_cv_sq=profile.service_cv**2,
+        capacity_gbps=per_core_bps * active_cores / 1e9,
+    )
 
 
 @dataclass(frozen=True)

@@ -10,6 +10,7 @@ the SNIC pair. These helpers make that rewriting explicit and testable.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Tuple
 
 
 class AddressError(ValueError):
@@ -72,6 +73,36 @@ class Endpoint:
     @classmethod
     def parse(cls, mac: str, ip: str) -> "Endpoint":
         return cls(parse_mac(mac), parse_ipv4(ip))
+
+    def header_words(self) -> Tuple[int, int, int, int, int]:
+        """The five 16-bit header words this identity contributes to a
+        packet header (3 MAC + 2 IP), cached on the instance.
+
+        Endpoints are immutable and shared across every packet of a run,
+        so the datapath (checksum computation, HLB rewrites) reads this
+        cache instead of re-slicing the integers per packet.
+        """
+        words = getattr(self, "_words", None)
+        if words is None:
+            mac, ip = self.mac, self.ip
+            words = (
+                (mac >> 32) & 0xFFFF,
+                (mac >> 16) & 0xFFFF,
+                mac & 0xFFFF,
+                (ip >> 16) & 0xFFFF,
+                ip & 0xFFFF,
+            )
+            object.__setattr__(self, "_words", words)
+        return words
+
+    def header_word_sum(self) -> int:
+        """Plain integer sum of :meth:`header_words`, cached on the
+        instance — the per-endpoint partial term of an RFC 1071 sum."""
+        total = getattr(self, "_word_sum", None)
+        if total is None:
+            total = sum(self.header_words())
+            object.__setattr__(self, "_word_sum", total)
+        return total
 
     def __str__(self) -> str:
         return f"{format_ipv4(self.ip)}[{format_mac(self.mac)}]"

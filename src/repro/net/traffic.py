@@ -156,14 +156,26 @@ class ConstantRateGenerator(PacketGenerator):
     def start(self, sim: Simulator, sink: PacketSink, duration: float) -> None:
         interval = self._batch_interval(self.rate_gbps)
         end = sim.now + duration
+        make_packet = self._make_packet
 
         def emit() -> None:
-            if sim.now >= end:
+            now = sim._now
+            if now >= end:
                 return
-            sink(self._make_packet(sim.now))
-            sim.schedule(interval, emit)
+            sink(make_packet(now))
 
-        sim.schedule(0.0, emit)
+        # the whole arrival train is known up front: schedule it in one
+        # heapify-amortized batch instead of a self-rescheduling chain.
+        # Times accumulate with the same float additions the chain used
+        # (t + interval per step), and the terminal no-op arrival at
+        # t >= end is kept, so the event sequence is bit-identical.
+        times = []
+        t = sim.now
+        while t < end:
+            times.append(t)
+            t += interval
+        times.append(t)
+        sim.schedule_batch(times, emit)
 
 
 class PoissonGenerator(PacketGenerator):
@@ -189,14 +201,40 @@ class PoissonGenerator(PacketGenerator):
     def start(self, sim: Simulator, sink: PacketSink, duration: float) -> None:
         mean_interval = self._batch_interval(self.rate_gbps)
         end = sim.now + duration
+        rate = 1.0 / mean_interval
+        expovariate = self._rng.expovariate
+        make_packet = self._make_packet
 
         def emit() -> None:
-            if sim.now >= end:
+            now = sim._now
+            if now >= end:
                 return
-            sink(self._make_packet(sim.now))
-            sim.schedule(self._rng.expovariate(1.0 / mean_interval), emit)
+            sink(make_packet(now))
 
-        sim.schedule(self._rng.expovariate(1.0 / mean_interval), emit)
+        if self.spec.flow_mode == "random":
+            # random flow assignment draws from the same stream as the
+            # inter-arrival gaps (flow, gap, flow, gap, …); pre-drawing the
+            # gaps would reorder those draws, so keep the recursive chain
+            def emit_and_reschedule() -> None:
+                now = sim._now
+                if now >= end:
+                    return
+                sink(make_packet(now))
+                sim.schedule(expovariate(rate), emit_and_reschedule)
+
+            sim.schedule(expovariate(rate), emit_and_reschedule)
+            return
+
+        # paced modes consume the stream for gaps only: pre-draw the train
+        # (same draw count and order as the chain — one per fired arrival
+        # below ``end``) and batch-schedule it
+        times = []
+        t = sim.now + expovariate(rate)
+        while t < end:
+            times.append(t)
+            t += expovariate(rate)
+        times.append(t)
+        sim.schedule_batch(times, emit)
 
 
 def fit_lognormal_scale(
@@ -304,31 +342,47 @@ class LogNormalTraceGenerator(PacketGenerator):
     def start(self, sim: Simulator, sink: PacketSink, duration: float) -> None:
         end = sim.now + duration
         rates = self.plan_rates(duration)
-        state = {"rate": 0.0, "index": 0, "pending": None}
+        state = {"index": 0, "pending": None}
+        make_packet = self._make_packet
 
         def emit() -> None:
-            state["pending"] = None
-            if sim.now >= end or state["rate"] <= self.IDLE_EPSILON_GBPS:
+            now = sim._now
+            if now >= end:
                 return
-            sink(self._make_packet(sim.now))
-            state["pending"] = sim.schedule(
-                self._batch_interval(state["rate"]), emit
-            )
+            sink(make_packet(now))
 
         def reroll() -> None:
             if sim.now >= end or state["index"] >= len(rates):
                 return
-            state["rate"] = rates[state["index"]]
+            rate = rates[state["index"]]
             state["index"] += 1
-            self.rate_series.append(sim.now, state["rate"])
-            # re-pace the pending emission to the new interval's rate
+            self.rate_series.append(sim.now, rate)
+            # re-pace to the new interval's rate: drop whatever the previous
+            # interval still had queued and batch-schedule this interval's
+            # arrival train in one go
             if state["pending"] is not None:
                 state["pending"].cancel()
                 state["pending"] = None
-            if state["rate"] > self.IDLE_EPSILON_GBPS:
-                state["pending"] = sim.schedule(
-                    self._batch_interval(state["rate"]), emit
-                )
+            if rate > self.IDLE_EPSILON_GBPS:
+                bi = self._batch_interval(rate)
+                # the next reroll fires at exactly now + interval_s (control
+                # priority, so it precedes same-instant arrivals) and — when
+                # it neither hits ``end`` nor exhausts the schedule — cancels
+                # anything still pending; arrivals at or past it need not be
+                # scheduled at all. Otherwise the train runs to ``end`` with
+                # the terminal no-op arrival the chained scheme also carried.
+                next_t = sim.now + self.interval_s
+                next_cancels = next_t < end and state["index"] < len(rates)
+                horizon = next_t if next_cancels else end
+                times = []
+                t = sim.now + bi
+                while t < horizon:
+                    times.append(t)
+                    t += bi
+                if not next_cancels:
+                    times.append(t)
+                if times:
+                    state["pending"] = sim.schedule_batch(times, emit)
             sim.schedule(self.interval_s, reroll, priority=Simulator.PRIORITY_CONTROL)
 
         sim.schedule(0.0, reroll, priority=Simulator.PRIORITY_CONTROL)

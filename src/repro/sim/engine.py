@@ -7,29 +7,40 @@ that the HAL system is built from.
 
 Time is expressed in **seconds** as floats; sub-microsecond resolution is
 ample for the microsecond-scale latencies the paper measures.
+
+Event representation
+--------------------
+Events are plain lists ``[time, priority, seq, callback, args, status]``
+rather than objects: heap comparisons stop at the unique ``seq`` (so the
+callback is never compared), pushes allocate one small list, and the
+``run()`` loop indexes slots directly instead of chasing attributes.
+``status`` is one of the ``_PENDING``/``_CANCELLED``/``_POPPED``
+module constants; cancellation flips it in place, and the heap compacts
+cancelled entries lazily once they outnumber the live ones.
 """
 
 from __future__ import annotations
 
-import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Tuple
+from heapq import heapify as _heapify, heappop as _heappop, heappush as _heappush
+from typing import Any, Callable, Iterable, List, Optional
+
+# event slot indices
+_TIME = 0
+_PRIORITY = 1
+_SEQ = 2
+_CALLBACK = 3
+_ARGS = 4
+_STATUS = 5
+
+# event status values
+_PENDING = 0
+_CANCELLED = 1
+_POPPED = 2
 
 
 class SimulationError(RuntimeError):
     """Raised for invalid uses of the simulation engine."""
-
-
-@dataclass(order=True)
-class _Event:
-    time: float
-    priority: int
-    seq: int
-    callback: Callable[..., None] = field(compare=False)
-    args: Tuple[Any, ...] = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
-    popped: bool = field(compare=False, default=False)
 
 
 class EventHandle:
@@ -37,25 +48,58 @@ class EventHandle:
 
     __slots__ = ("_event", "_sim")
 
-    def __init__(self, event: _Event, sim: "Simulator") -> None:
+    def __init__(self, event: list, sim: "Simulator") -> None:
         self._event = event
         self._sim = sim
 
     @property
     def time(self) -> float:
-        return self._event.time
+        return self._event[_TIME]
 
     @property
     def cancelled(self) -> bool:
-        return self._event.cancelled
+        return self._event[_STATUS] == _CANCELLED
 
     def cancel(self) -> None:
         """Cancel the event; a no-op if it already fired or was cancelled."""
         event = self._event
-        if event.cancelled or event.popped:
+        if event[_STATUS] != _PENDING:
             return
-        event.cancelled = True
-        self._sim._note_cancelled()
+        event[_STATUS] = _CANCELLED
+        event[_CALLBACK] = event[_ARGS] = None  # release references early
+        self._sim._note_cancelled(1)
+
+
+class BatchHandle:
+    """Handle to a batch of events scheduled with :meth:`Simulator.schedule_batch`.
+
+    Cancelling the batch cancels every member that has not fired yet (one
+    counter update + at most one heap compaction, however many remain).
+    """
+
+    __slots__ = ("_events", "_sim")
+
+    def __init__(self, events: List[list], sim: "Simulator") -> None:
+        self._events = events
+        self._sim = sim
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def pending(self) -> int:
+        """Members that have neither fired nor been cancelled."""
+        return sum(1 for event in self._events if event[_STATUS] == _PENDING)
+
+    def cancel(self) -> None:
+        """Cancel every not-yet-fired member of the batch."""
+        cancelled = 0
+        for event in self._events:
+            if event[_STATUS] == _PENDING:
+                event[_STATUS] = _CANCELLED
+                event[_CALLBACK] = event[_ARGS] = None
+                cancelled += 1
+        if cancelled:
+            self._sim._note_cancelled(cancelled)
 
 
 class Simulator:
@@ -78,29 +122,22 @@ class Simulator:
     _COMPACT_MIN_CANCELLED = 16
 
     def __init__(self) -> None:
-        self._heap: List[_Event] = []
+        self._heap: List[list] = []
         self._seq = itertools.count()
         self._now = 0.0
         self._running = False
         self._events_processed = 0
         self._cancelled_in_heap = 0
 
-    def _note_cancelled(self) -> None:
-        self._cancelled_in_heap += 1
+    def _note_cancelled(self, count: int) -> None:
+        self._cancelled_in_heap += count
         if (
             self._cancelled_in_heap > self._COMPACT_MIN_CANCELLED
             and self._cancelled_in_heap * 2 > len(self._heap)
         ):
-            self._heap = [e for e in self._heap if not e.cancelled]
-            heapq.heapify(self._heap)
+            self._heap = [e for e in self._heap if e[_STATUS] == _PENDING]
+            _heapify(self._heap)
             self._cancelled_in_heap = 0
-
-    def _pop_event(self) -> _Event:
-        event = heapq.heappop(self._heap)
-        event.popped = True
-        if event.cancelled:
-            self._cancelled_in_heap -= 1
-        return event
 
     @property
     def now(self) -> float:
@@ -122,7 +159,10 @@ class Simulator:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        return self.schedule_at(self._now + delay, callback, *args, priority=priority)
+        when = self._now + delay
+        event = [when, priority, next(self._seq), callback, args, _PENDING]
+        _heappush(self._heap, event)
+        return EventHandle(event, self)
 
     def schedule_at(
         self,
@@ -136,9 +176,48 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {when} before current time {self._now}"
             )
-        event = _Event(when, priority, next(self._seq), callback, args)
-        heapq.heappush(self._heap, event)
+        event = [when, priority, next(self._seq), callback, args, _PENDING]
+        _heappush(self._heap, event)
         return EventHandle(event, self)
+
+    def schedule_batch(
+        self,
+        times: Iterable[float],
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = PRIORITY_NORMAL,
+    ) -> BatchHandle:
+        """Schedule ``callback(*args)`` at each absolute time in ``times``.
+
+        ``times`` must be ascending and not in the past. This is the bulk
+        counterpart of :meth:`schedule_at` for pre-computed arrival trains:
+        large batches are appended and re-heapified in one O(n + m) pass
+        instead of m individual O(log n) sifts. Event identity (seq order,
+        priority semantics) is exactly as if :meth:`schedule_at` had been
+        called once per time, so pop order is unchanged.
+        """
+        heap = self._heap
+        seq = self._seq
+        prev = self._now
+        events: List[list] = []
+        for when in times:
+            if when < prev:
+                raise SimulationError(
+                    f"schedule_batch times must be ascending and not in the "
+                    f"past (got {when} after {prev})"
+                )
+            prev = when
+            events.append([when, priority, next(seq), callback, args, _PENDING])
+        if events:
+            # a heapify rebuild costs O(n + m); m pushes cost O(m log n).
+            # Rebuild when the batch is big relative to the live heap.
+            if len(events) * 4 >= len(heap):
+                heap.extend(events)
+                _heapify(heap)
+            else:
+                for event in events:
+                    _heappush(heap, event)
+        return BatchHandle(events, self)
 
     def every(
         self,
@@ -175,26 +254,45 @@ class Simulator:
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Run events until the heap is empty, ``until`` is reached, or
         ``max_events`` have been executed. Returns the final clock value.
+
+        The clock only fast-forwards to ``until`` when the event heap was
+        genuinely drained past it; stopping early on ``max_events`` leaves
+        the clock at the last executed event.
         """
         if self._running:
             raise SimulationError("simulator is already running (reentrant run)")
         self._running = True
+        # localize everything the loop touches: the heap list, heappop, and
+        # the budget counter live in locals; only _now (which callbacks read
+        # through .now) is written back per event
+        heap = self._heap
+        pop = _heappop
         executed = 0
+        budget = float("inf") if max_events is None else max_events
+        hit_budget = False
         try:
-            while self._heap:
-                event = self._heap[0]
-                if until is not None and event.time > until:
+            while heap:
+                if executed >= budget:
+                    hit_budget = True
                     break
-                self._pop_event()
-                if event.cancelled:
+                event = heap[0]
+                when = event[_TIME]
+                if until is not None and when > until:
+                    break
+                pop(heap)
+                status = event[_STATUS]
+                event[_STATUS] = _POPPED
+                if status == _CANCELLED:
+                    self._cancelled_in_heap -= 1
                     continue
-                self._now = event.time
-                event.callback(*event.args)
-                self._events_processed += 1
+                self._now = when
+                event[_CALLBACK](*event[_ARGS])
                 executed += 1
-                if max_events is not None and executed >= max_events:
-                    break
-            if until is not None and self._now < until:
+                self._events_processed += 1
+                if heap is not self._heap:
+                    # a cancel-triggered compaction replaced the heap list
+                    heap = self._heap
+            if until is not None and not hit_budget and self._now < until:
                 self._now = until
         finally:
             self._running = False
@@ -203,20 +301,25 @@ class Simulator:
     def step(self) -> bool:
         """Execute exactly one pending event. Returns False if none remain."""
         while self._heap:
-            event = self._pop_event()
-            if event.cancelled:
+            event = _heappop(self._heap)
+            status = event[_STATUS]
+            event[_STATUS] = _POPPED
+            if status == _CANCELLED:
+                self._cancelled_in_heap -= 1
                 continue
-            self._now = event.time
-            event.callback(*event.args)
+            self._now = event[_TIME]
+            event[_CALLBACK](*event[_ARGS])
             self._events_processed += 1
             return True
         return False
 
     def peek(self) -> Optional[float]:
         """Time of the next pending (non-cancelled) event, or None."""
-        while self._heap and self._heap[0].cancelled:
-            self._pop_event()
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0][_STATUS] == _CANCELLED:
+            _heappop(heap)[_STATUS] = _POPPED
+            self._cancelled_in_heap -= 1
+        return heap[0][_TIME] if heap else None
 
     def pending(self) -> int:
         """Number of scheduled, not-yet-cancelled events."""

@@ -185,6 +185,8 @@ class PowerIntegrator:
         if watts < 0:
             raise ValueError(f"power cannot be negative ({component}: {watts})")
         self._advance(now)
+        if component not in self._energy:
+            self._energy[component] = 0.0
         self._levels[component] = watts
 
     def _advance(self, now: float) -> None:
@@ -192,8 +194,11 @@ class PowerIntegrator:
             raise ValueError("power integrator cannot move backwards in time")
         dt = now - self._last_update
         if dt > 0:
+            # every _levels key is seeded in _energy by set_level, so the
+            # accumulation is a plain in-place add per component
+            energy = self._energy
             for component, watts in self._levels.items():
-                self._energy[component] = self._energy.get(component, 0.0) + watts * dt
+                energy[component] += watts * dt
         self._last_update = now
 
     def energy_joules(self, now: float, component: Optional[str] = None) -> float:

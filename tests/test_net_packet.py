@@ -135,3 +135,69 @@ class TestResponse:
     def test_custom_size(self):
         r = make_packet().make_response(size_bytes=64)
         assert r.size_bytes == 64
+
+
+class TestLazyChecksum:
+    def test_first_read_matches_full_recomputation(self):
+        p = make_packet()
+        assert p._checksum is None  # not computed at construction
+        assert p.checksum == internet_checksum(p._header_words())
+        assert p._checksum is not None  # cached after first read
+
+    def test_explicit_checksum_stored_verbatim(self):
+        p = make_packet(checksum=0x1234)
+        assert p.checksum == 0x1234
+
+    def test_rewrite_before_first_read_gives_incremental_result(self):
+        """Rewriting an unobserved checksum then reading it must equal
+        eager-compute-then-incremental-update."""
+        eager = make_packet()
+        eager.checksum  # force eager computation
+        eager.rewrite_destination(PLAN.host)
+
+        lazy = make_packet()
+        lazy.rewrite_destination(PLAN.host)
+        assert lazy.checksum == eager.checksum
+        assert lazy.checksum_ok()
+
+    def test_unread_checksum_detects_manual_corruption(self):
+        p = make_packet()
+        p.size_bytes += 2  # manual edit, never observed the checksum
+        assert not p.checksum_ok()
+
+    def test_setter_overrides_cache(self):
+        p = make_packet()
+        p.checksum = 0xBEEF
+        assert p.checksum == 0xBEEF
+        assert not p.checksum_ok()
+
+
+class TestMeta:
+    def test_meta_allocated_lazily(self):
+        p = make_packet()
+        assert p._meta is None
+        p.meta["k"] = 1  # first access allocates
+        assert p._meta == {"k": 1}
+
+    def test_response_meta_never_aliases_request(self):
+        """Regression: mutating a response's meta must never leak into the
+        request (and vice versa), whether or not the request had entries."""
+        p = make_packet()
+        r = p.make_response()
+        r.meta["resp"] = True
+        assert "resp" not in p.meta
+
+        q = make_packet()
+        q.meta["origin"] = "req"
+        s = q.make_response()
+        assert s.meta == {"origin": "req"}  # entries are carried over
+        s.meta["resp"] = True
+        q.meta["more"] = 1
+        assert "resp" not in q.meta
+        assert "more" not in s.meta
+
+    def test_empty_meta_not_copied_into_response(self):
+        p = make_packet()
+        p.meta  # allocate an (empty) dict on the request
+        r = p.make_response()
+        assert r._meta is None  # empty case allocates nothing

@@ -12,8 +12,10 @@ from repro.core.hlb import TrafficDirector
 from repro.net.addressing import AddressPlan, Endpoint
 from repro.net.packet import (
     Packet,
+    apply_checksum_delta,
     incremental_checksum_update,
     internet_checksum,
+    rewrite_delta,
 )
 from repro.nf.compress import (
     canonical_codes,
@@ -245,3 +247,93 @@ class TestPercentileProperties:
         p50 = percentile(ordered, 0.5)
         p99 = percentile(ordered, 0.99)
         assert ordered[0] <= p50 <= p99 <= ordered[-1]
+
+
+class TestHotPathChecksumProperties:
+    """The datapath fast paths (lazy checksum, memoized rewrite deltas)
+    must be bit-identical to the reference RFC 1071/1624 computations."""
+
+    @given(endpoints, endpoints, st.integers(min_value=42, max_value=0xFFFF))
+    def test_lazy_checksum_equals_full_recomputation(self, src, dst, size):
+        packet = Packet(src=src, dst=dst, size_bytes=size)
+        assert packet.checksum == internet_checksum(packet._header_words())
+        assert packet.compute_checksum() == internet_checksum(packet._header_words())
+
+    @given(endpoints, endpoints, endpoints)
+    def test_cached_delta_equals_chained_incremental(self, src, old, new):
+        """One folded rewrite_delta application == chaining the five
+        per-word RFC 1624 updates == full recomputation over the
+        rewritten header (headers carry a non-zero size word, so the ±0
+        ambiguity cannot appear)."""
+        packet = Packet(src=src, dst=old, size_bytes=100)
+        checksum = packet.checksum
+
+        # reference 1: word-by-word incremental chain
+        chained = checksum
+        for old_word, new_word in zip(old.header_words(), new.header_words()):
+            chained = incremental_checksum_update(chained, old_word, new_word)
+
+        # reference 2: full recomputation over the rewritten header
+        rewritten = Packet(src=src, dst=new, size_bytes=100)
+        recomputed = internet_checksum(rewritten._header_words())
+
+        folded = apply_checksum_delta(checksum, rewrite_delta(old, new))
+        assert folded == chained == recomputed
+
+        packet.rewrite_destination(new)
+        assert packet.checksum == folded
+        assert packet.checksum_ok()
+
+    @given(endpoints, endpoints, endpoints)
+    def test_delta_memo_is_stable(self, src, old, new):
+        assert rewrite_delta(old, new) == rewrite_delta(old, new)
+        # a fresh un-memoized computation agrees with the cached entry
+        total = 0
+        for ow, nw in zip(old.header_words(), new.header_words()):
+            total += (~ow & 0xFFFF) + nw
+        total = (total & 0xFFFF) + (total >> 16)
+        total = (total & 0xFFFF) + (total >> 16)
+        assert rewrite_delta(old, new) == total
+
+    @given(st.lists(words16, min_size=1, max_size=20), st.data())
+    def test_folded_delta_matches_chain_up_to_negative_zero(self, words, data):
+        """On raw word lists (where all-zero data is possible) the folded
+        delta and the chained updates may differ only by the RFC 1624 §3
+        ±0 representation — never by a numeric distance."""
+        new_words = data.draw(
+            st.lists(words16, min_size=len(words), max_size=len(words))
+        )
+        checksum = internet_checksum(words)
+
+        chained = checksum
+        total = 0
+        for old_word, new_word in zip(words, new_words):
+            chained = incremental_checksum_update(chained, old_word, new_word)
+            total += (~old_word & 0xFFFF) + new_word
+        total = (total & 0xFFFF) + (total >> 16)
+        total = (total & 0xFFFF) + (total >> 16)
+        folded = apply_checksum_delta(checksum, total)
+
+        assert folded == chained or {folded, chained} == {0x0000, 0xFFFF}
+        recomputed = internet_checksum(new_words)
+        assert folded == recomputed or {folded, recomputed} == {0x0000, 0xFFFF}
+
+    def test_negative_zero_ambiguity_case_is_real(self):
+        """Pin the ±0 case: rewriting all-ones words to all-zero words
+        reaches the ambiguous residue, and our folded path takes the same
+        canonical branch as the word-by-word chain."""
+        words = [0xFFFF, 0xFFFF]
+        new_words = [0x0000, 0x0000]
+        checksum = internet_checksum(words)  # 0xFFFF (sum ≡ 0)
+        chained = checksum
+        total = 0
+        for ow, nw in zip(words, new_words):
+            chained = incremental_checksum_update(chained, ow, nw)
+            total += (~ow & 0xFFFF) + nw
+        total = (total & 0xFFFF) + (total >> 16)
+        total = (total & 0xFFFF) + (total >> 16)
+        folded = apply_checksum_delta(checksum, total)
+        assert folded == chained  # the fast path mirrors the chain exactly
+        # full recomputation over all-zero data gives the other zero
+        assert internet_checksum(new_words) == 0xFFFF
+        assert folded in (0x0000, 0xFFFF)

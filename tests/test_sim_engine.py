@@ -228,3 +228,187 @@ def test_peek_skips_cancelled_and_keeps_count():
     first.cancel()
     assert sim.peek() == pytest.approx(0.2)
     assert sim.pending() == 1
+
+
+# -- schedule_batch -----------------------------------------------------
+
+
+def test_schedule_batch_fires_in_order():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule_batch([0.1, 0.2, 0.3], fired.append, "t")
+    assert len(handle) == 3
+    assert handle.pending() == 3
+    sim.run()
+    assert fired == ["t", "t", "t"]
+    assert sim.now == pytest.approx(0.3)
+    assert handle.pending() == 0
+
+
+def test_schedule_batch_matches_schedule_at_interleaving():
+    """Batched events pop exactly as if schedule_at had been called per
+    time — including priority and FIFO ties against individually
+    scheduled events at the same instants."""
+
+    def build(use_batch):
+        sim = Simulator()
+        fired = []
+        if use_batch:
+            sim.schedule_batch([0.1, 0.2], lambda: fired.append(("b", sim.now)))
+        else:
+            for t in (0.1, 0.2):
+                sim.schedule_at(t, lambda: fired.append(("b", sim.now)))
+        sim.schedule_at(0.2, lambda: fired.append(("ctl", sim.now)),
+                        priority=Simulator.PRIORITY_CONTROL)
+        sim.schedule_at(0.1, lambda: fired.append(("i", sim.now)))
+        sim.run()
+        return fired
+
+    assert build(True) == build(False)
+
+
+def test_schedule_batch_large_batch_heapifies():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5.0, fired.append, "tail")
+    # batch much larger than the existing heap → extend + heapify path
+    times = [0.001 * (i + 1) for i in range(500)]
+    sim.schedule_batch(times, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired[:-1] == sorted(fired[:-1])
+    assert len(fired) == 501
+    assert fired[-1] == "tail"
+
+
+def test_schedule_batch_small_batch_pushes():
+    sim = Simulator()
+    fired = []
+    for i in range(100):
+        sim.schedule(0.1 * (i + 1), fired.append, "base")
+    # batch far smaller than the heap → individual-push path
+    sim.schedule_batch([0.05], fired.append, "batched")
+    sim.run()
+    assert fired[0] == "batched"
+    assert len(fired) == 101
+
+
+def test_schedule_batch_rejects_descending_times():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule_batch([0.2, 0.1], lambda: None)
+
+
+def test_schedule_batch_rejects_past_times():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_batch([0.5], lambda: None)
+
+
+def test_schedule_batch_empty_is_noop():
+    sim = Simulator()
+    handle = sim.schedule_batch([], lambda: None)
+    assert len(handle) == 0
+    assert handle.pending() == 0
+    handle.cancel()  # must not raise
+    assert sim.pending() == 0
+
+
+def test_batch_cancel_skips_fired_members():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule_batch([0.1, 0.2, 0.3, 0.4], lambda: fired.append(sim.now))
+    sim.run(until=0.25)
+    assert len(fired) == 2
+    assert handle.pending() == 2
+    handle.cancel()
+    assert handle.pending() == 0
+    sim.run()
+    assert len(fired) == 2  # cancelled members never fire
+    assert sim.pending() == 0
+
+
+def test_batch_cancel_keeps_pending_count_exact():
+    sim = Simulator()
+    keep = [sim.schedule(1.0 + 0.1 * i, lambda: None) for i in range(3)]
+    handle = sim.schedule_batch([0.1 * (i + 1) for i in range(50)], lambda: None)
+    handle.cancel()
+    handle.cancel()  # idempotent
+    assert sim.pending() == 3
+    sim.run()
+    assert sim.events_processed == 3
+    assert keep
+
+
+# -- max_events / clock semantics ---------------------------------------
+
+
+def test_max_events_break_leaves_clock_at_last_event():
+    """Stopping on the event budget must not fast-forward the clock to
+    ``until`` — the heap was not drained past it."""
+    sim = Simulator()
+    for i in range(10):
+        sim.schedule(0.1 * (i + 1), lambda: None)
+    sim.run(until=5.0, max_events=3)
+    assert sim.now == pytest.approx(0.3)
+    assert sim.pending() == 7
+
+
+def test_until_fastforward_still_happens_when_drained():
+    sim = Simulator()
+    sim.schedule(0.1, lambda: None)
+    sim.run(until=5.0, max_events=100)
+    assert sim.now == pytest.approx(5.0)
+
+
+def test_max_events_zero_executes_nothing():
+    sim = Simulator()
+    sim.schedule(0.1, lambda: None)
+    sim.run(max_events=0)
+    assert sim.events_processed == 0
+    assert sim.pending() == 1
+    assert sim.now == 0.0
+
+
+# -- cancelled-counter audit --------------------------------------------
+
+
+def test_cancelled_counter_stress_across_peek_pop_compact():
+    """pending() stays exact under interleaved schedule / cancel / peek /
+    step / run — whichever of pop, peek, or compaction reaps a cancelled
+    entry must decrement the counter exactly once."""
+    import random
+
+    rng = random.Random(1234)
+    sim = Simulator()
+    live = []
+    expected = 0
+    for round_no in range(60):
+        for _ in range(rng.randrange(1, 12)):
+            handle = sim.schedule(rng.uniform(0.0, 2.0), lambda: None)
+            live.append(handle)
+            expected += 1
+        rng.shuffle(live)
+        for _ in range(min(len(live), rng.randrange(0, 8))):
+            victim = live.pop()
+            if victim._event[5] == 0:  # pending
+                expected -= 1
+            victim.cancel()
+            victim.cancel()
+        assert sim.pending() == expected, f"round {round_no}"
+        if rng.random() < 0.4:
+            sim.peek()
+            assert sim.pending() == expected
+        if rng.random() < 0.3:
+            before = sim.events_processed
+            if sim.step():
+                expected -= 1
+                assert sim.events_processed == before + 1
+            assert sim.pending() == expected
+    fired_remaining = sim.pending()
+    before = sim.events_processed
+    sim.run()
+    assert sim.events_processed == before + fired_remaining
+    assert sim.pending() == 0
+    assert sim._cancelled_in_heap == 0
