@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""CI identity gate: untraced runs must stay bit-identical.
+
+Usage: python benchmarks/check_identity.py [--baseline benchmarks/baseline.json]
+
+Runs the fixed Fig. 5 smoke cell once (no tracing, no cache) and
+compares its result-payload SHA-256 against the committed baseline.
+This is the observability subsystem's hard invariant: with the default
+NullTracer, simulated results — and therefore runner cache keys — are
+byte-for-byte what they were before telemetry existed.  Unlike the
+bench gate this needs no timing run, so it is cheap enough to run on
+every push.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "src"))
+
+DEFAULT_BASELINE = str(pathlib.Path(__file__).parent / "baseline.json")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE)
+    args = parser.parse_args(argv)
+
+    from repro.bench import bench_fig5
+
+    baseline = json.loads(pathlib.Path(args.baseline).read_text())
+    expected = baseline["identity"]["fig5_payload_sha256"]
+    current = bench_fig5(repeats=1)["payload_sha256"]
+    if current != expected:
+        print(
+            "FAIL: untraced fig5 payload hash moved\n"
+            f"  baseline {expected}\n"
+            f"  current  {current}\n"
+            "Untraced simulation results changed — either fix the code or, "
+            "for an intended behaviour change, re-anchor benchmarks/baseline.json."
+        )
+        return 1
+    print(f"OK: untraced fig5 payload sha256 matches baseline ({current[:12]}…)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""CI trace-smoke gate: check an exported trace file is schema-valid.
+
+Usage: python benchmarks/validate_trace.py trace.json [--min-tracks N]
+
+Loads the Chrome/Perfetto trace-event JSON written by ``repro trace``,
+runs :func:`repro.obs.export.validate_chrome_trace` (structure plus
+per-track timestamp monotonicity), and optionally requires a minimum
+number of named tracks.  Exit 0 when clean, 1 with the problem list
+otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "src"))
+
+from repro.obs.export import trace_tracks, validate_chrome_trace  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="trace-event JSON file to validate")
+    parser.add_argument(
+        "--min-tracks", type=int, default=4,
+        help="minimum number of named tracks required (default 4)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        trace = json.loads(pathlib.Path(args.trace).read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"FAIL: cannot load {args.trace}: {error}")
+        return 1
+
+    problems = validate_chrome_trace(trace)
+    tracks = trace_tracks(trace)
+    if len(tracks) < args.min_tracks:
+        problems.append(
+            f"only {len(tracks)} named tracks (need >= {args.min_tracks}): {tracks}"
+        )
+    if problems:
+        print(f"FAIL: {args.trace} has {len(problems)} problem(s):")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+
+    events = trace.get("traceEvents", [])
+    other = trace.get("otherData", {})
+    print(
+        f"OK: {args.trace}: {len(events)} events, {len(tracks)} tracks, "
+        f"{other.get('runs', '?')} runs, clock={other.get('clock', '?')}, "
+        f"dropped={other.get('dropped_events', '?')}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -158,6 +158,8 @@ def run_and_report(bench_json: Optional[str] = None, scale: float = 1.0) -> Dict
     results = run_bench(scale=scale)
     print(format_results(results))
     if bench_json:
+        from repro.obs.log import get_logger
+
         write_results(results, bench_json)
-        print(f"wrote {bench_json}")
+        get_logger("bench").info("results_written", path=bench_json)
     return results

@@ -8,6 +8,8 @@ Usage::
     python -m repro all --cache              # content-addressed result cache
     python -m repro artifact --jobs 0        # batch mode, one worker per core
     python -m repro bench --bench-json BENCH_results.json
+    python -m repro trace fig9 --trace-out trace.json   # Perfetto trace
+    python -m repro fig5 --probes probes.csv --capture 256
 
 Each experiment prints the reproduced table/figure series; ``--out``
 additionally writes it to a file (like the artifact's per-figure .txt
@@ -17,6 +19,13 @@ through a process pool (``0`` = one worker per CPU core; the default
 ``--cache``/``--no-cache`` control the on-disk result cache under
 ``--cache-dir`` (default ``.repro-cache``); artifact mode caches by
 default so interrupted batches resume and re-runs are near-free.
+
+``trace <exp>`` re-runs an experiment under the :mod:`repro.obs`
+telemetry session and writes a Chrome/Perfetto trace (``--trace-out``),
+optionally a probes CSV (``--probes``) and packet-capture windows
+(``--capture N``).  Traced (and probed/captured) runs are forced
+sequential and uncached: tracing adds sampler events to the simulation,
+so traced results must never be served to — or from — untraced runs.
 """
 
 from __future__ import annotations
@@ -28,6 +37,7 @@ from typing import List, Optional
 
 from repro.exp.experiments import available_experiments, run_experiment_via
 from repro.exp.server import RunConfig
+from repro.obs import log as obs_log
 from repro.runner import DEFAULT_CACHE_DIR, ResultCache, Runner, use_runner
 
 
@@ -39,8 +49,36 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         help="experiment id (fig2..fig10, table1/2/5, costs, ...), 'all', "
-        "'list', 'bench' (hot-path perf benchmarks), or 'artifact' "
-        "(batch-run the default set into --results-dir)",
+        "'list', 'bench' (hot-path perf benchmarks), 'artifact' "
+        "(batch-run the default set into --results-dir), or 'trace' "
+        "(run one experiment under telemetry; see the 'target' argument)",
+    )
+    parser.add_argument(
+        "target", nargs="?", default=None,
+        help="trace mode: the experiment id to run traced (e.g. fig9)",
+    )
+    parser.add_argument(
+        "--trace-out", type=str, default="trace.json", metavar="FILE",
+        help="trace mode: Chrome/Perfetto trace-event JSON output "
+        "(default trace.json; open at https://ui.perfetto.dev)",
+    )
+    parser.add_argument(
+        "--probes", type=str, default=None, metavar="FILE",
+        help="write probe time-series as CSV (.csv) or JSON (any other "
+        "suffix); implies a telemetry session (sequential, uncached)",
+    )
+    parser.add_argument(
+        "--capture", type=int, default=0, metavar="N",
+        help="capture up to N packets per tap at the eSwitch ports and "
+        "client egress; invariant verdicts land in the flight record",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="structured debug logging on stderr",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="suppress informational logging (warnings and errors only)",
     )
     parser.add_argument(
         "--bench-json", type=str, default=None, metavar="FILE",
@@ -111,8 +149,78 @@ def make_runner(args: argparse.Namespace) -> Runner:
     )
 
 
+def _export_session(session, args: argparse.Namespace) -> None:
+    """Write trace/probe artifacts for a finished telemetry session."""
+    from repro.obs.export import (
+        write_chrome_trace,
+        write_probes_csv,
+        write_probes_json,
+    )
+
+    log = obs_log.get_logger("cli")
+    if args.experiment == "trace":
+        trace = write_chrome_trace(session, args.trace_out)
+        log.info(
+            "trace_written",
+            path=args.trace_out,
+            events=len(trace["traceEvents"]),
+            runs=len(session.runs),
+            dropped=session.total_dropped(),
+        )
+    if args.probes:
+        if args.probes.endswith(".csv"):
+            write_probes_csv(session.probes, args.probes)
+        else:
+            write_probes_json(session.probes, args.probes)
+        log.info(
+            "probes_written",
+            path=args.probes,
+            series=len(session.probes.series_names()),
+        )
+    for line in session.flight.summary_lines():
+        log.info("flight", run=line)
+
+
+def run_traced(args: argparse.Namespace, config: RunConfig) -> int:
+    """``repro trace <exp>``: one experiment under a telemetry session."""
+    from repro.exp.experiments import run_experiment
+    from repro.obs import TraceSession, use_session
+
+    name = args.target
+    if not name:
+        print("trace mode needs a target, e.g.: repro trace fig9", file=sys.stderr)
+        return 2
+    if name not in available_experiments():
+        print(
+            f"unknown experiment {name!r}; known: {available_experiments()}",
+            file=sys.stderr,
+        )
+        return 2
+    session = TraceSession(capture_packets=args.capture)
+    # sequential + uncached: the sampler events make traced runs
+    # reproducible but not bit-identical to untraced ones, and tracing
+    # is in-process only (worker processes would trace into the void)
+    runner = Runner(jobs=1, cache=None, progress=False)
+    started = time.time()
+    with use_runner(runner), use_session(session):
+        result = run_experiment(name, config)
+    result.obs = session.flight.to_dict()
+    text = result.to_text()
+    text += f"\n({time.time() - started:.1f}s wall)"
+    print(text)
+    _export_session(session, args)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.verbose:
+        obs_log.set_level("debug")
+    elif args.quiet:
+        obs_log.set_level("warning")
     if args.experiment == "list":
         for name in available_experiments():
             print(name)
@@ -129,6 +237,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         batch=args.batch,
         functional_rate=args.functional_rate,
     )
+    if args.experiment == "trace":
+        return run_traced(args, config)
     runner = make_runner(args)
     if args.experiment == "artifact":
         from repro.exp.artifact import run_all
@@ -150,8 +260,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     names = (
         available_experiments() if args.experiment == "all" else [args.experiment]
     )
+    session = None
+    if args.probes or args.capture:
+        # probes/capture need an ambient telemetry session; same
+        # sequential-and-uncached rule as trace mode
+        from repro.obs import TraceSession, use_session
+
+        session = TraceSession(capture_packets=args.capture)
+        runner = Runner(jobs=1, cache=None, progress=False)
+        session_cm = use_session(session)
+    else:
+        from contextlib import nullcontext
+
+        session_cm = nullcontext()
     outputs: List[str] = []
-    with use_runner(runner):
+    with use_runner(runner), session_cm:
         for name in names:
             started = time.time()
             result = run_experiment_via(runner, name, config)
@@ -164,6 +287,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(text)
             print()
             outputs.append(text)
+    if session is not None:
+        _export_session(session, args)
     if args.out:
         with open(args.out, "w") as fh:
             fh.write("\n\n".join(outputs) + "\n")

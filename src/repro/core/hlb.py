@@ -61,6 +61,8 @@ class TrafficMonitor:
         self.window_s = window_s
         self.ewma_alpha = ewma_alpha
         self.on_rate = on_rate
+        #: repro.obs tracer; None when untraced (one branch per window)
+        self.tracer = None
         self.received_bytes = 0  # the hardware ReceivedBytes register
         self.total_bytes = 0
         self.rate_gbps = 0.0
@@ -75,6 +77,8 @@ class TrafficMonitor:
         window_rate = self.received_bytes * 8 / self.window_s / 1e9
         self.received_bytes = 0
         self.rate_gbps += self.ewma_alpha * (window_rate - self.rate_gbps)
+        if self.tracer is not None:
+            self.tracer.counter("hlb", "rate_rx_gbps", self.sim.now, self.rate_gbps)
         if self.on_rate is not None:
             self.on_rate(self.rate_gbps)
 
@@ -207,6 +211,14 @@ class HardwareLoadBalancer:
     @property
     def rate_rx_gbps(self) -> float:
         return self.monitor.rate_gbps
+
+    def enable_tracing(self, tracer) -> None:
+        """Route the monitor's window rate into a ``repro.obs`` tracer.
+
+        The director/merger counters (split ratio, merged packets) are
+        sampled by the system-level probe pump — per-packet emission
+        would swamp the trace."""
+        self.monitor.tracer = tracer
 
     def ingress(self, packet: Packet) -> Packet:
         """MAC → monitor → director; charges the datapath latency."""

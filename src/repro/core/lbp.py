@@ -29,6 +29,24 @@ from repro.sim.engine import Simulator
 
 
 @dataclass(frozen=True)
+class LbpDecision:
+    """One Algorithm-1 tick, as the decision trace records it.
+
+    ``direction`` is ``"up"``/``"down"`` when the threshold moved,
+    ``"hold"`` when the occupancy sat inside the watermark band, and
+    ``"idle"`` when the SNIC ran comfortably below ``Fwd_Th`` and the
+    algorithm never inspected the queues.
+    """
+
+    t: float
+    snic_tp_gbps: float
+    rxq_occ: int
+    fwd_th_before_gbps: float
+    fwd_th_after_gbps: float
+    direction: str
+
+
+@dataclass(frozen=True)
 class LbpConfig:
     """Algorithm 1 parameters."""
 
@@ -65,17 +83,23 @@ class LoadBalancingPolicy:
         director: TrafficDirector,
         config: LbpConfig = LbpConfig(),
         on_update: Optional[Callable[[float], None]] = None,
+        tracer: Optional[object] = None,
     ) -> None:
         self.sim = sim
         self.engine = snic_engine
         self.director = director
         self.config = config
         self.on_update = on_update
+        #: repro.obs tracer; None (the default) records nothing and the
+        #: tick path pays a single is-not-None branch
+        self.tracer = tracer
         self._estimator = ThroughputEstimator(snic_engine)
         self._estimator.sample(sim.now)  # zero the accumulator
         self.adjustments_up = 0
         self.adjustments_down = 0
         self.threshold_history: List[float] = [director.fwd_threshold_gbps]
+        #: Algorithm-1 decision trace, populated only when a tracer is set
+        self.decisions: List[LbpDecision] = []
         self._stop = sim.every(config.period_s, self._tick)
 
     def _tick(self) -> None:
@@ -85,33 +109,76 @@ class LoadBalancingPolicy:
     def set_forward_rate(self, snic_tp_gbps: float) -> None:
         """One Algorithm 1 evaluation with the given SNIC_TP estimate."""
         cfg = self.config
-        fwd_th = self.director.fwd_threshold_gbps
+        fwd_th = old_th = self.director.fwd_threshold_gbps
+        occupancy = -1  # not inspected (the "idle" early-out)
         if fwd_th >= snic_tp_gbps + cfg.delta_tp_gbps:
             # SNIC comfortably below threshold; leave Fwd_Th alone
-            return
-        occupancy = rx_queue_max_occupancy(self.engine)
-        step = cfg.step_gbps
-        if cfg.relative_step:
-            step *= max(0.05, min(1.0, fwd_th / 20.0))
-        if cfg.adaptive_step:
-            if occupancy > cfg.wm_high_packets:
-                step *= 1.0 + min(4.0, occupancy / cfg.wm_high_packets - 1.0)
-            elif occupancy < cfg.wm_low_packets:
-                step *= 1.0 + min(
-                    2.0, (cfg.wm_low_packets - occupancy) / max(1, cfg.wm_low_packets)
-                )
-        if occupancy < cfg.wm_low_packets:
-            fwd_th = min(cfg.max_threshold_gbps, fwd_th + step)
-            self.adjustments_up += 1
-        elif occupancy > cfg.wm_high_packets:
-            fwd_th = max(cfg.min_threshold_gbps, fwd_th - step)
-            self.adjustments_down += 1
+            direction = "idle"
         else:
-            return
-        self.director.set_threshold(fwd_th)
-        self.threshold_history.append(fwd_th)
-        if self.on_update is not None:
-            self.on_update(fwd_th)
+            occupancy = rx_queue_max_occupancy(self.engine)
+            step = cfg.step_gbps
+            if cfg.relative_step:
+                step *= max(0.05, min(1.0, fwd_th / 20.0))
+            if cfg.adaptive_step:
+                if occupancy > cfg.wm_high_packets:
+                    step *= 1.0 + min(4.0, occupancy / cfg.wm_high_packets - 1.0)
+                elif occupancy < cfg.wm_low_packets:
+                    step *= 1.0 + min(
+                        2.0,
+                        (cfg.wm_low_packets - occupancy) / max(1, cfg.wm_low_packets),
+                    )
+            if occupancy < cfg.wm_low_packets:
+                fwd_th = min(cfg.max_threshold_gbps, fwd_th + step)
+                self.adjustments_up += 1
+                direction = "up"
+            elif occupancy > cfg.wm_high_packets:
+                fwd_th = max(cfg.min_threshold_gbps, fwd_th - step)
+                self.adjustments_down += 1
+                direction = "down"
+            else:
+                direction = "hold"
+            if direction != "hold":
+                self.director.set_threshold(fwd_th)
+                self.threshold_history.append(fwd_th)
+                if self.on_update is not None:
+                    self.on_update(fwd_th)
+        if self.tracer is not None:
+            self._trace_decision(snic_tp_gbps, occupancy, old_th, fwd_th, direction)
+
+    def _trace_decision(
+        self,
+        snic_tp_gbps: float,
+        occupancy: int,
+        old_th: float,
+        new_th: float,
+        direction: str,
+    ) -> None:
+        """Record one tick into the decision trace (tracer-enabled only).
+
+        Idle ticks never read the queues on the algorithm path; the
+        trace inspects them here so every tick carries RxQ_Occ (a pure
+        read — no simulated state changes)."""
+        if occupancy < 0:
+            occupancy = rx_queue_max_occupancy(self.engine)
+        now = self.sim.now
+        self.decisions.append(
+            LbpDecision(now, snic_tp_gbps, occupancy, old_th, new_th, direction)
+        )
+        tracer = self.tracer
+        tracer.instant(
+            "lbp",
+            f"fwd_th {direction}",
+            now,
+            {
+                "snic_tp_gbps": snic_tp_gbps,
+                "rxq_occ": occupancy,
+                "fwd_th_before_gbps": old_th,
+                "fwd_th_after_gbps": new_th,
+            },
+        )
+        tracer.counter("lbp", "fwd_th_gbps", now, new_th)
+        tracer.counter("lbp", "snic_tp_gbps", now, snic_tp_gbps)
+        tracer.counter("lbp", "rxq_occ_packets", now, occupancy)
 
     def stop(self) -> None:
         self._stop()

@@ -10,7 +10,10 @@ recommends an initial ``Fwd_Th`` for :class:`~repro.core.hal.HalSystem`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+if TYPE_CHECKING:
+    from repro.exp.server import RunConfig
 
 
 @dataclass(frozen=True)
@@ -46,7 +49,7 @@ class FunctionCharacterization:
 
 def characterize_function(
     function: str,
-    config: Optional[object] = None,
+    config: Optional["RunConfig"] = None,
     latency_factor: float = 1.8,
     sweep_points: int = 6,
 ) -> FunctionCharacterization:
@@ -54,12 +57,23 @@ def characterize_function(
 
     Runs the same searches the experiments use (low-rate floor, SLO
     search, max-throughput search) plus a coarse sweep for the record.
+    Under an ambient :mod:`repro.obs` session each sweep point is also
+    published as ``profiler/<function>/...`` probes.
     """
     # imported here: exp depends on core, so the profiler reaches up lazily
-    from repro.exp.server import DEFAULT_CONFIG, measure_base_p99_us, run_at_rate
+    from repro.exp.server import DEFAULT_CONFIG, RunConfig, measure_base_p99_us, run_at_rate
     from repro.exp.sweeps import find_max_throughput, find_slo_throughput
 
-    config = config or DEFAULT_CONFIG
+    if config is None:
+        config = DEFAULT_CONFIG
+    elif not isinstance(config, RunConfig):
+        raise TypeError(
+            f"config must be a RunConfig, got {type(config).__name__!r}"
+        )
+    if sweep_points <= 0:
+        raise ValueError("sweep_points must be positive")
+    if latency_factor <= 1.0:
+        raise ValueError("latency_factor must exceed 1.0 (it scales the floor)")
     # the SLO search measures its own latency floor with a batch size
     # pinned to the function's capacity, so the floor and the probes are
     # directly comparable
@@ -82,16 +96,45 @@ def characterize_function(
                 drop_rate=metrics.drop_rate,
             )
         )
-    return FunctionCharacterization(
+    result = FunctionCharacterization(
         function=function,
         base_p99_us=base_p99,
         slo_gbps=slo,
         max_gbps=max_rate,
         points=tuple(points),
     )
+    _publish_probes(result)
+    return result
 
 
-def build_profiled_hal(function: str, config: Optional[object] = None, **hal_kwargs):
+def _publish_probes(c: FunctionCharacterization) -> None:
+    """Mirror a characterization into the ambient telemetry session."""
+    from repro.obs.tracer import current_session
+
+    session = current_session()
+    if not session.enabled:
+        return
+    prefix = f"profiler/{c.function}"
+    probes = session.probes
+    probes.gauge(f"{prefix}/base_p99_us").set(c.base_p99_us)
+    probes.gauge(f"{prefix}/slo_gbps").set(c.slo_gbps)
+    probes.gauge(f"{prefix}/max_gbps").set(c.max_gbps)
+    probes.gauge(f"{prefix}/recommended_fwd_th_gbps").set(
+        c.recommended_threshold_gbps
+    )
+    # the sweep as rate-indexed series: "time" is the offered rate
+    tp = probes.series(f"{prefix}/throughput_gbps")
+    p99 = probes.series(f"{prefix}/p99_us")
+    drops = probes.series(f"{prefix}/drop_rate")
+    for point in c.points:
+        tp.sample(point.rate_gbps, point.throughput_gbps)
+        p99.sample(point.rate_gbps, point.p99_us)
+        drops.sample(point.rate_gbps, point.drop_rate)
+
+
+def build_profiled_hal(
+    function: str, config: Optional["RunConfig"] = None, **hal_kwargs
+):
     """A :class:`HalSystem` whose initial Fwd_Th comes from profiling."""
     from repro.core.hal import HalSystem
 

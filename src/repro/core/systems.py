@@ -9,16 +9,20 @@ arriving from the client) and :meth:`_build` (which engines exist).
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Callable, List, Optional
 
+from repro.hw.platform import ProcessingEngine
 from repro.hw.power import PowerConfig, PowerModel
 from repro.hw.profiles import FunctionProfile, get_profile
 from repro.net.addressing import AddressPlan
+from repro.net.capture import CaptureTap
 from repro.net.eswitch import EmbeddedSwitch
 from repro.net.packet import Packet
 from repro.net.traffic import PacketGenerator
 from repro.nf.base import NetworkFunction
 from repro.nf.registry import create_function
+from repro.obs.tracer import current_session
 from repro.sim.engine import Simulator
 from repro.sim.metrics import RunMetrics
 from repro.sim.rng import RngRegistry
@@ -54,7 +58,20 @@ class ServerSystem:
         )
         self.responses = 0
         self._stoppers: List[Callable[[], None]] = []
+        # observability: under an ambient repro.obs session each system
+        # is one traced run; untraced systems keep tracer=None and every
+        # hot-path hook stays a single pointer comparison
+        self._obs_session = current_session()
+        self.tracer = (
+            self._obs_session.new_run(f"{self.kind}/{function}")
+            if self._obs_session.enabled
+            else None
+        )
+        self._client_tap: Optional[CaptureTap] = None
+        self._taps: List[CaptureTap] = []
         self._build()
+        if self.tracer is not None:
+            self._wire_tracing()
 
     # -- subclass hooks ---------------------------------------------------
     def _build(self) -> None:
@@ -63,9 +80,55 @@ class ServerSystem:
     def ingress(self, packet: Packet) -> None:
         raise NotImplementedError
 
+    # -- observability wiring ---------------------------------------------
+    def _wire_tracing(self) -> None:
+        """Attach the run tracer across the layers after ``_build``.
+
+        Generic by construction: every :class:`ProcessingEngine` held as
+        an attribute gets busy-span tracing, the kernel and power model
+        get the tracer, and — when the session asks for packet capture —
+        taps interpose on the eSwitch ports and the client egress."""
+        tracer = self.tracer
+        self.sim.set_tracer(tracer)
+        self.power.enable_tracing(tracer)
+        self._traced_engines = [
+            value
+            for value in self.__dict__.values()
+            if isinstance(value, ProcessingEngine)
+        ]
+        for engine in self._traced_engines:
+            engine.enable_tracing(tracer)
+        hlb = getattr(self, "hlb", None)
+        if hlb is not None:
+            hlb.enable_tracing(tracer)
+        lbp = getattr(self, "lbp", None)
+        if lbp is not None:
+            lbp.tracer = tracer
+        capture = self._obs_session.capture_packets
+        if capture:
+            sim = self.sim
+
+            def clock() -> float:
+                return sim.now
+
+            def tap_port(port: str, handler: Callable[[Packet], None]):
+                tap = CaptureTap(
+                    handler, clock, max_packets=capture, name=f"eswitch:{port}"
+                )
+                self._taps.append(tap)
+                return tap
+
+            self.eswitch.wrap_ports(tap_port)
+            self._client_tap = CaptureTap(
+                lambda packet: None, clock, max_packets=capture, name="client-egress"
+            )
+            self._taps.append(self._client_tap)
+
     # -- shared plumbing -----------------------------------------------------
     def client_sink(self, packet: Packet) -> None:
         """Terminal for response packets heading back to the client."""
+        if self._client_tap is not None:
+            self._client_tap(packet)
         self.responses += packet.multiplicity
 
     def add_stopper(self, stop: Callable[[], None]) -> None:
@@ -83,6 +146,13 @@ class ServerSystem:
         if duration_s <= 0:
             raise ValueError("duration must be positive")
         start = self.sim.now
+        wall_started = perf_counter()
+        if self.tracer is not None:
+            self.tracer.set_label(
+                f"{self.kind}/{self.function}@{generator.offered_gbps:g}Gbps"
+            )
+            generator.tracer = self.tracer
+            self._start_probe_pump(generator, duration_s)
         generator.start(self.sim, self.ingress, duration_s)
 
         # windowed throughput sampling → Table V's "Max" throughput column
@@ -119,7 +189,107 @@ class ServerSystem:
             max_window[0], self.metrics.throughput_gbps
         )
         self._finalize()
+        if self.tracer is not None:
+            self._record_flight(generator, perf_counter() - wall_started)
         return self.metrics
 
     def _finalize(self) -> None:
         """Subclass hook to stamp system-specific extras into metrics."""
+
+    # -- observability: probe pump + flight recorder ----------------------
+    def _start_probe_pump(self, generator: PacketGenerator, duration_s: float) -> None:
+        """Periodic sampler feeding the tracer and the session probes.
+
+        Runs only under tracing (the extra simulation events are why a
+        traced run is *reproducible* but not bit-identical to an
+        untraced one — see docs/ARCHITECTURE.md → Observability)."""
+        tracer = self.tracer
+        session = self._obs_session
+        interval = session.probe_interval_s
+        if interval is None:
+            interval = max(duration_s / 100.0, 1e-5)
+        prefix = tracer.label
+        sim = self.sim
+        metrics = self.metrics
+        engines = getattr(self, "_traced_engines", [])
+        hlb = getattr(self, "hlb", None)
+        state = {
+            "generated": generator.generated_bytes,
+            "delivered": metrics.delivered_bytes,
+        }
+
+        offered_series = session.probes.series(f"{prefix}/offered_gbps")
+        delivered_series = session.probes.series(f"{prefix}/delivered_gbps")
+        power_series = session.probes.series(f"{prefix}/system_w")
+
+        def pump() -> None:
+            now = sim.now
+            gen_bytes = generator.generated_bytes
+            del_bytes = metrics.delivered_bytes
+            offered_gbps = (gen_bytes - state["generated"]) * 8 / interval / 1e9
+            delivered_gbps = (del_bytes - state["delivered"]) * 8 / interval / 1e9
+            state["generated"] = gen_bytes
+            state["delivered"] = del_bytes
+            tracer.counter("traffic", "offered_gbps", now, offered_gbps)
+            tracer.counter("traffic", "delivered_gbps", now, delivered_gbps)
+            tracer.counter("kernel", "events_processed", now, sim.events_processed)
+            tracer.counter("kernel", "pending_events", now, sim.pending())
+            for engine in engines:
+                tracer.counter(
+                    engine.name, "utilization", now, engine.utilization
+                )
+                tracer.counter(
+                    engine.name, "rxq_occ_packets", now, engine.rx_queue_occupancy()
+                )
+            if hlb is not None:
+                stats = hlb.director.stats
+                tracer.counter("hlb", "host_fraction", now, stats.host_fraction)
+                tracer.counter(
+                    "hlb", "merged_packets", now, hlb.merger.merged_packets
+                )
+            self.power.trace_sample()
+            offered_series.sample(now, offered_gbps)
+            delivered_series.sample(now, delivered_gbps)
+            power_series.sample(now, self.power.integrator.instantaneous_watts())
+
+        self.add_stopper(sim.every(interval, pump))
+
+    def _record_flight(self, generator: PacketGenerator, wall_s: float) -> None:
+        """One structured summary of this run into the session's flight
+        recorder (and the capture-tap invariant verdicts, if any)."""
+        metrics = self.metrics
+        summary = self._obs_session.flight.record_run(
+            self.tracer.label,
+            kind=self.kind,
+            function=self.function,
+            offered_gbps=generator.offered_gbps,
+            duration_s=metrics.duration_s,
+            wall_s=wall_s,
+            sim_events=self.sim.events_processed,
+            generated_packets=metrics.generated_packets,
+            delivered_packets=metrics.delivered_packets,
+            dropped_packets=metrics.dropped_packets,
+            throughput_gbps=metrics.throughput_gbps,
+            p99_latency_us=metrics.p99_latency_us,
+            average_power_w=metrics.average_power_w,
+            snic_share=metrics.snic_share,
+            trace_events=len(self.tracer.events),
+            trace_dropped=self.tracer.dropped,
+        )
+        lbp = getattr(self, "lbp", None)
+        if lbp is not None:
+            summary["lbp_decisions"] = len(lbp.decisions)
+            summary["fwd_threshold_gbps"] = lbp.director.fwd_threshold_gbps
+        if self._taps:
+            summary["captures"] = [
+                {
+                    "name": tap.name,
+                    "packets": tap.total_packets,
+                    "bytes": tap.total_bytes,
+                    "records": len(tap.records),
+                    "sources_seen": len(tap.sources_seen()),
+                    "checksums_ok": tap.all_checksums_valid(),
+                    "single_source_ok": tap.single_source_illusion_holds(self.plan),
+                }
+                for tap in self._taps
+            ]

@@ -39,6 +39,9 @@ class ExperimentResult:
     columns: Sequence[str]
     rows: List[Dict[str, Cell]] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
+    #: flight-recorder dict from a traced run (``repro trace``); None for
+    #: untraced runs so serialized payload bytes are unchanged
+    obs: Optional[Dict[str, object]] = None
 
     def add_row(self, **cells: Cell) -> None:
         unknown = set(cells) - set(self.columns)
@@ -55,14 +58,21 @@ class ExperimentResult:
         return [row.get(name) for row in self.rows]
 
     def to_dict(self) -> Dict[str, object]:
-        """JSON-safe form; ``from_dict`` round-trips ``to_text`` exactly."""
-        return {
+        """JSON-safe form; ``from_dict`` round-trips ``to_text`` exactly.
+
+        The ``obs`` key appears only when a flight recording is attached:
+        untraced results keep the historical payload byte-for-byte (the
+        bench identity check hashes these bytes)."""
+        data: Dict[str, object] = {
             "experiment": self.experiment,
             "title": self.title,
             "columns": list(self.columns),
             "rows": [dict(row) for row in self.rows],
             "notes": list(self.notes),
         }
+        if self.obs:
+            data["obs"] = self.obs
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "ExperimentResult":
@@ -72,6 +82,7 @@ class ExperimentResult:
             columns=list(data["columns"]),
             rows=[dict(row) for row in data["rows"]],
             notes=list(data["notes"]),
+            obs=data.get("obs"),
         )
 
     def to_text(self, precision: int = 2) -> str:

@@ -179,6 +179,21 @@ class ProcessingEngine:
         self._functional_accumulator = 0.0
         self._seq = 0
 
+        # observability (repro.obs): untraced engines keep _tracer=None
+        # and the service path pays one is-not-None branch per core
+        # busy/idle transition (never per packet)
+        self._tracer = None
+        self._busy_since: List[float] = []
+
+    def enable_tracing(self, tracer) -> None:
+        """Record per-core busy spans into a ``repro.obs`` tracer.
+
+        A span covers one contiguous busy period of one core (back-to-
+        back services coalesce), emitted on the ``<engine>/c<n>`` track
+        when the core goes idle."""
+        self._tracer = tracer
+        self._busy_since = [0.0] * self.active_cores
+
     # -- observables (DPDK APIs) ---------------------------------------
     def rx_queue_occupancy(self) -> int:
         """Max per-queue backlog in packets (``rte_eth_rx_queue_count``).
@@ -254,6 +269,8 @@ class ProcessingEngine:
         if not self._core_busy[core]:
             self._core_busy[core] = True
             self._busy_count += 1
+            if self._tracer is not None:
+                self._busy_since[core] = self.sim._now
         callback = self.on_power_change
         if callback is not None:
             callback(self)
@@ -330,6 +347,13 @@ class ProcessingEngine:
         else:
             self._core_busy[core] = False
             self._busy_count -= 1
+            if self._tracer is not None:
+                self._tracer.span(
+                    f"{self.name}/c{core}",
+                    "busy",
+                    self._busy_since[core],
+                    self.sim._now,
+                )
             callback = self.on_power_change
             if callback is not None:
                 callback(self)

@@ -58,6 +58,26 @@ class PowerModel:
         self.integrator.set_level("idle", config.system_idle_w, sim.now)
         self._roles: Dict[str, str] = {}
         self.samples = TimeSeries(name="dcmi-system-watts")
+        #: repro.obs tracer; None (untraced) costs one branch per sample
+        self.tracer = None
+
+    def enable_tracing(self, tracer) -> None:
+        """Mirror DCMI samples (and probe-pump reads) into a tracer."""
+        self.tracer = tracer
+
+    def trace_sample(self) -> None:
+        """Emit the instantaneous power picture as tracer counters —
+        system watts plus the SNIC/host dynamic split.  The probe pump
+        calls this each interval; DCMI sampling also feeds the system
+        counter when :meth:`start_sampling` is active."""
+        tracer = self.tracer
+        if tracer is None:
+            return
+        now = self.sim.now
+        tracer.counter("power", "system_w", now, self.integrator.instantaneous_watts())
+        for name, role in self._roles.items():
+            level = self.integrator._levels.get(name, 0.0)
+            tracer.counter("power", f"{role}:{name}_w", now, level)
 
     # -- engine tracking -------------------------------------------------
     def track(self, engine: ProcessingEngine, role: str) -> None:
@@ -118,7 +138,10 @@ class PowerModel:
         """Sample instantaneous system power once per DCMI period."""
 
         def sample() -> None:
-            self.samples.append(self.sim.now, self.integrator.instantaneous_watts())
+            watts = self.integrator.instantaneous_watts()
+            self.samples.append(self.sim.now, watts)
+            if self.tracer is not None:
+                self.tracer.counter("power", "dcmi_w", self.sim.now, watts)
 
         self.sim.every(self.config.dcmi_sample_period_s, sample)
 

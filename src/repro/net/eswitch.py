@@ -87,3 +87,12 @@ class EmbeddedSwitch:
 
     def rule_count(self) -> int:
         return len(self._rules)
+
+    def wrap_ports(self, factory: Callable[[str, PortHandler], PortHandler]) -> None:
+        """Replace every port handler with ``factory(port, handler)``.
+
+        The observability layer uses this to interpose
+        :class:`~repro.net.capture.CaptureTap` windows on each port
+        without the switch knowing about capture at all."""
+        for port, handler in list(self._ports.items()):
+            self._ports[port] = factory(port, handler)

@@ -97,6 +97,9 @@ class PacketGenerator:
         self.generated_packets = 0
         self.generated_bytes = 0
         self._seq = 0
+        #: repro.obs tracer, set by the system when tracing; generators
+        #: emit rate-schedule changes (not per-packet events) into it
+        self.tracer = None
 
     def _make_packet(self, now: float) -> Packet:
         self._seq += 1
@@ -357,6 +360,8 @@ class LogNormalTraceGenerator(PacketGenerator):
             rate = rates[state["index"]]
             state["index"] += 1
             self.rate_series.append(sim.now, rate)
+            if self.tracer is not None:
+                self.tracer.counter("traffic", "trace_rate_gbps", sim.now, rate)
             # re-pace to the new interval's rate: drop whatever the previous
             # interval still had queued and batch-schedule this interval's
             # arrival train in one go

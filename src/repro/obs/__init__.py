@@ -1,0 +1,52 @@
+"""Observability: telemetry probes, decision tracing, trace export.
+
+The evaluation's numbers only mean something when the *time-resolved*
+behaviour behind them is visible — Fwd_Th adapting under a Meta trace,
+Rx-queue occupancy against the LBP watermark band, DCMI power samples.
+This package is the layer that captures that behaviour:
+
+* :mod:`repro.obs.tracer` — the :class:`Tracer` protocol.  The default
+  :class:`NullTracer` is a no-op (hot paths carry a single ``is not
+  None`` branch when untraced); a :class:`RecordingTracer` captures
+  spans, instants, and counters stamped with **simulated** time, so
+  traces are deterministic and diffable.
+* :mod:`repro.obs.probes` — a registry of named counters, gauges, and
+  bounded time-series (reusing :class:`repro.sim.metrics.TimeSeries`).
+* :mod:`repro.obs.export` — Chrome/Perfetto trace-event JSON plus
+  CSV/JSON time-series dumps.
+* :mod:`repro.obs.flight` — the structured "flight recorder" run
+  summary that rides along in :class:`ExperimentResult` payloads.
+* :mod:`repro.obs.log` — structured ``key=value`` logging for the
+  runner/CLI/bench progress output.
+
+The one hard invariant: **untraced runs are bit-identical** to a build
+without this package — no extra simulation events, no extra RNG draws,
+no payload or cache-key changes.  Everything here activates only inside
+a :func:`use_session` block (the CLI's ``repro trace`` command).
+"""
+
+from repro.obs.flight import FlightRecorder
+from repro.obs.probes import ProbeRegistry
+from repro.obs.tracer import (
+    NULL_SESSION,
+    NULL_TRACER,
+    NullTracer,
+    RecordingTracer,
+    Tracer,
+    TraceSession,
+    current_session,
+    use_session,
+)
+
+__all__ = [
+    "FlightRecorder",
+    "ProbeRegistry",
+    "NULL_SESSION",
+    "NULL_TRACER",
+    "NullTracer",
+    "RecordingTracer",
+    "Tracer",
+    "TraceSession",
+    "current_session",
+    "use_session",
+]

@@ -1,0 +1,181 @@
+"""Trace exporters: Chrome/Perfetto trace-event JSON, CSV/JSON series.
+
+The trace-event format (the ``chrome://tracing`` / Perfetto "JSON
+object format") models a trace as processes containing threads; we map
+one simulation **run** to one process (each run has its own clock
+starting at zero, so per-process timestamps stay monotone) and one
+probe **track** — an engine core, the LBP decision stream, the power
+rail — to one thread.  Timestamps are simulated microseconds.
+
+Open an exported file at https://ui.perfetto.dev (drag and drop) or
+``chrome://tracing``.
+
+:func:`validate_chrome_trace` is the schema check the property tests
+and the CI trace-smoke job share: structural validity plus per-track
+timestamp monotonicity.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.probes import ProbeRegistry
+from repro.obs.tracer import PH_COUNTER, PH_INSTANT, PH_SPAN, TraceSession
+
+#: simulated seconds → trace-event microseconds
+_US = 1e6
+
+
+def _meta(name: str, pid: int, tid: int, value: str) -> Dict[str, Any]:
+    return {
+        "name": name,
+        "ph": "M",
+        "pid": pid,
+        "tid": tid,
+        "ts": 0,
+        "args": {"name": value},
+    }
+
+
+def chrome_trace_events(session: TraceSession) -> List[Dict[str, Any]]:
+    """Flatten a session into a trace-event list.
+
+    Events within a run are sorted by simulated time (stable, so
+    same-timestamp events keep emission order), which makes every
+    (pid, tid) track monotone by construction.
+    """
+    out: List[Dict[str, Any]] = []
+    for pid, run in enumerate(session.runs, start=1):
+        out.append(_meta("process_name", pid, 0, run.label))
+        tids: Dict[str, int] = {}
+        events = sorted(run.events, key=lambda e: e[3])
+        body: List[Dict[str, Any]] = []
+        for event in events:
+            ph, track = event[0], event[1]
+            tid = tids.get(track)
+            if tid is None:
+                tid = tids[track] = len(tids) + 1
+                out.append(_meta("thread_name", pid, tid, track))
+            record: Dict[str, Any] = {
+                "name": event[2],
+                "ph": ph,
+                "pid": pid,
+                "tid": tid,
+                "ts": event[3] * _US,
+            }
+            if ph == PH_COUNTER:
+                record["args"] = {"value": event[4]}
+            elif ph == PH_SPAN:
+                record["dur"] = event[4] * _US
+                if event[5]:
+                    record["args"] = dict(event[5])
+            elif ph == PH_INSTANT:
+                record["s"] = "t"  # thread-scoped instant
+                if event[4]:
+                    record["args"] = dict(event[4])
+            body.append(record)
+        out.extend(body)
+    return out
+
+
+def to_chrome_trace(session: TraceSession) -> Dict[str, Any]:
+    """The full JSON-object-format trace, flight summary included."""
+    return {
+        "traceEvents": chrome_trace_events(session),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": "repro.obs",
+            "clock": "simulated",
+            "runs": len(session.runs),
+            "dropped_events": session.total_dropped(),
+            "flight": session.flight.to_dict(),
+        },
+    }
+
+
+def write_chrome_trace(session: TraceSession, path: str) -> Dict[str, Any]:
+    trace = to_chrome_trace(session)
+    with open(path, "w") as fh:
+        json.dump(trace, fh, separators=(",", ":"))
+        fh.write("\n")
+    return trace
+
+
+_KNOWN_PHASES = {"M", PH_INSTANT, PH_COUNTER, PH_SPAN}
+
+
+def validate_chrome_trace(trace: Dict[str, Any]) -> List[str]:
+    """Schema + monotonicity check; returns a list of problems (empty
+    when the trace is valid)."""
+    problems: List[str] = []
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    last_ts: Dict[Tuple[int, int], float] = {}
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        for key in ("name", "ph", "pid", "tid", "ts"):
+            if key not in event:
+                problems.append(f"event {i}: missing {key!r}")
+        ph = event.get("ph")
+        if ph not in _KNOWN_PHASES:
+            problems.append(f"event {i}: unknown phase {ph!r}")
+            continue
+        if ph == "M":
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"event {i}: bad ts {ts!r}")
+            continue
+        if ph == PH_SPAN and event.get("dur", 0) < 0:
+            problems.append(f"event {i}: negative span duration")
+        key = (event.get("pid"), event.get("tid"))
+        if ts < last_ts.get(key, 0.0):
+            problems.append(
+                f"event {i}: ts {ts} goes backwards on track {key} "
+                f"(last {last_ts[key]})"
+            )
+        else:
+            last_ts[key] = ts
+    return problems
+
+
+def trace_tracks(trace: Dict[str, Any]) -> List[str]:
+    """Thread (track) names declared in the trace, in order."""
+    return [
+        e["args"]["name"]
+        for e in trace.get("traceEvents", [])
+        if e.get("ph") == "M" and e.get("name") == "thread_name"
+    ]
+
+
+# -- time-series dumps ----------------------------------------------------
+
+
+def write_probes_csv(registry: ProbeRegistry, path: str) -> None:
+    with open(path, "w") as fh:
+        fh.write(registry.to_csv())
+
+
+def write_probes_json(registry: ProbeRegistry, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(registry.snapshot(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def counters_to_registry(
+    session: TraceSession, registry: Optional[ProbeRegistry] = None
+) -> ProbeRegistry:
+    """Mirror every counter trace event into series probes, one series
+    per ``run-label/track/name`` — the bridge from a recorded trace to
+    the CSV/JSON dump format."""
+    registry = registry if registry is not None else ProbeRegistry()
+    for run in session.runs:
+        for event in sorted(run.events, key=lambda e: e[3]):
+            if event[0] == PH_COUNTER:
+                name = f"{run.label}/{event[1]}/{event[2]}"
+                registry.series(name).sample(event[3], event[4])
+    return registry

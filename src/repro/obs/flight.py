@@ -1,0 +1,65 @@
+"""The flight recorder: a structured summary of every traced run.
+
+Where the trace answers "show me the timeline", the flight recorder
+answers "what did each run do, in one JSON object" — per-run identity
+(system kind, function, offered rate), outcome aggregates (delivered /
+dropped packets, power, LBP decision count, final ``Fwd_Th``), and the
+capture-tap invariant verdicts (client-visible identity, checksum
+validity) when ``--capture`` is active.
+
+It serializes into :class:`~repro.exp.report.ExperimentResult` payloads
+under the optional ``obs`` key — absent for untraced runs, so untraced
+payload bytes and runner cache entries are unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+
+class FlightRecorder:
+    """Accumulates one summary dict per traced simulation run."""
+
+    SCHEMA = 1
+
+    def __init__(self) -> None:
+        self.runs: List[Dict[str, Any]] = []
+
+    def record_run(self, label: str, **fields: Any) -> Dict[str, Any]:
+        """Append one run summary; returns it for further annotation."""
+        summary: Dict[str, Any] = {"label": label}
+        summary.update(fields)
+        self.runs.append(summary)
+        return summary
+
+    def __len__(self) -> int:
+        return len(self.runs)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"schema": self.SCHEMA, "runs": [dict(run) for run in self.runs]}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FlightRecorder":
+        recorder = cls()
+        recorder.runs = [dict(run) for run in data.get("runs", [])]
+        return recorder
+
+    def summary_lines(self) -> List[str]:
+        """Human-readable digest for CLI output."""
+        lines = []
+        for run in self.runs:
+            parts = [run["label"]]
+            for key in ("throughput_gbps", "p99_latency_us", "average_power_w"):
+                if key in run:
+                    parts.append(f"{key}={run[key]:.3g}")
+            if "lbp_decisions" in run:
+                parts.append(f"lbp_decisions={run['lbp_decisions']}")
+            captures = run.get("captures")
+            if captures:
+                ok = all(
+                    c.get("checksums_ok", True) and c.get("single_source_ok", True)
+                    for c in captures
+                )
+                parts.append(f"capture_invariants={'ok' if ok else 'VIOLATED'}")
+            lines.append("  ".join(parts))
+        return lines

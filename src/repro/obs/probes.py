@@ -1,0 +1,132 @@
+"""Named probe registry: counters, gauges, bounded time-series.
+
+Trace events answer "what happened when"; probes answer "what did the
+run add up to" — monotonically increasing counters, last-value gauges,
+and sampled time-series stamped with simulated time.  The series reuse
+:class:`repro.sim.metrics.TimeSeries` (the same container the power
+model's DCMI samples and the Fig. 8 rate snapshots use) under a hard
+sample bound so long runs stay bounded in memory.
+
+Naming scheme (see docs/ARCHITECTURE.md → Observability): probe names
+are ``/``-separated paths, ``<scope>/<component>/<metric>``, e.g.
+``run0:hal/nat/offered_gbps`` or ``profiler/nat/p99_us``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.sim.metrics import TimeSeries
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count."""
+
+    name: str
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A last-value-wins measurement."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class SeriesProbe:
+    """A bounded, simulated-time-stamped series.
+
+    Past ``max_samples`` further samples are counted but not stored —
+    the stored prefix plus the drop count is still diagnostic, and the
+    bound keeps ``--probes`` dumps of long runs tractable.
+    """
+
+    def __init__(self, name: str, max_samples: int = 10_000) -> None:
+        if max_samples <= 0:
+            raise ValueError("max_samples must be positive")
+        self.series = TimeSeries(name=name)
+        self.max_samples = max_samples
+        self.dropped = 0
+
+    @property
+    def name(self) -> str:
+        return self.series.name
+
+    def sample(self, t: float, value: float) -> None:
+        if len(self.series) >= self.max_samples:
+            self.dropped += 1
+            return
+        self.series.append(t, value)
+
+    def __len__(self) -> int:
+        return len(self.series)
+
+
+class ProbeRegistry:
+    """Registry of named probes; names are created on first use."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._series: Dict[str, SeriesProbe] = {}
+
+    # -- accessors (create on first use) --------------------------------
+    def counter(self, name: str) -> Counter:
+        probe = self._counters.get(name)
+        if probe is None:
+            probe = self._counters[name] = Counter(name)
+        return probe
+
+    def gauge(self, name: str) -> Gauge:
+        probe = self._gauges.get(name)
+        if probe is None:
+            probe = self._gauges[name] = Gauge(name)
+        return probe
+
+    def series(self, name: str, max_samples: int = 10_000) -> SeriesProbe:
+        probe = self._series.get(name)
+        if probe is None:
+            probe = self._series[name] = SeriesProbe(name, max_samples)
+        return probe
+
+    def series_names(self) -> List[str]:
+        return sorted(self._series)
+
+    # -- export ----------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-safe dump of every probe's current state."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "series": {
+                n: {
+                    "times": list(p.series.times),
+                    "values": list(p.series.values),
+                    "dropped": p.dropped,
+                }
+                for n, p in sorted(self._series.items())
+            },
+        }
+
+    def to_csv(self, names: Optional[List[str]] = None) -> str:
+        """Long-form CSV (``series,time_s,value``) of the time-series."""
+        selected = names if names is not None else self.series_names()
+        lines = ["series,time_s,value"]
+        for name in selected:
+            probe = self._series.get(name)
+            if probe is None:
+                raise KeyError(f"unknown series probe {name!r}")
+            for t, v in zip(probe.series.times, probe.series.values):
+                lines.append(f"{name},{t!r},{v!r}")
+        return "\n".join(lines) + "\n"

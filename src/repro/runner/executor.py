@@ -14,10 +14,14 @@ interrupted ``artifact`` batch resume mid-experiment.
 
 from __future__ import annotations
 
+import os
 from typing import Any, Dict, Optional
 
 from repro.exp.server import run_at_rate, run_trace
+from repro.obs.log import get_logger
 from repro.runner.spec import JobSpec
+
+log = get_logger("executor")
 
 #: number of jobs actually computed (not served from cache) in this
 #: process — tests assert cache hits through this counter
@@ -76,6 +80,7 @@ def execute_job(spec: JobSpec, cache_dir: Optional[str] = None) -> Dict[str, Any
     from repro.runner.context import use_runner
     from repro.runner.runner import Runner
 
+    log.debug("execute", worker=os.getpid(), spec=spec.label(), op=spec.op)
     inner = Runner(jobs=1, cache=ResultCache(cache_dir) if cache_dir else None)
     with use_runner(inner):
         return _compute(spec)

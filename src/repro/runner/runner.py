@@ -18,16 +18,18 @@ failures in their report instead.
 from __future__ import annotations
 
 import os
-import sys
 import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.obs.log import get_logger
 from repro.runner.cache import ResultCache
 from repro.runner.executor import decode_payload, execute_job
 from repro.runner.spec import JobSpec
+
+log = get_logger("runner")
 
 
 class RunnerError(RuntimeError):
@@ -220,16 +222,18 @@ class Runner:
 
     def _note(self, outcome: JobOutcome) -> None:
         self._done += 1
-        if not self.progress:
-            return
-        status = ""
-        if outcome.cached:
-            status = " (cached)"
-        elif not outcome.ok:
-            status = " FAILED"
-        print(
-            f"  [{self._done}/{self._total}] {outcome.spec.label()} "
-            f"{outcome.wall_s:.1f}s{status}",
-            file=sys.stderr,
-            flush=True,
+        status = "cached" if outcome.cached else ("ok" if outcome.ok else "failed")
+        # with progress off the line still exists at debug level, so -v
+        # surfaces per-job timings without re-running anything
+        emit = log.info if self.progress else log.debug
+        if not outcome.ok:
+            emit = log.error
+        emit(
+            "job",
+            n=self._done,
+            total=self._total,
+            spec=outcome.spec.label(),
+            wall_s=round(outcome.wall_s, 3),
+            status=status,
+            attempts=outcome.attempts,
         )

@@ -128,6 +128,15 @@ class Simulator:
         self._running = False
         self._events_processed = 0
         self._cancelled_in_heap = 0
+        # observability hook (repro.obs): None in untraced runs, so the
+        # run() loop is untouched and only rare kernel-internal moments
+        # (heap compaction) pay an is-not-None branch
+        self.tracer = None
+
+    def set_tracer(self, tracer) -> None:
+        """Attach an ``repro.obs`` tracer (kernel-internal events only;
+        periodic dispatch counters come from the system's probe pump)."""
+        self.tracer = tracer
 
     def _note_cancelled(self, count: int) -> None:
         self._cancelled_in_heap += count
@@ -135,9 +144,17 @@ class Simulator:
             self._cancelled_in_heap > self._COMPACT_MIN_CANCELLED
             and self._cancelled_in_heap * 2 > len(self._heap)
         ):
+            before = len(self._heap)
             self._heap = [e for e in self._heap if e[_STATUS] == _PENDING]
             _heapify(self._heap)
             self._cancelled_in_heap = 0
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "kernel",
+                    "heap_compaction",
+                    self._now,
+                    {"before": before, "after": len(self._heap)},
+                )
 
     @property
     def now(self) -> float:

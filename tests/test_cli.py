@@ -163,3 +163,111 @@ class TestBench:
             bench_fig5(repeats=1)["payload_sha256"]
             == baseline["identity"]["fig5_payload_sha256"]
         )
+
+
+class TestTraceMode:
+    def test_trace_parser_defaults(self):
+        args = build_parser().parse_args(["trace", "fig9"])
+        assert args.experiment == "trace"
+        assert args.target == "fig9"
+        assert args.trace_out == "trace.json"
+        assert args.probes is None
+        assert args.capture == 0
+
+    def test_trace_requires_target(self, capsys):
+        assert main(["trace"]) == 2
+        assert "trace mode needs a target" in capsys.readouterr().err
+
+    def test_trace_rejects_unknown_target(self, capsys):
+        assert main(["trace", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_trace_writes_valid_trace_and_result(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.export import trace_tracks, validate_chrome_trace
+
+        trace_path = tmp_path / "trace.json"
+        probes_path = tmp_path / "probes.csv"
+        assert (
+            main(
+                ["trace", "fig5", "--duration", "0.02",
+                 "--trace-out", str(trace_path), "--probes", str(probes_path)]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "fig5" in out  # the result table still prints
+        trace = json.loads(trace_path.read_text())
+        assert validate_chrome_trace(trace) == []
+        assert len(trace_tracks(trace)) >= 4
+        assert trace["otherData"]["flight"]["runs"]
+        assert probes_path.read_text().startswith("series,time_s,value")
+
+    def test_probes_flag_on_normal_experiment(self, tmp_path, capsys):
+        import json
+
+        probes_path = tmp_path / "probes.json"
+        assert (
+            main(["costs", "--probes", str(probes_path), "-q"]) == 0
+        )
+        # costs runs no simulations, so the registry is empty but valid
+        snapshot = json.loads(probes_path.read_text())
+        assert set(snapshot) == {"counters", "gauges", "series"}
+
+    def test_capture_flag_records_invariants(self, capsys):
+        from repro import cli as cli_mod
+        from repro.obs import log as obs_log
+
+        captured = {}
+        original = cli_mod._export_session
+
+        def spy(session, args):
+            captured["session"] = session
+            return original(session, args)
+
+        cli_mod._export_session, cleanup = spy, original
+        try:
+            assert main(["fig5", "--duration", "0.02", "--capture", "16", "-q"]) == 0
+        finally:
+            cli_mod._export_session = cleanup
+            obs_log.set_level("info")
+        session = captured["session"]
+        assert session.capture_packets == 16
+        runs = session.flight.runs
+        assert runs and all("captures" in r for r in runs)
+
+
+class TestVerbosityFlags:
+    def test_verbose_and_quiet_set_levels(self):
+        from repro.obs import log as obs_log
+
+        old = obs_log.get_level()
+        try:
+            main(["list", "-v"])
+            assert obs_log.get_level() == obs_log.DEBUG
+            main(["list", "-q"])
+            assert obs_log.get_level() == obs_log.WARNING
+        finally:
+            obs_log.set_level(old)
+
+    def test_runner_progress_is_structured(self, capsys):
+        import io
+
+        from repro.obs import log as obs_log
+        from repro.runner import JobSpec, Runner
+        from repro.exp.server import RunConfig
+
+        stream = io.StringIO()
+        obs_log.set_stream(stream)
+        try:
+            runner = Runner(jobs=1, progress=True)
+            spec = JobSpec.at_rate("snic", "nat", 5.0, RunConfig(duration_s=0.01))
+            runner.run([spec])
+        finally:
+            import sys
+
+            obs_log.set_stream(sys.stderr)
+        line = stream.getvalue().strip()
+        assert line.startswith("runner job ")
+        assert "status=ok" in line and "n=1 total=1" in line

@@ -1,0 +1,152 @@
+"""Tests for the Chrome/Perfetto trace exporter and series dumps."""
+
+import json
+import random
+
+import pytest
+
+from repro.obs.export import (
+    chrome_trace_events,
+    counters_to_registry,
+    to_chrome_trace,
+    trace_tracks,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_probes_csv,
+    write_probes_json,
+)
+from repro.obs.tracer import TraceSession
+
+
+def make_session():
+    session = TraceSession()
+    run = session.new_run("hal/nat")
+    run.instant("lbp", "fwd_th up", 1e-4, {"fwd_th_after_gbps": 21.0})
+    run.counter("power", "system_w", 2e-4, 201.5)
+    run.span("snic-nat/c0", "busy", 0.0, 5e-5)
+    return session
+
+
+class TestChromeTraceEvents:
+    def test_metadata_and_body(self):
+        events = chrome_trace_events(make_session())
+        metas = [e for e in events if e["ph"] == "M"]
+        assert metas[0]["name"] == "process_name"
+        assert metas[0]["args"]["name"] == "run0:hal/nat"
+        thread_names = {e["args"]["name"] for e in metas[1:]}
+        assert thread_names == {"lbp", "power", "snic-nat/c0"}
+
+    def test_phase_specific_fields(self):
+        events = chrome_trace_events(make_session())
+        by_ph = {e["ph"]: e for e in events if e["ph"] != "M"}
+        assert by_ph["i"]["s"] == "t"
+        assert by_ph["i"]["args"]["fwd_th_after_gbps"] == 21.0
+        assert by_ph["C"]["args"] == {"value": 201.5}
+        assert by_ph["X"]["dur"] == pytest.approx(50.0)  # 5e-5 s → 50 µs
+
+    def test_timestamps_in_microseconds(self):
+        events = chrome_trace_events(make_session())
+        instant = next(e for e in events if e["ph"] == "i")
+        assert instant["ts"] == pytest.approx(100.0)
+
+    def test_runs_become_processes(self):
+        session = TraceSession()
+        session.new_run("a").counter("k", "n", 0.5, 1.0)
+        session.new_run("b").counter("k", "n", 0.1, 1.0)
+        events = chrome_trace_events(session)
+        pids = {e["pid"] for e in events}
+        assert pids == {1, 2}
+
+
+class TestValidation:
+    def test_valid_trace_has_no_problems(self):
+        assert validate_chrome_trace(to_chrome_trace(make_session())) == []
+
+    def test_detects_missing_trace_events(self):
+        assert validate_chrome_trace({}) == ["traceEvents missing or not a list"]
+
+    def test_detects_unknown_phase(self):
+        trace = {
+            "traceEvents": [
+                {"name": "x", "ph": "Z", "pid": 1, "tid": 1, "ts": 0.0}
+            ]
+        }
+        problems = validate_chrome_trace(trace)
+        assert any("unknown phase" in p for p in problems)
+
+    def test_detects_backwards_time(self):
+        trace = {
+            "traceEvents": [
+                {"name": "a", "ph": "C", "pid": 1, "tid": 1, "ts": 5.0,
+                 "args": {"value": 1}},
+                {"name": "b", "ph": "C", "pid": 1, "tid": 1, "ts": 4.0,
+                 "args": {"value": 2}},
+            ]
+        }
+        problems = validate_chrome_trace(trace)
+        assert any("goes backwards" in p for p in problems)
+
+    def test_detects_negative_duration(self):
+        trace = {
+            "traceEvents": [
+                {"name": "a", "ph": "X", "pid": 1, "tid": 1, "ts": 1.0,
+                 "dur": -2.0}
+            ]
+        }
+        problems = validate_chrome_trace(trace)
+        assert any("negative span" in p for p in problems)
+
+    def test_property_random_emission_order_stays_monotone(self):
+        """Whatever order events were emitted in, the exporter must
+        produce per-(pid, tid) monotone timestamps."""
+        rng = random.Random(20240807)
+        for _ in range(20):
+            session = TraceSession()
+            for r in range(rng.randint(1, 3)):
+                run = session.new_run(f"sys{r}")
+                for _ in range(rng.randint(5, 60)):
+                    track = rng.choice(["a", "b", "c", "power"])
+                    ts = rng.random()
+                    kind = rng.randrange(3)
+                    if kind == 0:
+                        run.instant(track, "ev", ts)
+                    elif kind == 1:
+                        run.counter(track, "n", ts, rng.random())
+                    else:
+                        run.span(track, "busy", ts, ts + rng.random() * 0.01)
+            assert validate_chrome_trace(to_chrome_trace(session)) == []
+
+
+class TestWriters:
+    def test_write_chrome_trace_is_valid_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(make_session(), str(path))
+        trace = json.loads(path.read_text())
+        assert validate_chrome_trace(trace) == []
+        assert trace["otherData"]["generator"] == "repro.obs"
+        assert trace["otherData"]["clock"] == "simulated"
+        assert trace["otherData"]["flight"]["schema"] == 1
+        # tids are assigned in sorted-by-timestamp order: the span starts
+        # at t=0, then the instant (1e-4), then the counter (2e-4)
+        assert trace_tracks(trace) == ["snic-nat/c0", "lbp", "power"]
+
+    def test_write_probes_csv_and_json(self, tmp_path):
+        session = make_session()
+        registry = counters_to_registry(session)
+        csv_path = tmp_path / "probes.csv"
+        json_path = tmp_path / "probes.json"
+        write_probes_csv(registry, str(csv_path))
+        write_probes_json(registry, str(json_path))
+        assert csv_path.read_text().startswith("series,time_s,value")
+        snap = json.loads(json_path.read_text())
+        series = snap["series"]["run0:hal/nat/power/system_w"]
+        assert series["values"] == [201.5]
+
+    def test_counters_to_registry_orders_samples(self):
+        session = TraceSession()
+        run = session.new_run("x")
+        run.counter("k", "n", 0.2, 2.0)
+        run.counter("k", "n", 0.1, 1.0)  # emitted out of order
+        registry = counters_to_registry(session)
+        probe = registry.series("run0:x/k/n")
+        assert probe.series.times == [0.1, 0.2]

@@ -1,0 +1,247 @@
+"""Integration tests: telemetry wired through real simulation runs.
+
+Covers the acceptance criteria of the observability PR: a traced HAL
+run exports a valid multi-track Perfetto trace, the LBP decision trace
+agrees with the simulated TrafficDirector register, untraced systems
+stay tracer-free, DCMI-style 1 s sampling handles its edge cases, and
+the profiler validates its config and publishes probes.
+"""
+
+import pytest
+
+from repro.exp.server import RunConfig, run_at_rate
+from repro.hw.power import PowerConfig, PowerModel
+from repro.obs.export import to_chrome_trace, trace_tracks, validate_chrome_trace
+from repro.obs.tracer import TraceSession, current_session, use_session
+from repro.sim.engine import Simulator
+
+QUICK = RunConfig(duration_s=0.05)
+
+
+def traced_run(kind="hal", function="nat", rate=40.0, **session_kwargs):
+    session = TraceSession(**session_kwargs)
+    with use_session(session):
+        metrics = run_at_rate(kind, function, rate, QUICK)
+    return session, metrics
+
+
+class TestTracedHalRun:
+    def test_trace_valid_with_required_tracks(self):
+        session, _ = traced_run()
+        trace = to_chrome_trace(session)
+        assert validate_chrome_trace(trace) == []
+        tracks = trace_tracks(trace)
+        assert len(tracks) >= 4
+        # the acceptance set: SNIC engine, host engine, LBP, power
+        assert any(t.startswith("snic-nat") for t in tracks)
+        assert "host-nat" in tracks or any(t.startswith("host-nat") for t in tracks)
+        assert "lbp" in tracks
+        assert "power" in tracks
+
+    def test_traced_and_untraced_metrics_agree(self):
+        # tracing adds sampler events but must not change what the
+        # simulation computes: packet-level results stay identical
+        _, traced = traced_run()
+        untraced = run_at_rate("hal", "nat", 40.0, QUICK)
+        assert traced.delivered_packets == untraced.delivered_packets
+        assert traced.dropped_packets == untraced.dropped_packets
+        assert traced.throughput_gbps == pytest.approx(untraced.throughput_gbps)
+        assert traced.p99_latency_us == pytest.approx(untraced.p99_latency_us)
+
+    def test_flight_recorder_summarizes_run(self):
+        session, metrics = traced_run()
+        (run,) = session.flight.runs
+        assert run["kind"] == "hal"
+        assert run["function"] == "nat"
+        assert run["offered_gbps"] == 40.0
+        assert run["delivered_packets"] == metrics.delivered_packets
+        assert run["throughput_gbps"] == pytest.approx(metrics.throughput_gbps)
+        assert run["lbp_decisions"] > 0
+        assert run["wall_s"] > 0
+        assert run["trace_events"] > 0
+
+    def test_probe_pump_fills_series(self):
+        session, _ = traced_run()
+        names = session.probes.series_names()
+        assert any(n.endswith("/offered_gbps") for n in names)
+        assert any(n.endswith("/delivered_gbps") for n in names)
+        assert any(n.endswith("/system_w") for n in names)
+        (name,) = [n for n in names if n.endswith("/system_w")]
+        probe = session.probes.series(name)
+        assert len(probe) > 10
+        assert all(v >= 194.0 for v in probe.series.values)  # >= idle floor
+
+
+class TestLbpDecisionTrace:
+    def test_every_tick_recorded_and_register_matches(self):
+        session = TraceSession()
+        with use_session(session):
+            from repro.exp.server import build_system
+            from repro.net.traffic import ConstantRateGenerator
+
+            system = build_system("hal", "nat", QUICK)
+            generator = ConstantRateGenerator(
+                system.plan, QUICK.spec(40.0), system.rng, 40.0
+            )
+            system.run(generator, QUICK.duration_s)
+        lbp = system.lbp
+        # Algorithm 1 ticks every period_s until stopped at duration_s;
+        # the tick landing exactly on the stop boundary may not fire
+        expected_ticks = int(QUICK.duration_s / lbp.config.period_s)
+        assert expected_ticks - 2 <= len(lbp.decisions) <= expected_ticks + 2
+        # replaying the recorded transitions reproduces the register
+        for d in lbp.decisions:
+            if d.direction in ("up", "down"):
+                assert d.fwd_th_after_gbps != d.fwd_th_before_gbps
+            else:
+                assert d.fwd_th_after_gbps == d.fwd_th_before_gbps
+        moved = [
+            d.fwd_th_after_gbps
+            for d in lbp.decisions
+            if d.direction in ("up", "down")
+        ]
+        assert lbp.threshold_history[1:] == moved
+        # the final recorded threshold is what the director register holds
+        assert lbp.decisions[-1].fwd_th_after_gbps == pytest.approx(
+            system.hlb.director.fwd_threshold_gbps
+        )
+        # decision timestamps are monotone and every tick carries RxQ_Occ
+        times = [d.t for d in lbp.decisions]
+        assert times == sorted(times)
+        assert all(d.rxq_occ >= 0 for d in lbp.decisions)
+        assert all(d.snic_tp_gbps >= 0 for d in lbp.decisions)
+
+    def test_trace_counter_series_matches_decisions(self):
+        session, _ = traced_run()
+        run = session.runs[0]
+        counter_values = [
+            e[4] for e in run.events if e[0] == "C" and e[2] == "fwd_th_gbps"
+        ]
+        # reconstruct from the flight-side decision list via the trace
+        instants = [
+            e for e in run.events if e[0] == "i" and e[1] == "lbp"
+        ]
+        assert len(counter_values) == len(instants)
+        assert counter_values == [
+            e[4]["fwd_th_after_gbps"] for e in instants
+        ]
+
+
+class TestUntracedStaysClean:
+    def test_no_session_means_no_tracer_anywhere(self):
+        from repro.exp.server import build_system
+
+        assert not current_session().enabled
+        system = build_system("hal", "nat", QUICK)
+        assert system.tracer is None
+        assert system.sim.tracer is None
+        assert system.power.tracer is None
+        assert system.lbp.tracer is None
+        assert system.hlb.monitor.tracer is None
+        assert system._taps == []
+        run_at_rate("hal", "nat", 10.0, QUICK)  # runs clean end to end
+
+
+class TestCaptureTaps:
+    def test_capture_session_attaches_taps(self):
+        session, _ = traced_run(capture_packets=32)
+        (run,) = session.flight.runs
+        captures = run["captures"]
+        names = {c["name"] for c in captures}
+        assert "client-egress" in names
+        assert any(n.startswith("eswitch:") for n in names)
+        # at 40 Gbps the SNIC absorbs everything, so some ports (the
+        # host path) legitimately stay silent — but traffic must flow
+        # through at least one tapped port
+        assert any(c["packets"] > 0 for c in captures)
+        assert all(c["checksums_ok"] for c in captures)
+        assert all(c["single_source_ok"] for c in captures)
+        # bounded windows: records never exceed the requested depth
+        assert all(c["records"] <= 32 for c in captures)
+
+
+class TestDcmiSamplingEdgeCases:
+    def make_model(self, period=1.0):
+        sim = Simulator()
+        model = PowerModel(
+            sim, PowerConfig(dcmi_sample_period_s=period)
+        )
+        return sim, model
+
+    def test_run_shorter_than_period_yields_no_samples(self):
+        sim, model = self.make_model(period=1.0)
+        model.start_sampling()
+        sim.run(until=0.5)
+        assert len(model.samples) == 0
+        # the integrator still has the full story
+        assert model.average_watts() == pytest.approx(194.0)
+
+    def test_state_change_on_sample_boundary(self):
+        sim, model = self.make_model(period=1.0)
+        model.start_sampling()
+        # jump the "extra" component exactly at the t=1.0 boundary with
+        # default (NORMAL) priority: the CONTROL-priority sampler runs
+        # first at equal time, so the sample sees the pre-change level
+        sim.schedule_at(1.0, lambda: model.set_constant("extra", 50.0))
+        sim.run(until=2.5)
+        assert model.samples.times == [1.0, 2.0]
+        assert model.samples.values[0] == pytest.approx(194.0)
+        assert model.samples.values[1] == pytest.approx(244.0)
+
+    def test_final_partial_window_integrates_fully(self):
+        sim, model = self.make_model(period=1.0)
+        model.start_sampling()
+        sim.schedule_at(2.0, lambda: model.set_constant("extra", 100.0))
+        sim.run(until=2.5)
+        # two whole windows at 194 W + 0.5 s at 294 W
+        expected = (194.0 * 2.0 + 294.0 * 0.5) / 2.5
+        assert model.average_watts() == pytest.approx(expected)
+        # but DCMI sampling never saw past t=2.0
+        assert model.samples.times == [1.0, 2.0]
+
+    def test_sampling_mirrors_into_tracer(self):
+        from repro.obs.tracer import RecordingTracer
+
+        sim, model = self.make_model(period=1.0)
+        tracer = RecordingTracer("power-test")
+        model.enable_tracing(tracer)
+        model.start_sampling()
+        sim.run(until=3.2)
+        dcmi = [e for e in tracer.events if e[2] == "dcmi_w"]
+        assert [e[3] for e in dcmi] == [1.0, 2.0, 3.0]
+        assert all(e[4] == pytest.approx(194.0) for e in dcmi)
+
+
+class TestProfilerValidation:
+    def test_rejects_non_runconfig(self):
+        from repro.core.profiler import characterize_function
+
+        with pytest.raises(TypeError, match="RunConfig"):
+            characterize_function("nat", config={"duration_s": 0.1})
+
+    def test_rejects_bad_sweep_args(self):
+        from repro.core.profiler import characterize_function
+
+        with pytest.raises(ValueError):
+            characterize_function("nat", sweep_points=0)
+        with pytest.raises(ValueError):
+            characterize_function("nat", latency_factor=1.0)
+
+    def test_publishes_probes_under_session(self):
+        from repro.core.profiler import characterize_function
+
+        session = TraceSession()
+        with use_session(session):
+            c = characterize_function(
+                "nat", config=RunConfig(duration_s=0.02), sweep_points=2
+            )
+        probes = session.probes
+        assert probes.gauge("profiler/nat/slo_gbps").value == pytest.approx(
+            c.slo_gbps
+        )
+        assert probes.gauge(
+            "profiler/nat/recommended_fwd_th_gbps"
+        ).value == pytest.approx(c.recommended_threshold_gbps)
+        sweep = probes.series("profiler/nat/throughput_gbps")
+        assert len(sweep) == 2
+        assert sweep.series.times == [p.rate_gbps for p in c.points]

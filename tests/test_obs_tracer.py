@@ -1,0 +1,244 @@
+"""Unit tests for repro.obs: tracer, probes, flight recorder, logging."""
+
+import io
+
+import pytest
+
+from repro.obs.flight import FlightRecorder
+from repro.obs.log import (
+    DEBUG,
+    INFO,
+    StructuredLogger,
+    format_value,
+    get_level,
+    get_logger,
+    kv_line,
+    set_level,
+    set_stream,
+)
+from repro.obs.probes import ProbeRegistry, SeriesProbe
+from repro.obs.tracer import (
+    NULL_SESSION,
+    NULL_TRACER,
+    NullTracer,
+    RecordingTracer,
+    TraceSession,
+    current_session,
+    use_session,
+)
+
+
+class TestNullTracer:
+    def test_disabled_and_silent(self):
+        t = NullTracer()
+        assert not t.enabled
+        t.instant("track", "x", 0.0)
+        t.counter("track", "x", 0.0, 1.0)
+        t.span("track", "x", 0.0, 1.0)
+        t.set_label("renamed")  # all no-ops
+
+    def test_shared_instance_is_null(self):
+        assert isinstance(NULL_TRACER, NullTracer)
+
+
+class TestRecordingTracer:
+    def test_records_all_phases(self):
+        t = RecordingTracer("lab")
+        t.instant("lbp", "decision", 0.5, {"a": 1})
+        t.counter("power", "system_w", 1.0, 200.0)
+        t.span("snic/c0", "busy", 1.0, 2.0, None)
+        assert t.enabled
+        assert len(t.events) == 3
+        phases = [e[0] for e in t.events]
+        assert phases == ["i", "C", "X"]
+        # span stores (start, duration)
+        assert t.events[2][3] == 1.0 and t.events[2][4] == 1.0
+
+    def test_bounded_and_counts_drops(self):
+        t = RecordingTracer("lab", max_events=2)
+        for i in range(5):
+            t.counter("k", "n", float(i), float(i))
+        assert len(t.events) == 2
+        assert t.dropped == 3
+
+    def test_label_keeps_run_prefix(self):
+        t = RecordingTracer("hal/nat", index=3)
+        assert t.label == "run3:hal/nat"
+        t.set_label("hal/nat@40Gbps")
+        assert t.label == "run3:hal/nat@40Gbps"
+
+    def test_tracks_in_first_emission_order(self):
+        t = RecordingTracer("lab")
+        t.counter("b", "x", 0.0, 1.0)
+        t.counter("a", "x", 1.0, 1.0)
+        t.counter("b", "y", 2.0, 1.0)
+        assert t.tracks() == ["b", "a"]
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ValueError):
+            RecordingTracer("lab", max_events=0)
+
+
+class TestTraceSession:
+    def test_new_run_indexes_tracers(self):
+        s = TraceSession()
+        a = s.new_run("hal/nat")
+        b = s.new_run("hal/nat")
+        assert a.label == "run0:hal/nat"
+        assert b.label == "run1:hal/nat"
+        assert s.runs == [a, b]
+
+    def test_totals(self):
+        s = TraceSession(max_events_per_run=1)
+        run = s.new_run("x")
+        run.counter("k", "n", 0.0, 1.0)
+        run.counter("k", "n", 1.0, 2.0)
+        assert s.total_events() == 1
+        assert s.total_dropped() == 1
+
+    def test_rejects_negative_capture(self):
+        with pytest.raises(ValueError):
+            TraceSession(capture_packets=-1)
+
+    def test_ambient_default_is_null(self):
+        session = current_session()
+        assert session is NULL_SESSION
+        assert not session.enabled
+        assert session.new_run("anything") is NULL_TRACER
+
+    def test_use_session_swaps_and_restores(self):
+        s = TraceSession()
+        with use_session(s) as active:
+            assert active is s
+            assert current_session() is s
+            assert current_session().new_run("r").enabled
+        assert current_session() is NULL_SESSION
+
+    def test_use_session_restores_on_error(self):
+        s = TraceSession()
+        with pytest.raises(RuntimeError):
+            with use_session(s):
+                raise RuntimeError("boom")
+        assert current_session() is NULL_SESSION
+
+
+class TestProbes:
+    def test_counter_monotone(self):
+        reg = ProbeRegistry()
+        c = reg.counter("runner/jobs")
+        c.inc()
+        c.inc(2)
+        assert c.value == 3
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_last_value_wins(self):
+        reg = ProbeRegistry()
+        g = reg.gauge("profiler/nat/slo_gbps")
+        g.set(10.0)
+        g.set(12.5)
+        assert g.value == 12.5
+
+    def test_create_on_first_use_is_idempotent(self):
+        reg = ProbeRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.series("s") is reg.series("s")
+
+    def test_series_bounded(self):
+        p = SeriesProbe("x", max_samples=3)
+        for i in range(5):
+            p.sample(float(i), float(i))
+        assert len(p) == 3
+        assert p.dropped == 2
+
+    def test_snapshot_shape(self):
+        reg = ProbeRegistry()
+        reg.counter("c").inc()
+        reg.gauge("g").set(2.0)
+        reg.series("s").sample(0.0, 1.0)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c": 1.0}
+        assert snap["gauges"] == {"g": 2.0}
+        assert snap["series"]["s"]["times"] == [0.0]
+        assert snap["series"]["s"]["dropped"] == 0
+
+    def test_csv_long_form(self):
+        reg = ProbeRegistry()
+        s = reg.series("run0/offered_gbps")
+        s.sample(0.1, 40.0)
+        s.sample(0.2, 41.0)
+        csv = reg.to_csv()
+        lines = csv.strip().split("\n")
+        assert lines[0] == "series,time_s,value"
+        assert lines[1] == "run0/offered_gbps,0.1,40.0"
+        assert len(lines) == 3
+
+    def test_csv_unknown_series_raises(self):
+        with pytest.raises(KeyError):
+            ProbeRegistry().to_csv(["nope"])
+
+
+class TestFlightRecorder:
+    def test_record_and_roundtrip(self):
+        f = FlightRecorder()
+        run = f.record_run("run0:hal/nat", throughput_gbps=40.0)
+        run["extra"] = 1
+        data = f.to_dict()
+        rebuilt = FlightRecorder.from_dict(data)
+        assert rebuilt.runs[0]["label"] == "run0:hal/nat"
+        assert rebuilt.runs[0]["extra"] == 1
+
+    def test_summary_lines_flag_violations(self):
+        f = FlightRecorder()
+        f.record_run(
+            "r0",
+            throughput_gbps=1.0,
+            captures=[{"name": "t", "checksums_ok": True, "single_source_ok": False}],
+        )
+        (line,) = f.summary_lines()
+        assert "capture_invariants=VIOLATED" in line
+
+
+@pytest.fixture
+def log_capture():
+    stream = io.StringIO()
+    old_level = get_level()
+    set_stream(stream)
+    set_level(INFO)
+    yield stream
+    set_level(old_level)
+    import sys
+
+    set_stream(sys.stderr)
+
+
+class TestStructuredLog:
+    def test_kv_line_format(self):
+        line = kv_line("runner", "job", {"n": 1, "ok": True, "msg": "two words"})
+        assert line == 'runner job n=1 ok=true msg="two words"'
+
+    def test_format_value(self):
+        assert format_value(True) == "true"
+        assert format_value(0.123456789) == "0.123457"
+        assert format_value("plain") == "plain"
+        assert format_value("has space") == '"has space"'
+        assert format_value('say "hi"') == '"say \\"hi\\""'
+
+    def test_level_filtering(self, log_capture):
+        log = StructuredLogger("t")
+        log.debug("hidden", a=1)
+        log.info("shown", a=2)
+        out = log_capture.getvalue()
+        assert "hidden" not in out
+        assert "t shown a=2" in out
+
+    def test_set_level_by_name(self, log_capture):
+        set_level("debug")
+        assert get_level() == DEBUG
+        StructuredLogger("t").debug("now_visible")
+        assert "now_visible" in log_capture.getvalue()
+        with pytest.raises(ValueError):
+            set_level("loud")
+
+    def test_get_logger_cached(self):
+        assert get_logger("x") is get_logger("x")
