@@ -29,22 +29,34 @@ def main(argv=None) -> int:
     parser.add_argument("--baseline", default=DEFAULT_BASELINE)
     args = parser.parse_args(argv)
 
-    from repro.bench import bench_fig5
+    from repro.bench import bench_fig5, bench_rack
 
     baseline = json.loads(pathlib.Path(args.baseline).read_text())
-    expected = baseline["identity"]["fig5_payload_sha256"]
-    current = bench_fig5(repeats=1)["payload_sha256"]
-    if current != expected:
-        print(
-            "FAIL: untraced fig5 payload hash moved\n"
-            f"  baseline {expected}\n"
-            f"  current  {current}\n"
-            "Untraced simulation results changed — either fix the code or, "
-            "for an intended behaviour change, re-anchor benchmarks/baseline.json."
-        )
-        return 1
-    print(f"OK: untraced fig5 payload sha256 matches baseline ({current[:12]}…)")
-    return 0
+    checks = [("fig5", "fig5_payload_sha256", lambda: bench_fig5(repeats=1))]
+    # racks joined the identity gate when the cluster layer landed; older
+    # baselines without the key skip the check rather than fail
+    if "rack_payload_sha256" in baseline["identity"]:
+        checks.append(("rack", "rack_payload_sha256", bench_rack))
+    failed = False
+    for label, key, run in checks:
+        expected = baseline["identity"][key]
+        current = run()["payload_sha256"]
+        if current != expected:
+            print(
+                f"FAIL: untraced {label} payload hash moved\n"
+                f"  baseline {expected}\n"
+                f"  current  {current}\n"
+                "Untraced simulation results changed — either fix the code "
+                "or, for an intended behaviour change, re-anchor "
+                "benchmarks/baseline.json."
+            )
+            failed = True
+        else:
+            print(
+                f"OK: untraced {label} payload sha256 matches baseline "
+                f"({current[:12]}…)"
+            )
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

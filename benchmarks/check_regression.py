@@ -57,24 +57,25 @@ def check(current: dict, baseline: dict, tolerance: float) -> int:
         if not ok:
             failures += 1
 
-    base_sha = baseline.get("identity", {}).get("fig5_payload_sha256")
-    cur_sha = current.get("identity", {}).get("fig5_payload_sha256")
-    if base_sha and cur_sha:
-        if base_sha == cur_sha:
-            print(f"ok   fig5 payload identity: {cur_sha[:16]}…")
-        else:
+    for label in ("fig5", "rack"):
+        base_sha = baseline.get("identity", {}).get(f"{label}_payload_sha256")
+        cur_sha = current.get("identity", {}).get(f"{label}_payload_sha256")
+        if base_sha and cur_sha:
+            if base_sha == cur_sha:
+                print(f"ok   {label} payload identity: {cur_sha[:16]}…")
+            else:
+                print(
+                    f"FAIL {label} payload identity: {cur_sha[:16]}… != "
+                    f"baseline {base_sha[:16]}… (simulated results changed)"
+                )
+                failures += 1
+        base_key = baseline.get("identity", {}).get(f"{label}_spec_hash")
+        cur_key = current.get("identity", {}).get(f"{label}_spec_hash")
+        if base_key and cur_key and base_key != cur_key:
             print(
-                f"FAIL fig5 payload identity: {cur_sha[:16]}… != "
-                f"baseline {base_sha[:16]}… (simulated results changed)"
+                f"note {label} cache key moved ({cur_key[:16]}… vs "
+                f"{base_key[:16]}…) — expected whenever repro sources change"
             )
-            failures += 1
-    base_key = baseline.get("identity", {}).get("fig5_spec_hash")
-    cur_key = current.get("identity", {}).get("fig5_spec_hash")
-    if base_key and cur_key and base_key != cur_key:
-        print(
-            f"note fig5 cache key moved ({cur_key[:16]}… vs {base_key[:16]}…) "
-            "— expected whenever repro sources change"
-        )
     return failures
 
 

@@ -6,6 +6,8 @@ Three numbers summarise the layers the hot-path work targets:
   kernel, measured on a self-scheduling event chain (no packet work);
 * ``datapath_packets_per_s`` — packet construct + HLB director/merger
   rewrite + checksum-read cycles per second (no simulator);
+* ``rack_dispatch_packets_per_s`` — the rack front tier's per-packet
+  cost: packing-policy select over 8 server slots + the VIP rewrite;
 * ``fig5_cell_wall_s`` — wall-clock of one fixed Fig. 5 smoke cell run
   end-to-end through :func:`repro.runner.executor.execute_job`.
 
@@ -35,6 +37,7 @@ BENCH_SCHEMA = 1
 METRIC_DIRECTIONS: Dict[str, str] = {
     "kernel_events_per_s": "higher",
     "datapath_packets_per_s": "higher",
+    "rack_dispatch_packets_per_s": "higher",
     "fig5_cell_wall_s": "lower",
 }
 
@@ -74,6 +77,59 @@ def bench_datapath(cycles: int = 50_000, repeats: int = 3) -> float:
             p.checksum  # force the lazy computation
         best = max(best, cycles / (perf_counter() - t0))
     return best
+
+
+def bench_rack_dispatch(
+    cycles: int = 50_000, servers: int = 8, repeats: int = 3
+) -> float:
+    """Front-tier dispatch cycles/second, standalone (no simulator):
+    packet construct + packing-policy select over N server slots + the
+    checksum-correct VIP rewrite — the per-packet rack datapath cost."""
+    from repro.cluster.policies import PackingPolicy, ServerSlot
+    from repro.net.addressing import RackAddressPlan
+    from repro.net.packet import Packet
+
+    rack = RackAddressPlan.build(servers)
+    slots = [ServerSlot(i, plan) for i, plan in enumerate(rack.servers)]
+    policy = PackingPolicy()
+    best = 0.0
+    for _ in range(repeats):
+        t0 = perf_counter()
+        for i in range(cycles):
+            p = Packet(src=rack.front.client, dst=rack.front.snic, flow_id=i)
+            slot = policy.select(slots, p)
+            p.rewrite_destination(slot.plan.snic)
+            p.checksum  # force the lazy computation
+        best = max(best, cycles / (perf_counter() - t0))
+    return best
+
+
+def rack_smoke_spec():
+    """The fixed rack cell benchmarked end-to-end (2-server HAL rack,
+    NAT on the web trace, packing policy, 0.05 simulated s, seed 2024)."""
+    from repro.exp.server import RunConfig
+    from repro.runner.spec import JobSpec
+
+    config = RunConfig(duration_s=0.05, seed=2024)
+    return JobSpec.rack(
+        "hal", "nat", "web", config, servers=2, policy="packing"
+    )
+
+
+def bench_rack(repeats: int = 1) -> Dict[str, Any]:
+    """Result identity of the fixed rack smoke cell (untraced runs must
+    stay bit-identical across seeds/platforms, like fig5)."""
+    spec = rack_smoke_spec()
+    from repro.runner.executor import execute_job
+
+    payload = None
+    for _ in range(repeats):
+        payload = execute_job(spec)
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return {
+        "payload_sha256": hashlib.sha256(blob.encode()).hexdigest(),
+        "spec_hash": spec.content_hash(),
+    }
 
 
 def fig5_smoke_spec():
@@ -117,6 +173,7 @@ def run_bench(scale: float = 1.0) -> Dict[str, Any]:
     kernel_events = max(1_000, int(200_000 * scale))
     datapath_cycles = max(1_000, int(50_000 * scale))
     fig5 = bench_fig5()
+    rack = bench_rack()
     return {
         "schema": BENCH_SCHEMA,
         "scale": scale,
@@ -124,11 +181,14 @@ def run_bench(scale: float = 1.0) -> Dict[str, Any]:
         "metrics": {
             "kernel_events_per_s": bench_kernel(kernel_events),
             "datapath_packets_per_s": bench_datapath(datapath_cycles),
+            "rack_dispatch_packets_per_s": bench_rack_dispatch(datapath_cycles),
             "fig5_cell_wall_s": fig5["wall_s"],
         },
         "identity": {
             "fig5_payload_sha256": fig5["payload_sha256"],
             "fig5_spec_hash": fig5["spec_hash"],
+            "rack_payload_sha256": rack["payload_sha256"],
+            "rack_spec_hash": rack["spec_hash"],
         },
     }
 
@@ -140,9 +200,12 @@ def format_results(results: Dict[str, Any]) -> str:
         "hot-path benchmarks (scale %g)" % results["scale"],
         f"  kernel     {metrics['kernel_events_per_s']:12,.0f} events/s",
         f"  datapath   {metrics['datapath_packets_per_s']:12,.0f} packets/s",
+        f"  rack disp  {metrics['rack_dispatch_packets_per_s']:12,.0f} packets/s",
         f"  fig5 cell  {metrics['fig5_cell_wall_s']:12.3f} s wall",
         f"  fig5 payload sha256 {identity['fig5_payload_sha256'][:16]}…",
         f"  fig5 cache key      {identity['fig5_spec_hash'][:16]}…",
+        f"  rack payload sha256 {identity['rack_payload_sha256'][:16]}…",
+        f"  rack cache key      {identity['rack_spec_hash'][:16]}…",
     ]
     return "\n".join(lines)
 

@@ -130,6 +130,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", type=str, default=DEFAULT_CACHE_DIR,
         help=f"result cache directory (default {DEFAULT_CACHE_DIR})",
     )
+    parser.add_argument(
+        "--servers", type=int, default=None, metavar="N",
+        help="cluster mode: rack size (with any of --servers/--policy/"
+        "--trace, 'cluster' runs one focused rack comparison instead of "
+        "the full policy x size grid; default 4)",
+    )
+    parser.add_argument(
+        "--policy", type=str, default=None,
+        help="cluster mode: front-tier dispatch policy "
+        "(flowhash, roundrobin, p2c, packing; default packing)",
+    )
+    parser.add_argument(
+        "--trace", type=str, default=None, metavar="NAME",
+        help="cluster mode: Meta trace driving the rack "
+        "(web, cache, hadoop; default web)",
+    )
     parser.add_argument("--out", type=str, default=None, help="also write to file")
     parser.add_argument(
         "--plot", type=str, default=None, metavar="YCOL",
@@ -181,6 +197,24 @@ def _export_session(session, args: argparse.Namespace) -> None:
         log.info("flight", run=line)
 
 
+def _cluster_focused(args: argparse.Namespace) -> bool:
+    """Any rack-shape flag switches 'cluster' from the full grid to one
+    focused rack comparison."""
+    return (
+        args.servers is not None
+        or args.policy is not None
+        or args.trace is not None
+    )
+
+
+def _cluster_kwargs(args: argparse.Namespace) -> dict:
+    return {
+        "servers": args.servers if args.servers is not None else 4,
+        "policy": args.policy or "packing",
+        "trace": args.trace or "web",
+    }
+
+
 def run_traced(args: argparse.Namespace, config: RunConfig) -> int:
     """``repro trace <exp>``: one experiment under a telemetry session."""
     from repro.exp.experiments import run_experiment
@@ -203,7 +237,12 @@ def run_traced(args: argparse.Namespace, config: RunConfig) -> int:
     runner = Runner(jobs=1, cache=None, progress=False)
     started = time.time()
     with use_runner(runner), use_session(session):
-        result = run_experiment(name, config)
+        if name == "cluster" and _cluster_focused(args):
+            from repro.exp.rack import run_focused
+
+            result = run_focused(config, **_cluster_kwargs(args))
+        else:
+            result = run_experiment(name, config)
     result.obs = session.flight.to_dict()
     text = result.to_text()
     text += f"\n({time.time() - started:.1f}s wall)"
@@ -256,6 +295,20 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{name:20s} {wall:7.1f}s -> {run.run_dir}/{name}.txt{status}")
         print(f"manifest: {run.run_dir}/MANIFEST.txt")
         return 1 if run.failures else 0
+
+    if args.experiment == "cluster" and _cluster_focused(args):
+        from repro.exp.rack import run_focused
+
+        started = time.time()
+        with use_runner(runner):
+            result = run_focused(config, **_cluster_kwargs(args))
+        text = result.to_text()
+        text += f"\n({time.time() - started:.1f}s wall)"
+        print(text)
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write(text + "\n")
+        return 0
 
     names = (
         available_experiments() if args.experiment == "all" else [args.experiment]

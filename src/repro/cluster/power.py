@@ -1,0 +1,105 @@
+"""Rack power: member server models + ToR switch overhead.
+
+Each member server keeps its own :class:`~repro.hw.power.PowerModel`
+(idle floor, per-engine dynamic draw, host polling), so the single-server
+calibration of §III-B carries over unchanged.  The rack adds what only
+exists at rack scope:
+
+* the ToR switch — a chassis base draw plus a per-active-downlink port
+  draw (a parked server's NIC drops its link to a low-power state);
+* whole-server deep sleep — the autoscaler parks drained servers, and
+  :meth:`sleep_server` drops that member's 194 W idle floor to the
+  suspend-to-RAM level via
+  :meth:`~repro.hw.power.PowerModel.set_server_asleep`.
+
+These coefficients are derived from typical rack hardware, not measured
+by the paper (see EXPERIMENTS.md's reading guide).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.hw.power import PowerModel
+from repro.sim.engine import Simulator
+from repro.sim.metrics import PowerIntegrator
+
+
+@dataclass(frozen=True)
+class RackPowerConfig:
+    """ToR switch coefficients (derived, not paper-anchored)."""
+
+    tor_base_w: float = 88.0
+    tor_port_w: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.tor_base_w < 0 or self.tor_port_w < 0:
+            raise ValueError("ToR power coefficients cannot be negative")
+
+
+class RackPowerModel:
+    """Aggregates member power models and integrates the ToR draw."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        members: Sequence[PowerModel],
+        config: Optional[RackPowerConfig] = None,
+    ) -> None:
+        if not members:
+            raise ValueError("a rack needs at least one member power model")
+        self.sim = sim
+        self.members: List[PowerModel] = list(members)
+        self.config = config if config is not None else RackPowerConfig()
+        self.integrator = PowerIntegrator(start_time=sim.now)
+        self._awake_ports = len(self.members)
+        self._update_tor()
+
+    def _update_tor(self) -> None:
+        watts = self.config.tor_base_w + self.config.tor_port_w * self._awake_ports
+        self.integrator.set_level("tor", watts, self.sim.now)
+
+    # -- server sleep/wake ----------------------------------------------
+    def sleep_server(self, index: int) -> None:
+        member = self.members[index]
+        if not member.server_asleep:
+            member.set_server_asleep(True)
+            self._awake_ports -= 1
+            self._update_tor()
+
+    def wake_server(self, index: int) -> None:
+        member = self.members[index]
+        if member.server_asleep:
+            member.set_server_asleep(False)
+            self._awake_ports += 1
+            self._update_tor()
+
+    # -- reporting -------------------------------------------------------
+    def average_watts(self) -> float:
+        """Time-averaged rack draw: every member plus the ToR."""
+        total = self.integrator.average_watts(self.sim.now, "tor")
+        for member in self.members:
+            total += member.average_watts()
+        return total
+
+    def instantaneous_watts(self) -> float:
+        total = self.integrator.instantaneous_watts()
+        for member in self.members:
+            total += member.integrator.instantaneous_watts()
+        return total
+
+    def breakdown(self) -> Dict[str, float]:
+        """Per-component averages, member keys namespaced by server index.
+
+        Engine components are already namespaced by the per-server engine
+        prefix; the member-level constants (``idle``, ``hlb``) are not,
+        so the rack prefixes every member key with ``s<i>/`` to keep the
+        merged map collision-free."""
+        result: Dict[str, float] = {
+            "tor": self.integrator.average_watts(self.sim.now, "tor")
+        }
+        for index, member in enumerate(self.members):
+            for component, watts in member.breakdown().items():
+                result[f"s{index}/{component}"] = watts
+        return result

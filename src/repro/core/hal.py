@@ -40,7 +40,7 @@ class HalSystem(ServerSystem):
     def __init__(
         self,
         function: str,
-        lbp_config: LbpConfig = LbpConfig(),
+        lbp_config: Optional[LbpConfig] = None,
         initial_threshold_gbps: Optional[float] = None,
         interconnect: str = "cxl",
         host_sleep: bool = True,
@@ -48,7 +48,9 @@ class HalSystem(ServerSystem):
     ) -> None:
         if interconnect not in ("cxl", "pcie"):
             raise ValueError(f"unknown interconnect {interconnect!r}")
-        self.lbp_config = lbp_config
+        # None sentinel, not a default instance: a default evaluated at
+        # import time would be one shared object across every HalSystem
+        self.lbp_config = lbp_config if lbp_config is not None else LbpConfig()
         self.initial_threshold_gbps = initial_threshold_gbps
         self.interconnect = interconnect
         self.host_sleep = host_sleep
@@ -78,6 +80,7 @@ class HalSystem(ServerSystem):
         self.snic_engine = make_snic_engine(
             self.sim,
             self.function,
+            name_prefix=self.engine_prefix,
             nf=self.nf,
             functional_rate=self.functional_rate,
             metrics=self.metrics,
@@ -88,6 +91,7 @@ class HalSystem(ServerSystem):
         self.host_engine = make_host_engine(
             self.sim,
             self.function,
+            name_prefix=self.engine_prefix,
             nf=self.nf,
             functional_rate=self.functional_rate,
             metrics=self.metrics,

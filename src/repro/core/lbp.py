@@ -81,14 +81,14 @@ class LoadBalancingPolicy:
         sim: Simulator,
         snic_engine: ProcessingEngine,
         director: TrafficDirector,
-        config: LbpConfig = LbpConfig(),
+        config: Optional[LbpConfig] = None,
         on_update: Optional[Callable[[float], None]] = None,
         tracer: Optional[object] = None,
     ) -> None:
         self.sim = sim
         self.engine = snic_engine
         self.director = director
-        self.config = config
+        self.config = config = config if config is not None else LbpConfig()
         self.on_update = on_update
         #: repro.obs tracer; None (the default) records nothing and the
         #: tick path pays a single is-not-None branch

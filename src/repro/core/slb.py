@@ -89,15 +89,18 @@ class SlbSystem(ServerSystem):
         self.snic_engine = make_snic_engine(
             self.sim,
             self.function,
+            name_prefix=self.engine_prefix,
             active_cores=nf_cores,
             nf=self.nf,
             functional_rate=self.functional_rate,
             metrics=self.metrics,
             on_complete=self.client_sink,
         )
+        fwd_profile = _forward_profile(self.slb_cores)
         self.forward_engine = ProcessingEngine(
             self.sim,
-            _forward_profile(self.slb_cores),
+            fwd_profile,
+            name=self.engine_prefix + fwd_profile.name,
             forward_stage=True,
             service_jitter=SLB_SERVICE_JITTER,
             on_complete=self._deliver_to_host,
@@ -105,6 +108,7 @@ class SlbSystem(ServerSystem):
         self.host_engine = make_host_engine(
             self.sim,
             self.function,
+            name_prefix=self.engine_prefix,
             nf=self.nf,
             functional_rate=self.functional_rate,
             metrics=self.metrics,
@@ -162,6 +166,7 @@ class HostSideSlbSystem(ServerSystem):
                 dynamic_power_w=40.0,
                 queue_capacity_packets=512,
             ),
+            name=self.engine_prefix + "host-slb-fwd",
             delivery_latency_s=host_delivery_latency_s(),
             forward_stage=True,
             on_complete=self._split,
@@ -169,6 +174,7 @@ class HostSideSlbSystem(ServerSystem):
         self.snic_engine = make_snic_engine(
             self.sim,
             self.function,
+            name_prefix=self.engine_prefix,
             nf=self.nf,
             functional_rate=self.functional_rate,
             metrics=self.metrics,
@@ -177,6 +183,7 @@ class HostSideSlbSystem(ServerSystem):
         self.host_engine = make_host_engine(
             self.sim,
             self.function,
+            name_prefix=self.engine_prefix,
             nf=self.nf,
             functional_rate=self.functional_rate,
             metrics=self.metrics,

@@ -26,6 +26,7 @@ class HostOnlySystem(ServerSystem):
         self.engine = make_host_engine(
             self.sim,
             self.function,
+            name_prefix=self.engine_prefix,
             nf=self.nf,
             functional_rate=self.functional_rate,
             metrics=self.metrics,
@@ -54,6 +55,7 @@ class SnicOnlySystem(ServerSystem):
             self.sim,
             self.function,
             generation=self.generation,
+            name_prefix=self.engine_prefix,
             nf=self.nf,
             functional_rate=self.functional_rate,
             metrics=self.metrics,
@@ -84,6 +86,7 @@ class PlatformSystem(ServerSystem):
         if self.platform in ("bf2", "bf3"):
             self.engine = make_snic_engine(
                 self.sim, self.function, generation=self.platform,
+                name_prefix=self.engine_prefix,
                 nf=self.nf, functional_rate=self.functional_rate,
                 metrics=self.metrics, on_complete=self.client_sink,
             )
@@ -91,6 +94,7 @@ class PlatformSystem(ServerSystem):
         else:
             self.engine = make_host_engine(
                 self.sim, self.function, generation=self.platform,
+                name_prefix=self.engine_prefix,
                 nf=self.nf, functional_rate=self.functional_rate,
                 metrics=self.metrics, on_complete=self.client_sink,
             )

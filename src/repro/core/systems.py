@@ -41,15 +41,26 @@ class ServerSystem:
         function: str,
         seed: int = 2024,
         functional_rate: float = 0.0,
-        power_config: PowerConfig = PowerConfig(),
+        power_config: Optional[PowerConfig] = None,
         nf: Optional[NetworkFunction] = None,
+        sim: Optional[Simulator] = None,
+        plan: Optional[AddressPlan] = None,
+        rng: Optional[RngRegistry] = None,
+        metrics: Optional[RunMetrics] = None,
+        instance: Optional[str] = None,
     ) -> None:
         self.function = function
         self.profile: FunctionProfile = get_profile(function)
-        self.sim = Simulator()
-        self.plan = AddressPlan.default()
-        self.rng = RngRegistry(seed)
-        self.metrics = RunMetrics()
+        # standalone by default; a ClusterSystem passes shared sim/metrics
+        # (one event loop, one latency reservoir for the whole rack), a
+        # per-server address plan, a spawned child RNG registry, and an
+        # instance label that namespaces engine names per server
+        self.sim = sim if sim is not None else Simulator()
+        self.plan = plan if plan is not None else AddressPlan.default()
+        self.rng = rng if rng is not None else RngRegistry(seed)
+        self.metrics = metrics if metrics is not None else RunMetrics()
+        self.instance = instance
+        self.engine_prefix = "" if instance is None else f"{instance}:"
         self.power = PowerModel(self.sim, power_config)
         self.eswitch = EmbeddedSwitch()
         self.functional_rate = functional_rate
@@ -57,13 +68,20 @@ class ServerSystem:
             create_function(function) if functional_rate > 0 else None
         )
         self.responses = 0
+        #: optional response interposer (the rack front tier's egress
+        #: masquerade); installed before _build so engines that capture
+        #: bound callbacks still route responses through it
+        self._egress_hook: Optional[Callable[[Packet], None]] = None
         self._stoppers: List[Callable[[], None]] = []
         # observability: under an ambient repro.obs session each system
         # is one traced run; untraced systems keep tracer=None and every
         # hot-path hook stays a single pointer comparison
         self._obs_session = current_session()
+        label = f"{self.kind}/{function}" if instance is None else (
+            f"{instance}:{self.kind}/{function}"
+        )
         self.tracer = (
-            self._obs_session.new_run(f"{self.kind}/{function}")
+            self._obs_session.new_run(label)
             if self._obs_session.enabled
             else None
         )
@@ -127,9 +145,21 @@ class ServerSystem:
     # -- shared plumbing -----------------------------------------------------
     def client_sink(self, packet: Packet) -> None:
         """Terminal for response packets heading back to the client."""
+        if self._egress_hook is not None:
+            self._egress_hook(packet)
         if self._client_tap is not None:
             self._client_tap(packet)
         self.responses += packet.multiplicity
+
+    def engines(self) -> List[ProcessingEngine]:
+        """Every :class:`ProcessingEngine` this system holds as an
+        attribute — the same generic scan tracing uses, exposed for the
+        rack layer (capacity estimates, server sleep/wake)."""
+        return [
+            value
+            for value in self.__dict__.values()
+            if isinstance(value, ProcessingEngine)
+        ]
 
     def add_stopper(self, stop: Callable[[], None]) -> None:
         self._stoppers.append(stop)

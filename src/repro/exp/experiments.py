@@ -21,6 +21,7 @@ from repro.exp import (
     fig8,
     fig9,
     fig10,
+    rack,
     table1,
     table2,
     smallpkt,
@@ -45,6 +46,7 @@ EXPERIMENTS: Dict[str, Runner] = {
     "fig10": fig10.run,
     "costs": costs.run,
     "smallpkt": smallpkt.run,
+    "cluster": rack.run,
     "dvfs": discussion.run_dvfs,
     "complementary": discussion.run_complementary,
     "validation": validation.run,

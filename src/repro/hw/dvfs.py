@@ -15,7 +15,7 @@ arithmetic behind the ≤2% estimate.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from repro.hw.power import PowerConfig
 from repro.hw.profiles import EngineProfile
@@ -90,7 +90,7 @@ class DvfsGovernor:
 def estimate_system_savings(
     snic_profile: EngineProfile,
     utilization: float,
-    power_config: PowerConfig = PowerConfig(),
+    power_config: Optional[PowerConfig] = None,
     ladder: Sequence[FrequencyState] = DEFAULT_LADDER,
 ) -> Tuple[float, float]:
     """(absolute watts saved, fraction of system power saved) from ideal
@@ -102,6 +102,8 @@ def estimate_system_savings(
     """
     if not 0.0 <= utilization <= 1.0:
         raise ValueError("utilization must be in [0, 1]")
+    if power_config is None:
+        power_config = PowerConfig()
     governor = DvfsGovernor(ladder)
     state = governor.select(
         utilization * snic_profile.capacity_gbps, snic_profile.capacity_gbps

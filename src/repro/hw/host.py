@@ -68,6 +68,7 @@ def make_host_engine(
     function: str,
     generation: str = "skylake",
     name: Optional[str] = None,
+    name_prefix: str = "",
     remote_socket: bool = False,
     **engine_kwargs,
 ) -> ProcessingEngine:
@@ -75,9 +76,12 @@ def make_host_engine(
 
     The engine sits behind the SNIC's PCIe switch (off-chip crossing);
     ``remote_socket=True`` adds the UPI hop of a dual-socket server.
+    ``name_prefix`` namespaces the engine per server in a rack.
     """
     profile = host_engine_profile(function, generation)
     engine_kwargs.setdefault(
         "delivery_latency_s", host_delivery_latency_s(remote_socket)
     )
-    return ProcessingEngine(sim, profile, name=name or profile.name, **engine_kwargs)
+    return ProcessingEngine(
+        sim, profile, name=name or (name_prefix + profile.name), **engine_kwargs
+    )

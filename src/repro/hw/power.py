@@ -21,7 +21,7 @@ and integrates component power over simulated time:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.hw.platform import ProcessingEngine
 from repro.sim.engine import Simulator
@@ -40,24 +40,32 @@ class PowerConfig:
     host_poll_w_per_core: float = 6.0
     hlb_fpga_w: float = 0.1
     dcmi_sample_period_s: float = 1.0
+    #: whole-server deep sleep (suspend-to-RAM class): the rack autoscaler
+    #: drops an idle server's 194 W floor to this while it is parked.
+    #: Derived from typical S3 draw of a 2-socket server, not paper-anchored.
+    server_sleep_w: float = 18.0
 
     def __post_init__(self) -> None:
         if self.system_idle_w <= 0:
             raise ValueError("system idle power must be positive")
         if self.host_poll_w_per_core < 0 or self.hlb_fpga_w < 0:
             raise ValueError("power coefficients cannot be negative")
+        if not 0 <= self.server_sleep_w <= self.system_idle_w:
+            raise ValueError("server sleep power must be in [0, system idle]")
 
 
 class PowerModel:
     """Integrates component power and provides DCMI-style sampling."""
 
-    def __init__(self, sim: Simulator, config: PowerConfig = PowerConfig()) -> None:
+    def __init__(self, sim: Simulator, config: Optional[PowerConfig] = None) -> None:
         self.sim = sim
-        self.config = config
+        self.config = config = config if config is not None else PowerConfig()
         self.integrator = PowerIntegrator(start_time=sim.now)
         self.integrator.set_level("idle", config.system_idle_w, sim.now)
         self._roles: Dict[str, str] = {}
         self.samples = TimeSeries(name="dcmi-system-watts")
+        #: whole-server deep-sleep flag (rack autoscaler); see set_server_asleep
+        self.server_asleep = False
         #: repro.obs tracer; None (untraced) costs one branch per sample
         self.tracer = None
 
@@ -132,6 +140,24 @@ class PowerModel:
     def set_constant(self, component: str, watts: float) -> None:
         """Add a fixed draw (e.g. the HLB FPGA datapath)."""
         self.integrator.set_level(component, watts, self.sim.now)
+
+    # -- whole-server deep sleep (rack autoscaler) -----------------------
+    def set_server_asleep(self, asleep: bool) -> None:
+        """Drop (or restore) the system idle floor for server deep sleep.
+
+        The rack autoscaler parks drained servers: the 194 W idle floor
+        falls to ``server_sleep_w`` while every tracked engine is quiet
+        (the caller is responsible for having put engines to sleep first,
+        so their dynamic/polling levels are already zero)."""
+        if asleep == self.server_asleep:
+            return
+        self.server_asleep = asleep
+        level = (
+            self.config.server_sleep_w if asleep else self.config.system_idle_w
+        )
+        self.integrator.set_level("idle", level, self.sim.now)
+        if self.tracer is not None:
+            self.tracer.counter("power", "server_asleep", self.sim.now, float(asleep))
 
     # -- DCMI sampling ------------------------------------------------------
     def start_sampling(self) -> None:

@@ -72,17 +72,22 @@ def make_snic_engine(
     function: str,
     generation: str = "bf2",
     name: Optional[str] = None,
+    name_prefix: str = "",
     **engine_kwargs,
 ) -> ProcessingEngine:
     """A ready-to-use SNIC processing engine for ``function``.
 
     Hardware-accelerated functions run on the accelerator block profile;
     software functions run on the Arm cores. Both sit behind the on-chip
-    PCIe fabric latency.
+    PCIe fabric latency.  ``name_prefix`` namespaces the engine per server
+    in a rack (distinct names mean distinct jitter streams and distinct
+    power-model components).
     """
     profile = snic_engine_profile(function, generation)
     engine_kwargs.setdefault("delivery_latency_s", snic_delivery_latency_s())
-    return ProcessingEngine(sim, profile, name=name or profile.name, **engine_kwargs)
+    return ProcessingEngine(
+        sim, profile, name=name or (name_prefix + profile.name), **engine_kwargs
+    )
 
 
 def uses_accelerator(function: str) -> bool:

@@ -9,7 +9,7 @@ the SNIC pair. These helpers make that rewriting explicit and testable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Tuple
 
 
@@ -132,3 +132,74 @@ class AddressPlan:
         identities = {self.client, self.snic, self.host}
         if len(identities) != 3:
             raise AddressError("client/snic/host endpoints must be distinct")
+
+
+#: rack sizes are bounded by the per-server /24 in the 10.0.x.y scheme
+#: (x = server index + 1, leaving 10.0.0/24 for client + VIP + front tier)
+MAX_RACK_SERVERS = 250
+
+
+@dataclass(frozen=True)
+class RackAddressPlan:
+    """Addressing for a rack of HAL-style servers behind one VIP.
+
+    Clients address the rack exactly as they address a single HAL server:
+    one virtual identity (``front.snic``) that the front-tier balancer
+    owns.  Behind it, every server keeps the full single-server
+    :class:`AddressPlan` triple — its *own* SNIC identity the front tier
+    rewrites destinations to, and its own hidden host identity that only
+    ever appears inside that server (between HLB and the host CPU).
+
+    ``front`` is itself a valid :class:`AddressPlan` (client / VIP /
+    front-tier-internal), so every existing generator and capture
+    invariant works unchanged against a rack.
+    """
+
+    front: AddressPlan
+    servers: Tuple[AddressPlan, ...] = field(default_factory=tuple)
+
+    @classmethod
+    def build(cls, servers: int) -> "RackAddressPlan":
+        if not 1 <= servers <= MAX_RACK_SERVERS:
+            raise AddressError(
+                f"rack size must be in [1, {MAX_RACK_SERVERS}] (got {servers})"
+            )
+        client = Endpoint.parse("02:00:00:00:00:01", "10.0.0.1")
+        front = AddressPlan(
+            client=client,
+            # the rack VIP: the one identity clients (and the generator) see
+            snic=Endpoint.parse("02:00:00:fe:00:02", "10.0.254.2"),
+            # front-tier internal identity (never carried by data packets)
+            host=Endpoint.parse("02:00:00:fe:00:03", "10.0.254.3"),
+        )
+        plans = []
+        for index in range(servers):
+            subnet = index + 1
+            plans.append(
+                AddressPlan(
+                    client=client,
+                    snic=Endpoint(
+                        mac=parse_mac(f"02:00:00:01:{index:02x}:02"),
+                        ip=parse_ipv4(f"10.0.{subnet}.2"),
+                    ),
+                    host=Endpoint(
+                        mac=parse_mac(f"02:00:00:01:{index:02x}:03"),
+                        ip=parse_ipv4(f"10.0.{subnet}.3"),
+                    ),
+                )
+            )
+        return cls(front=front, servers=tuple(plans))
+
+    def __post_init__(self) -> None:
+        if not self.servers:
+            raise AddressError("a rack needs at least one server plan")
+        endpoints = [self.front.snic, self.front.host]
+        for plan in self.servers:
+            if plan.client != self.front.client:
+                raise AddressError("all servers must share the rack's client")
+            endpoints.extend((plan.snic, plan.host))
+        if len(set(endpoints)) != len(endpoints):
+            raise AddressError("rack endpoints must be pairwise distinct")
+
+    def __len__(self) -> int:
+        return len(self.servers)

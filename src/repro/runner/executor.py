@@ -60,6 +60,13 @@ def _compute(spec: JobSpec) -> Dict[str, Any]:
         return metrics_payload(
             run_trace(spec.kind, spec.function, spec.trace, spec.config, **params)
         )
+    if spec.op == "rack":
+        # imported lazily: the cluster layer pulls in every system kind
+        from repro.cluster import run_rack
+
+        return metrics_payload(
+            run_rack(spec.kind, spec.function, spec.trace, spec.config, **params)
+        )
     if spec.op == "experiment":
         # imported lazily: experiments → fig modules → sweeps → runner
         from repro.exp.experiments import run_experiment

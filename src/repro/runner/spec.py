@@ -23,7 +23,7 @@ from typing import Any, Dict, Optional, Tuple
 from repro.exp.server import RunConfig
 
 #: job kinds the executor knows how to run
-OPS = ("at_rate", "trace", "experiment")
+OPS = ("at_rate", "trace", "experiment", "rack")
 
 #: spec parameter values must be JSON scalars for canonical hashing
 _SCALARS = (str, int, float, bool, type(None))
@@ -99,6 +99,27 @@ class JobSpec:
     def experiment(cls, name: str, config: RunConfig) -> "JobSpec":
         return cls(op="experiment", config=config, name=name)
 
+    @classmethod
+    def rack(
+        cls,
+        member_kind: str,
+        function: str,
+        trace: str,
+        config: RunConfig,
+        **params: Any,
+    ) -> "JobSpec":
+        """A rack-scale trace run (``kind`` holds the member kind; extra
+        ``run_rack`` keywords — servers, policy, autoscale — ride in
+        ``params``)."""
+        return cls(
+            op="rack",
+            config=config,
+            kind=member_kind,
+            function=function,
+            trace=trace,
+            params=_freeze_params(params),
+        )
+
     # -- identity -------------------------------------------------------
 
     def canonical(self) -> Dict[str, Any]:
@@ -123,6 +144,9 @@ class JobSpec:
         if self.op == "experiment":
             return f"experiment:{self.name}"
         target = f"{self.kind}/{self.function}"
+        if self.op == "rack":
+            extra = "".join(f" {k}={v}" for k, v in self.params)
+            return f"rack:{target}@{self.trace}{extra}"
         if self.op == "trace":
             return f"trace:{target}@{self.trace}"
         extra = "".join(f" {k}={v}" for k, v in self.params)

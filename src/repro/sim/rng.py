@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import hashlib
 import random
+import zlib
 from typing import Dict
 
 
@@ -19,12 +20,26 @@ def derive_seed(root_seed: int, stream: str) -> int:
     return int.from_bytes(digest[:8], "big")
 
 
+def spawn_seed(root_seed: int, name: str) -> int:
+    """Derive the root seed of a *child registry* named ``name``.
+
+    The crc32 salt keeps the spawn namespace disjoint from the flat
+    :meth:`RngRegistry.stream` namespace (``spawn("x").stream("y")`` can
+    never collide with ``stream("x:y")``), using the same de-randomized
+    hashing convention as the rest of the codebase (``hash()`` is
+    randomized per interpreter invocation; ``zlib.crc32`` is not).
+    """
+    salt = zlib.crc32(name.encode()) & 0xFFFFFFFF
+    return derive_seed(root_seed, f"spawn:{salt:08x}:{name}")
+
+
 class RngRegistry:
     """Hands out independent `random.Random` streams by name."""
 
     def __init__(self, root_seed: int = 2024) -> None:
         self.root_seed = root_seed
         self._streams: Dict[str, random.Random] = {}
+        self._children: Dict[str, "RngRegistry"] = {}
 
     def stream(self, name: str) -> random.Random:
         """Return the (memoised) RNG for ``name``."""
@@ -32,7 +47,27 @@ class RngRegistry:
             self._streams[name] = random.Random(derive_seed(self.root_seed, name))
         return self._streams[name]
 
+    def spawn(self, name: str) -> "RngRegistry":
+        """A child registry whose streams depend only on this registry's
+        root seed and ``name``.
+
+        This is what makes rack runs server-count-independent *per
+        server*: every server draws from ``registry.spawn(f"s{i}")``, so
+        adding server N+1 to a cluster cannot perturb server i's draw
+        sequences (a flat shared registry would give no such guarantee
+        once components draw in interleaved simulation order).  Children
+        are memoised so repeated spawns return the same streams.
+        """
+        key = f"spawn:{name}"
+        child = self._children.get(key)
+        if child is None:
+            child = RngRegistry(spawn_seed(self.root_seed, name))
+            self._children[key] = child
+        return child
+
     def reset(self) -> None:
-        """Re-seed all existing streams back to their initial state."""
+        """Re-seed all existing streams (and children) to their initial state."""
         for name in list(self._streams):
             self._streams[name] = random.Random(derive_seed(self.root_seed, name))
+        for child in self._children.values():
+            child.reset()

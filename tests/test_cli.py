@@ -143,10 +143,12 @@ class TestBench:
         assert set(results["metrics"]) == {
             "kernel_events_per_s",
             "datapath_packets_per_s",
+            "rack_dispatch_packets_per_s",
             "fig5_cell_wall_s",
         }
         assert all(v > 0 for v in results["metrics"].values())
         assert len(results["identity"]["fig5_payload_sha256"]) == 64
+        assert len(results["identity"]["rack_payload_sha256"]) == 64
 
     def test_bench_results_match_committed_baseline_identity(self, tmp_path):
         """The committed regression baseline must carry the same fig5
@@ -155,13 +157,17 @@ class TestBench:
         import json
         import pathlib
 
-        from repro.bench import bench_fig5
+        from repro.bench import bench_fig5, bench_rack
 
         baseline_path = pathlib.Path(__file__).parent.parent / "benchmarks" / "baseline.json"
         baseline = json.loads(baseline_path.read_text())
         assert (
             bench_fig5(repeats=1)["payload_sha256"]
             == baseline["identity"]["fig5_payload_sha256"]
+        )
+        assert (
+            bench_rack()["payload_sha256"]
+            == baseline["identity"]["rack_payload_sha256"]
         )
 
 
@@ -271,3 +277,30 @@ class TestVerbosityFlags:
         line = stream.getvalue().strip()
         assert line.startswith("runner job ")
         assert "status=ok" in line and "n=1 total=1" in line
+
+
+class TestClusterFlags:
+    def test_parser_accepts_rack_flags(self):
+        args = build_parser().parse_args(
+            ["cluster", "--servers", "8", "--policy", "p2c", "--trace", "cache"]
+        )
+        assert args.servers == 8
+        assert args.policy == "p2c"
+        assert args.trace == "cache"
+
+    def test_rack_flags_default_to_none(self):
+        args = build_parser().parse_args(["cluster"])
+        assert args.servers is None and args.policy is None and args.trace is None
+
+    def test_focused_cluster_run(self, capsys, tmp_path):
+        out_file = tmp_path / "rack.txt"
+        rc = main(
+            ["cluster", "--servers", "2", "--policy", "roundrobin",
+             "--trace", "web", "--duration", "0.02", "--out", str(out_file), "-q"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        for kind in ("hal", "host", "slb"):
+            assert kind in out
+        assert "roundrobin" in out
+        assert out_file.read_text().strip()

@@ -74,3 +74,45 @@ class TestAddressPlan:
         ep = Endpoint.parse("02:00:00:00:00:01", "10.0.0.1")
         with pytest.raises(AddressError):
             AddressPlan(client=ep, snic=ep, host=Endpoint.parse("02:00:00:00:00:03", "10.0.0.3"))
+
+
+class TestRackAddressPlan:
+    def test_build_shares_client_and_vip(self):
+        from repro.net.addressing import RackAddressPlan
+
+        rack = RackAddressPlan.build(4)
+        assert len(rack) == 4
+        for plan in rack.servers:
+            # every member keeps the rack-wide client identity, so
+            # generators built against any plan emit the same source
+            assert plan.client == rack.front.client
+
+    def test_endpoints_pairwise_distinct(self):
+        from repro.net.addressing import RackAddressPlan
+
+        rack = RackAddressPlan.build(8)
+        endpoints = [rack.front.snic, rack.front.host]
+        for plan in rack.servers:
+            endpoints.append(plan.snic)
+            endpoints.append(plan.host)
+        assert len(set(endpoints)) == len(endpoints)
+
+    def test_front_is_a_valid_plan(self):
+        from repro.net.addressing import AddressPlan, RackAddressPlan
+
+        rack = RackAddressPlan.build(2)
+        assert isinstance(rack.front, AddressPlan)
+        assert len({rack.front.client, rack.front.snic, rack.front.host}) == 3
+
+    def test_size_validated(self):
+        from repro.net.addressing import MAX_RACK_SERVERS, RackAddressPlan
+
+        with pytest.raises(AddressError):
+            RackAddressPlan.build(0)
+        with pytest.raises(AddressError):
+            RackAddressPlan.build(MAX_RACK_SERVERS + 1)
+
+    def test_build_deterministic(self):
+        from repro.net.addressing import RackAddressPlan
+
+        assert RackAddressPlan.build(3) == RackAddressPlan.build(3)

@@ -89,3 +89,56 @@ def test_rule_to_unattached_port_rejected():
         sw.add_rule(PLAN.snic, "ghost")
     with pytest.raises(SwitchError):
         sw.set_default("ghost")
+
+
+class TestMultiServerWiring:
+    """Front-tier-style port tables: one port per back-end server."""
+
+    def _rack_switch(self, servers=3):
+        from repro.net.addressing import RackAddressPlan
+
+        rack = RackAddressPlan.build(servers)
+        sw = EmbeddedSwitch(name="front-tier")
+        received = {i: [] for i in range(servers)}
+        for i, plan in enumerate(rack.servers):
+            sw.attach_port(f"s{i}", received[i].append)
+            sw.add_rule(plan.snic, f"s{i}")
+        return rack, sw, received
+
+    def test_rewrite_routes_to_exactly_one_server(self):
+        rack, sw, received = self._rack_switch()
+        for target in range(3):
+            p = Packet(src=rack.front.client, dst=rack.front.snic)
+            p.rewrite_destination(rack.servers[target].snic)
+            assert sw.forward(p)
+        for i, packets in received.items():
+            assert len(packets) == 1, f"server {i} saw {len(packets)} packets"
+            assert packets[0].dst == rack.servers[i].snic
+
+    def test_no_cross_server_aliasing(self):
+        """A packet rewritten for s1 must never land on any other port."""
+        rack, sw, received = self._rack_switch()
+        p = Packet(src=rack.front.client, dst=rack.front.snic)
+        p.rewrite_destination(rack.servers[1].snic)
+        sw.forward(p)
+        assert received[1] == [p]
+        assert received[0] == [] and received[2] == []
+
+    def test_vip_rewrite_checksum_correct(self):
+        """The incremental VIP rewrite must equal a from-scratch checksum."""
+        rack, sw, received = self._rack_switch()
+        p = Packet(src=rack.front.client, dst=rack.front.snic)
+        original = p.checksum  # force + memoize before the rewrite
+        p.rewrite_destination(rack.servers[2].snic)
+        incremental = p.checksum
+        fresh = Packet(src=rack.front.client, dst=rack.servers[2].snic).checksum
+        assert incremental == fresh
+        assert incremental != original
+
+    def test_response_masquerade_checksum_correct(self):
+        rack, _, _ = self._rack_switch()
+        response = Packet(src=rack.servers[0].snic, dst=rack.front.client)
+        response.checksum
+        response.rewrite_source(rack.front.snic)
+        fresh = Packet(src=rack.front.snic, dst=rack.front.client).checksum
+        assert response.checksum == fresh

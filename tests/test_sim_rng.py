@@ -1,0 +1,75 @@
+"""Unit tests for seed derivation and spawned child registries."""
+
+from repro.sim.rng import RngRegistry, derive_seed, spawn_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(2024, "x") == derive_seed(2024, "x")
+
+    def test_varies_by_name_and_root(self):
+        assert derive_seed(2024, "x") != derive_seed(2024, "y")
+        assert derive_seed(2024, "x") != derive_seed(2025, "x")
+
+
+class TestSpawnSeed:
+    def test_deterministic(self):
+        assert spawn_seed(2024, "s0") == spawn_seed(2024, "s0")
+
+    def test_varies_by_name(self):
+        seeds = {spawn_seed(2024, f"s{i}") for i in range(16)}
+        assert len(seeds) == 16
+
+    def test_disjoint_from_plain_derivation(self):
+        # the crc32 salt keeps spawned roots out of the plain stream
+        # namespace, so a stream literally named "s0" cannot collide
+        # with the spawned child registry "s0"
+        assert spawn_seed(2024, "s0") != derive_seed(2024, "s0")
+
+
+class TestSpawn:
+    def test_memoized(self):
+        rng = RngRegistry(2024)
+        assert rng.spawn("s0") is rng.spawn("s0")
+        assert rng.spawn("s0") is not rng.spawn("s1")
+
+    def test_child_streams_deterministic(self):
+        a = RngRegistry(2024).spawn("s0").stream("svc").random()
+        b = RngRegistry(2024).spawn("s0").stream("svc").random()
+        assert a == b
+
+    def test_adding_a_server_does_not_perturb_existing_draws(self):
+        """The rack invariant: growing the rack must not change a single
+        draw inside the servers that were already there."""
+        solo = RngRegistry(2024)
+        solo_draws = [solo.spawn("s0").stream("svc").random() for _ in range(20)]
+
+        rack = RngRegistry(2024)
+        s0 = rack.spawn("s0").stream("svc")
+        s1 = rack.spawn("s1").stream("svc")  # the new server
+        rack_draws = []
+        for _ in range(20):
+            rack_draws.append(s0.random())
+            s1.random()  # interleaved draws on the new server
+        assert rack_draws == solo_draws
+
+    def test_spawn_does_not_perturb_root_streams(self):
+        plain = RngRegistry(2024)
+        expected = [plain.stream("traffic").random() for _ in range(10)]
+
+        spawning = RngRegistry(2024)
+        spawning.spawn("s0").stream("svc").random()
+        got = [spawning.stream("traffic").random() for _ in range(10)]
+        assert got == expected
+
+    def test_children_decorrelated(self):
+        rng = RngRegistry(2024)
+        a = [rng.spawn("s0").stream("svc").random() for _ in range(5)]
+        b = [rng.spawn("s1").stream("svc").random() for _ in range(5)]
+        assert a != b
+
+    def test_reset_resets_children(self):
+        rng = RngRegistry(2024)
+        first = rng.spawn("s0").stream("svc").random()
+        rng.reset()
+        assert rng.spawn("s0").stream("svc").random() == first
