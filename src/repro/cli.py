@@ -50,8 +50,10 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment",
         help="experiment id (fig2..fig10, table1/2/5, costs, ...), 'all', "
         "'list', 'bench' (hot-path perf benchmarks), 'artifact' "
-        "(batch-run the default set into --results-dir), or 'trace' "
-        "(run one experiment under telemetry; see the 'target' argument)",
+        "(batch-run the default set into --results-dir), 'trace' "
+        "(run one experiment under telemetry; see the 'target' argument), "
+        "or 'lint' (determinism/invariant static analysis; "
+        "`hal-repro lint --help`)",
     )
     parser.add_argument(
         "target", nargs="?", default=None,
@@ -255,6 +257,13 @@ def run_traced(args: argparse.Namespace, config: RunConfig) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "lint":
+        # `hal-repro lint [paths...]` has its own flag set (baselines,
+        # --format=json, --select); hand the rest of the line to it
+        from repro.lint.cli import main as lint_main
+
+        return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.verbose:
         obs_log.set_level("debug")

@@ -145,7 +145,7 @@ class LoadBalancingPolicy:
         if self.tracer is not None:
             self._trace_decision(snic_tp_gbps, occupancy, old_th, fwd_th, direction)
 
-    def _trace_decision(
+    def _trace_decision(  # lint: disable=OBS01 caller holds the single is-not-None branch
         self,
         snic_tp_gbps: float,
         occupancy: int,

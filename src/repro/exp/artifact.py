@@ -60,10 +60,11 @@ def run_all(
     run_name: str,
     results_dir: str = "results",
     experiments: Optional[Sequence[str]] = None,
-    config: RunConfig = RunConfig(),
+    config: Optional[RunConfig] = None,
     runner: Optional[Runner] = None,
 ) -> ArtifactRun:
     """Execute ``experiments`` and persist one .txt per figure/table."""
+    config = config if config is not None else RunConfig()
     names = list(experiments) if experiments else list(DEFAULT_EXPERIMENTS)
     unknown = set(names) - set(available_experiments())
     if unknown:

@@ -1,0 +1,47 @@
+"""Determinism & invariant static analysis for the HAL reproduction.
+
+Every load-bearing guarantee in this repo — the runner's
+content-addressed cache, the fig5/rack payload-identity gates, the
+"untraced runs are bit-identical" obs contract, and the crc32-salted
+RNG spawn tree — holds only while the simulated domain never leaks
+nondeterminism (wall clock, randomized ``hash()``, shared mutable
+defaults, unguarded tracer emission).  :mod:`repro.lint` turns those
+rules from code comments into an enforced, AST-based analysis:
+
+========  ==========================================================
+rule id   protects
+========  ==========================================================
+DET01     no wall clock in sim-domain packages (cache keys & payload
+          shas must not depend on when a run happened)
+DET02     no randomized ``builtins.hash()`` / unordered-set iteration
+          feeding placement or scheduling (PYTHONHASHSEED must not
+          change results)
+DET03     no global/unseeded ``random`` outside ``sim.rng`` (all
+          stochastic draws come from named ``RngRegistry`` streams)
+MUT01     no mutable or config-object default arguments (the exact
+          shared-``LbpConfig``/``PowerConfig`` bug class PR 4 fixed)
+OBS01     tracer emission in hot paths guarded by ``is not None``
+          (the PR 3 zero-overhead-untraced contract)
+UNIT01    unit-suffix consistency (``*_s`` vs ``*_us`` vs ``*_w``)
+          in assignments, so latency/power math cannot silently mix
+          scales
+========  ==========================================================
+
+Run it as ``hal-repro lint [paths]`` or ``python -m repro.lint``;
+suppress a deliberate exception inline with ``# lint: disable=RULE-ID``
+(always pair it with a justification), and ratchet existing debt with
+the committed ``lint_baseline.json`` (see :mod:`repro.lint.baseline`).
+"""
+
+from repro.lint.engine import FileContext, Finding, lint_file, lint_paths, lint_source
+from repro.lint.rules import ALL_RULES, Rule
+
+__all__ = [
+    "ALL_RULES",
+    "FileContext",
+    "Finding",
+    "Rule",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,110 @@
+"""Ratchet baseline: committed debt may shrink, never grow.
+
+``lint_baseline.json`` stores per-file, per-rule finding *counts* (not
+line numbers, so unrelated edits that shift lines do not invalidate
+it).  The comparison has two failure directions:
+
+* **new debt** — a (path, rule) count above the baseline fails always;
+* **stale baseline** — a count below the baseline means someone fixed
+  debt without ratcheting; the CI ratchet treats that as a failure too
+  (run ``hal-repro lint --update-baseline`` and commit), so the file
+  can only ever move toward empty.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.lint.engine import Finding
+
+BASELINE_SCHEMA = 1
+DEFAULT_BASELINE_PATH = "lint_baseline.json"
+
+Counts = Dict[str, Dict[str, int]]
+
+
+def count_findings(findings: Sequence[Finding]) -> Counts:
+    counts: Counts = {}
+    for finding in findings:
+        per_file = counts.setdefault(finding.path, {})
+        per_file[finding.rule] = per_file.get(finding.rule, 0) + 1
+    return counts
+
+
+def load_baseline(path: str) -> Counts:
+    with open(path, encoding="utf-8") as handle:
+        data = json.load(handle)
+    if data.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"unsupported lint baseline schema {data.get('schema')!r} in {path}"
+        )
+    counts = data.get("counts", {})
+    return {
+        str(file): {str(rule): int(n) for rule, n in rules.items()}
+        for file, rules in counts.items()
+    }
+
+
+def save_baseline(path: str, findings: Sequence[Finding]) -> Counts:
+    counts = count_findings(findings)
+    payload = {
+        "schema": BASELINE_SCHEMA,
+        "comment": (
+            "Per-file, per-rule lint debt ratchet; regenerate with "
+            "`hal-repro lint --update-baseline` (counts may only shrink)."
+        ),
+        "counts": {
+            file: dict(sorted(rules.items()))
+            for file, rules in sorted(counts.items())
+        },
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return counts
+
+
+@dataclass
+class BaselineComparison:
+    """Outcome of diffing current findings against the committed debt."""
+
+    #: findings in excess of the baselined count, per (path, rule)
+    new_findings: List[Finding] = field(default_factory=list)
+    #: (path, rule, baselined, actual) where debt shrank or vanished
+    stale: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.new_findings
+
+    @property
+    def ratchet_ok(self) -> bool:
+        return not self.new_findings and not self.stale
+
+
+def compare_to_baseline(
+    findings: Sequence[Finding], baseline: Counts
+) -> BaselineComparison:
+    result = BaselineComparison()
+    by_key: Dict[tuple, List[Finding]] = {}
+    for finding in findings:
+        by_key.setdefault((finding.path, finding.rule), []).append(finding)
+
+    for (path, rule), group in sorted(by_key.items()):
+        allowed = baseline.get(path, {}).get(rule, 0)
+        if len(group) > allowed:
+            # report the trailing excess: with line churn we cannot know
+            # *which* findings are new, but the count overage is exact
+            result.new_findings.extend(group[allowed:])
+    for path, rules in sorted(baseline.items()):
+        for rule, allowed in sorted(rules.items()):
+            actual = len(by_key.get((path, rule), []))
+            if actual < allowed:
+                result.stale.append(
+                    f"{path}: {rule} baselined at {allowed} but only "
+                    f"{actual} remain — shrink the baseline "
+                    "(hal-repro lint --update-baseline)"
+                )
+    return result

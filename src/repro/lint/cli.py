@@ -1,0 +1,151 @@
+"""``hal-repro lint`` / ``python -m repro.lint`` command line.
+
+Exit codes: 0 — clean (modulo the baseline); 1 — findings (or, with
+``--strict-stale``, a stale baseline); 2 — usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional
+
+from repro.lint.baseline import (
+    DEFAULT_BASELINE_PATH,
+    compare_to_baseline,
+    count_findings,
+    load_baseline,
+    save_baseline,
+)
+from repro.lint.engine import Finding, lint_paths
+from repro.lint.rules import ALL_RULES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hal-repro lint",
+        description=(
+            "Determinism & invariant static analysis for the HAL "
+            "reproduction (DET01..UNIT01; see docs/ARCHITECTURE.md)"
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (json is what benchmarks/check_lint_ratchet.py "
+        "consumes)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help=f"ratchet baseline (default: {DEFAULT_BASELINE_PATH} when it "
+        "exists)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="report every finding, ignoring any baseline",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--strict-stale", action="store_true",
+        help="also fail when the baseline over-counts (forces it to shrink)",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule ids and one-line summaries, then exit",
+    )
+    return parser
+
+
+def _emit_text(findings: List[Finding], comparison_notes: List[str]) -> None:
+    for finding in findings:
+        print(finding.render())
+    for note in comparison_notes:
+        print(f"note: {note}", file=sys.stderr)
+
+
+def _emit_json(all_findings: List[Finding], new_findings: List[Finding]) -> None:
+    payload = {
+        "schema": 1,
+        "findings": [f.to_dict() for f in all_findings],
+        "new_findings": [f.to_dict() for f in new_findings],
+        "counts": count_findings(all_findings),
+    }
+    json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+    sys.stdout.write("\n")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.rule_id}  {rule.summary}")
+        return 0
+
+    rules = None
+    if args.select:
+        wanted = {r.strip().upper() for r in args.select.split(",") if r.strip()}
+        unknown = wanted - {rule.rule_id for rule in ALL_RULES}
+        if unknown:
+            print(f"unknown rule ids: {sorted(unknown)}", file=sys.stderr)
+            return 2
+        rules = [rule for rule in ALL_RULES if rule.rule_id in wanted]
+
+    missing = [p for p in args.paths if not os.path.exists(p)]
+    if missing:
+        print(f"no such path: {missing}", file=sys.stderr)
+        return 2
+
+    findings = lint_paths(args.paths, rules=rules)
+
+    baseline_path = args.baseline
+    if baseline_path is None and os.path.exists(DEFAULT_BASELINE_PATH):
+        baseline_path = DEFAULT_BASELINE_PATH
+
+    if args.update_baseline:
+        target = baseline_path or DEFAULT_BASELINE_PATH
+        counts = save_baseline(target, findings)
+        total = sum(sum(rules.values()) for rules in counts.values())
+        print(f"wrote {target}: {total} baselined finding(s)", file=sys.stderr)
+        return 0
+
+    notes: List[str] = []
+    if args.no_baseline or baseline_path is None:
+        new_findings = findings
+    else:
+        comparison = compare_to_baseline(findings, load_baseline(baseline_path))
+        new_findings = comparison.new_findings
+        notes.extend(comparison.stale)
+
+    if args.format == "json":
+        _emit_json(findings, new_findings)
+    else:
+        _emit_text(new_findings, notes)
+        if new_findings:
+            print(
+                f"{len(new_findings)} new finding(s); suppress a justified "
+                "exception with `# lint: disable=RULE-ID` or fix the code",
+                file=sys.stderr,
+            )
+
+    if new_findings:
+        return 1
+    if args.strict_stale and notes:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -42,6 +42,41 @@ class CoherenceCosts:
             raise ValueError("coherence costs cannot be negative")
 
 
+def canonical_key_bytes(key: object) -> bytes:
+    """Deterministic, type-tagged byte encoding of a state key.
+
+    Block placement must be identical across interpreter invocations
+    (PYTHONHASHSEED) and across processes, or coherence stalls — and
+    with them run payloads and cache keys — stop being reproducible.
+    Type tags keep ``1``, ``"1"`` and ``(1,)`` from colliding; nested
+    containers are length-framed so ``("ab", "c")`` and ``("a", "bc")``
+    differ.  Keys that have no deterministic identity (arbitrary
+    objects, whose ``hash()``/``repr()`` embed the id) are rejected.
+    """
+    if key is None:
+        return b"n:"
+    if isinstance(key, bool):
+        return b"b:1" if key else b"b:0"
+    if isinstance(key, int):
+        return b"i:%d" % key
+    if isinstance(key, float):
+        return b"f:" + repr(key).encode()
+    if isinstance(key, str):
+        return b"s:" + key.encode()
+    if isinstance(key, (bytes, bytearray)):
+        return b"y:" + bytes(key)
+    if isinstance(key, tuple):
+        parts = [canonical_key_bytes(item) for item in key]
+        return b"t:" + b"".join(b"%d|" % len(p) + p for p in parts)
+    if isinstance(key, frozenset):
+        parts = sorted(canonical_key_bytes(item) for item in key)
+        return b"fs:" + b"".join(b"%d|" % len(p) + p for p in parts)
+    raise TypeError(
+        f"state key of type {type(key).__name__!r} has no deterministic "
+        "canonical encoding; use str/bytes/int/float/tuple/frozenset keys"
+    )
+
+
 #: CXL.cache / UPI-class coherence: sub-microsecond line transfers.
 CXL_COSTS = CoherenceCosts(read_miss_s=0.6e-6, ownership_s=0.9e-6, coherent=True)
 #: PCIe-attached SNIC: software-mediated sharing, microseconds per access.
@@ -84,11 +119,14 @@ class SharedStateDomain:
     def _block_of(self, key: object) -> int:
         # str/bytes hashing is randomized per interpreter invocation, which
         # would make block placement (and the runner's content-addressed
-        # cache) non-reproducible; crc32 is stable
+        # cache) non-reproducible; crc32 over a canonical encoding is stable
+        # for every key type (builtins.hash() would also be id-based — i.e.
+        # different every run — for plain objects, and PYTHONHASHSEED-salted
+        # for tuples containing strings)
         if isinstance(key, (str, bytes)):
             data = key.encode() if isinstance(key, str) else key
             return zlib.crc32(data) % self.block_count
-        return hash(key) % self.block_count
+        return zlib.crc32(canonical_key_bytes(key)) % self.block_count
 
     def access(self, agent: str, key: object, write: bool) -> float:
         """Account one state access by ``agent``; returns stall seconds."""

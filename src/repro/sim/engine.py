@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import itertools
 from heapq import heapify as _heapify, heappop as _heappop, heappush as _heappush
-from typing import Any, Callable, Iterable, List, Optional
+from typing import Any, Callable, Iterable, List, Optional, cast
 
 # event slot indices
 _TIME = 0
@@ -48,17 +48,17 @@ class EventHandle:
 
     __slots__ = ("_event", "_sim")
 
-    def __init__(self, event: list, sim: "Simulator") -> None:
+    def __init__(self, event: List[Any], sim: "Simulator") -> None:
         self._event = event
         self._sim = sim
 
     @property
     def time(self) -> float:
-        return self._event[_TIME]
+        return cast(float, self._event[_TIME])
 
     @property
     def cancelled(self) -> bool:
-        return self._event[_STATUS] == _CANCELLED
+        return bool(self._event[_STATUS] == _CANCELLED)
 
     def cancel(self) -> None:
         """Cancel the event; a no-op if it already fired or was cancelled."""
@@ -79,7 +79,7 @@ class BatchHandle:
 
     __slots__ = ("_events", "_sim")
 
-    def __init__(self, events: List[list], sim: "Simulator") -> None:
+    def __init__(self, events: List[List[Any]], sim: "Simulator") -> None:
         self._events = events
         self._sim = sim
 
@@ -122,7 +122,7 @@ class Simulator:
     _COMPACT_MIN_CANCELLED = 16
 
     def __init__(self) -> None:
-        self._heap: List[list] = []
+        self._heap: List[List[Any]] = []
         self._seq = itertools.count()
         self._now = 0.0
         self._running = False
@@ -130,10 +130,11 @@ class Simulator:
         self._cancelled_in_heap = 0
         # observability hook (repro.obs): None in untraced runs, so the
         # run() loop is untouched and only rare kernel-internal moments
-        # (heap compaction) pay an is-not-None branch
-        self.tracer = None
+        # (heap compaction) pay an is-not-None branch; typed Any rather
+        # than the obs Tracer protocol to keep the kernel import-free
+        self.tracer: Optional[Any] = None
 
-    def set_tracer(self, tracer) -> None:
+    def set_tracer(self, tracer: Any) -> None:
         """Attach an ``repro.obs`` tracer (kernel-internal events only;
         periodic dispatch counters come from the system's probe pump)."""
         self.tracer = tracer
@@ -216,7 +217,7 @@ class Simulator:
         heap = self._heap
         seq = self._seq
         prev = self._now
-        events: List[list] = []
+        events: List[List[Any]] = []
         for when in times:
             if when < prev:
                 raise SimulationError(
@@ -336,7 +337,7 @@ class Simulator:
         while heap and heap[0][_STATUS] == _CANCELLED:
             _heappop(heap)[_STATUS] = _POPPED
             self._cancelled_in_heap -= 1
-        return heap[0][_TIME] if heap else None
+        return cast(float, heap[0][_TIME]) if heap else None
 
     def pending(self) -> int:
         """Number of scheduled, not-yet-cancelled events."""

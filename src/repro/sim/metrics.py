@@ -16,7 +16,7 @@ from __future__ import annotations
 import math
 import random as _random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 
 def percentile(sorted_values: Sequence[float], fraction: float) -> float:
@@ -105,7 +105,7 @@ class LatencyReservoir:
     def p999(self) -> float:
         return self.quantile(0.999)
 
-    def to_dict(self) -> Dict[str, object]:
+    def to_dict(self) -> Dict[str, Any]:
         """JSON-safe snapshot (floats round-trip exactly through ``json``)."""
         return {
             "max_samples": self._max_samples,
@@ -117,7 +117,7 @@ class LatencyReservoir:
         }
 
     @classmethod
-    def from_dict(cls, data: Dict[str, object]) -> "LatencyReservoir":
+    def from_dict(cls, data: Dict[str, Any]) -> "LatencyReservoir":
         """Rebuild a reservoir snapshot.
 
         Percentile/mean/max queries are exact. The sampling RNG restarts
@@ -289,7 +289,7 @@ class RunMetrics:
             return 0.0
         return self.throughput_gbps / self.average_power_w
 
-    def to_dict(self) -> Dict[str, object]:
+    def to_dict(self) -> Dict[str, Any]:
         """JSON-safe form, the unit the runner's result cache stores."""
         return {
             "offered_gbps": self.offered_gbps,
@@ -306,7 +306,7 @@ class RunMetrics:
         }
 
     @classmethod
-    def from_dict(cls, data: Dict[str, object]) -> "RunMetrics":
+    def from_dict(cls, data: Dict[str, Any]) -> "RunMetrics":
         return cls(
             offered_gbps=float(data["offered_gbps"]),
             duration_s=float(data["duration_s"]),

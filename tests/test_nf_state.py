@@ -1,5 +1,11 @@
 """Unit tests for the shared-state coherence domain (§V-C)."""
 
+import json
+import os
+import subprocess
+import sys
+import zlib
+
 import pytest
 
 from repro.nf.state import (
@@ -7,6 +13,7 @@ from repro.nf.state import (
     PCIE_COSTS,
     CoherenceCosts,
     SharedStateDomain,
+    canonical_key_bytes,
 )
 
 
@@ -66,9 +73,14 @@ class TestSharedStateDomain:
 
     def test_blocks_hashed_independently(self):
         domain = make_domain(blocks=2)
+        # distinct keys must be able to land in distinct blocks; the
+        # exact placement is an implementation detail (crc32 of the
+        # canonical encoding), so probe a handful of keys rather than
+        # hard-coding which pair separates
+        blocks = {domain._block_of(key) for key in range(8)}
+        assert blocks == {0, 1}
         domain.access("snic", 0, write=True)
-        domain.access("snic", 1, write=True)
-        # keys 0 and 1 hash to different blocks of 2
+        domain.access("snic", 4, write=True)  # 0 and 4 land in different blocks
         assert domain.stats.ownership_transfers == 2
 
     def test_sharing_ratio(self):
@@ -105,3 +117,68 @@ class TestSharedStateDomain:
     def test_invalid_block_count(self):
         with pytest.raises(ValueError):
             SharedStateDomain(CXL_COSTS, block_count=0)
+
+
+class TestCanonicalKeyBytes:
+    """Block placement must survive PYTHONHASHSEED changes for every
+    key type — this is what keeps coherence stalls (and through them
+    run payloads and runner cache keys) reproducible."""
+
+    def test_type_tags_disambiguate(self):
+        keys = [1, "1", b"1", 1.0, (1,), None, True, False]
+        encodings = [canonical_key_bytes(k) for k in keys]
+        assert len(set(encodings)) == len(encodings)
+
+    def test_tuple_framing(self):
+        assert canonical_key_bytes(("ab", "c")) != canonical_key_bytes(("a", "bc"))
+
+    def test_nested_tuples(self):
+        assert canonical_key_bytes(((1, 2), 3)) != canonical_key_bytes((1, (2, 3)))
+
+    def test_frozenset_order_independent(self):
+        a = canonical_key_bytes(frozenset(["x", "y", "z"]))
+        b = canonical_key_bytes(frozenset(["z", "x", "y"]))
+        assert a == b
+
+    def test_undeterministic_keys_rejected(self):
+        class Opaque:
+            pass
+
+        with pytest.raises(TypeError):
+            canonical_key_bytes(Opaque())
+        domain = make_domain()
+        with pytest.raises(TypeError):
+            domain.access("snic", Opaque(), write=True)
+
+    def test_str_fast_path_unchanged(self):
+        # the pre-existing str/bytes placement is load-bearing (committed
+        # payload shas); the canonical-encoding fallback must not move it
+        domain = make_domain(blocks=1024)
+        assert domain._block_of("key") == zlib.crc32(b"key") % 1024
+        assert domain._block_of(b"key") == zlib.crc32(b"key") % 1024
+
+    def test_placement_stable_across_hash_randomization(self):
+        """Tuple/object keys must place identically under different
+        PYTHONHASHSEED values (the bug DET02 catches: builtins.hash of
+        a str-bearing tuple is salted per interpreter invocation)."""
+        script = (
+            "import json, sys\n"
+            "from repro.nf.state import SharedStateDomain, CXL_COSTS\n"
+            "d = SharedStateDomain(CXL_COSTS, block_count=4096)\n"
+            "keys = [('flow', 17), ('flow', 18), (1, ('a', 2.5)), 99, b'raw',\n"
+            "        frozenset(['s', 't']), None, ('deep', ('x', (7,)))]\n"
+            "print(json.dumps([d._block_of(k) for k in keys]))\n"
+        )
+        placements = []
+        for seed in ("0", "1", "12345"):
+            env = dict(os.environ)
+            env["PYTHONHASHSEED"] = seed
+            env["PYTHONPATH"] = (
+                "src" + os.pathsep + env.get("PYTHONPATH", "")
+            ).rstrip(os.pathsep)
+            out = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True, text=True, env=env, check=True,
+            )
+            placements.append(json.loads(out.stdout))
+        assert placements[0] == placements[1] == placements[2]
