@@ -39,6 +39,7 @@ METRIC_DIRECTIONS: Dict[str, str] = {
     "datapath_packets_per_s": "higher",
     "rack_dispatch_packets_per_s": "higher",
     "fig5_cell_wall_s": "lower",
+    "flow_events_per_s": "higher",
 }
 
 
@@ -164,6 +165,65 @@ def bench_fig5(repeats: int = 3) -> Dict[str, Any]:
     }
 
 
+def bench_flow(repeats: int = 2) -> Dict[str, Any]:
+    """Flow-mode fast-path headroom on the fixed fig5 smoke cell.
+
+    Runs the same offered load (SLB, NAT @ 80 Gbps, 0.05 s, seed 2024)
+    through both simulation modes and reports, per mode, the simulator
+    event count and wall clock.  ``event_headroom_x`` — simulated wire
+    packets per simulator event in flow mode over the same ratio in
+    packet mode — is the number the ``validate-flow`` gate requires to
+    stay ≥ 20: it measures how much more offered load the flow fast
+    path carries per unit of event-loop work.
+    """
+    from dataclasses import replace
+
+    from repro.exp.server import RunConfig, build_system
+    from repro.flow.source import ConstantRateSource
+    from repro.flow.system import build_flow_system
+    from repro.net.traffic import ConstantRateGenerator
+
+    rate_gbps, duration_s = 80.0, 0.05
+    kwargs = dict(fwd_threshold_gbps=20.0, slb_cores=4)
+    config = RunConfig(duration_s=duration_s, seed=2024)
+    offered_packets = rate_gbps * 1e9 * duration_s / (config.packet_bytes * 8)
+
+    packet_events, best_packet_wall = 0, float("inf")
+    flow_events, best_flow_wall = 0, float("inf")
+    for _ in range(repeats):
+        system = build_system("slb", "nat", config, **kwargs)
+        generator = ConstantRateGenerator(
+            system.plan, config.spec(rate_gbps), system.rng, rate_gbps
+        )
+        t0 = perf_counter()
+        system.run(generator, duration_s)
+        best_packet_wall = min(best_packet_wall, perf_counter() - t0)
+        packet_events = system.sim.events_processed
+
+        flow_config = replace(config, sim_mode="flow")
+        flow_system = build_flow_system("slb", "nat", flow_config, **kwargs)
+        t0 = perf_counter()
+        flow_system.run(
+            ConstantRateSource(rate_gbps),
+            duration_s,
+            train_multiplicity=flow_config.spec(rate_gbps).batch,
+        )
+        best_flow_wall = min(best_flow_wall, perf_counter() - t0)
+        flow_events = flow_system.sim.events_processed
+
+    return {
+        "offered_packets": offered_packets,
+        "packet_events": packet_events,
+        "packet_wall_s": best_packet_wall,
+        "flow_events": flow_events,
+        "flow_wall_s": best_flow_wall,
+        "flow_events_per_s": flow_events / best_flow_wall,
+        "event_headroom_x": (offered_packets / flow_events)
+        / (offered_packets / packet_events),
+        "wall_speedup_x": best_packet_wall / best_flow_wall,
+    }
+
+
 def run_bench(scale: float = 1.0) -> Dict[str, Any]:
     """Run all benchmarks; ``scale`` shrinks/grows the workload sizes
     (CI smoke runs use ``scale < 1`` — regression gating should compare
@@ -174,6 +234,7 @@ def run_bench(scale: float = 1.0) -> Dict[str, Any]:
     datapath_cycles = max(1_000, int(50_000 * scale))
     fig5 = bench_fig5()
     rack = bench_rack()
+    flow = bench_flow()
     return {
         "schema": BENCH_SCHEMA,
         "scale": scale,
@@ -183,6 +244,11 @@ def run_bench(scale: float = 1.0) -> Dict[str, Any]:
             "datapath_packets_per_s": bench_datapath(datapath_cycles),
             "rack_dispatch_packets_per_s": bench_rack_dispatch(datapath_cycles),
             "fig5_cell_wall_s": fig5["wall_s"],
+            "flow_events_per_s": flow["flow_events_per_s"],
+        },
+        "flow": {
+            "event_headroom_x": flow["event_headroom_x"],
+            "wall_speedup_x": flow["wall_speedup_x"],
         },
         "identity": {
             "fig5_payload_sha256": fig5["payload_sha256"],
@@ -202,6 +268,8 @@ def format_results(results: Dict[str, Any]) -> str:
         f"  datapath   {metrics['datapath_packets_per_s']:12,.0f} packets/s",
         f"  rack disp  {metrics['rack_dispatch_packets_per_s']:12,.0f} packets/s",
         f"  fig5 cell  {metrics['fig5_cell_wall_s']:12.3f} s wall",
+        f"  flow tick  {metrics['flow_events_per_s']:12,.0f} events/s "
+        f"({results['flow']['event_headroom_x']:.0f}x event headroom)",
         f"  fig5 payload sha256 {identity['fig5_payload_sha256'][:16]}…",
         f"  fig5 cache key      {identity['fig5_spec_hash'][:16]}…",
         f"  rack payload sha256 {identity['rack_payload_sha256'][:16]}…",

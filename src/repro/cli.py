@@ -31,6 +31,7 @@ so traced results must never be served to — or from — untraced runs.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import List, Optional
@@ -53,7 +54,8 @@ def build_parser() -> argparse.ArgumentParser:
         "(batch-run the default set into --results-dir), 'trace' "
         "(run one experiment under telemetry; see the 'target' argument), "
         "or 'lint' (determinism/invariant static analysis; "
-        "`hal-repro lint --help`)",
+        "`hal-repro lint --help`), or 'validate-flow' (flow-mode "
+        "cross-validation against packet-mode ground truth; see --grid)",
     )
     parser.add_argument(
         "target", nargs="?", default=None,
@@ -91,6 +93,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--bench-scale", type=float, default=1.0,
         help="bench mode: scale factor for the benchmark workload sizes "
         "(default 1.0; CI smoke runs may use less)",
+    )
+    parser.add_argument(
+        "--grid", type=str, default="smoke", choices=("smoke", "full"),
+        help="validate-flow mode: cell grid to sweep (smoke = the CI "
+        "gate at 0.05 simulated s; full = the nightly grid at 0.25 s)",
+    )
+    parser.add_argument(
+        "--sim-mode", type=str, default=None, choices=("packet", "flow"),
+        metavar="MODE",
+        help="simulation granularity for experiment runs: 'packet' "
+        "(per-train events, identity-hashed ground truth; default) or "
+        "'flow' (fluid fast path, validated by validate-flow)",
     )
     parser.add_argument(
         "--run-name", type=str, default="run0",
@@ -155,6 +169,16 @@ def build_parser() -> argparse.ArgumentParser:
         "given column against offered_gbps (e.g. --plot p99_us)",
     )
     return parser
+
+
+def write_out(path: str, text: str) -> None:
+    """Write ``--out`` content, creating parent directories so routed
+    paths like ``results/all.txt`` work on a fresh checkout."""
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w") as fh:
+        fh.write(text)
 
 
 def make_runner(args: argparse.Namespace) -> Runner:
@@ -251,8 +275,7 @@ def run_traced(args: argparse.Namespace, config: RunConfig) -> int:
     print(text)
     _export_session(session, args)
     if args.out:
-        with open(args.out, "w") as fh:
-            fh.write(text + "\n")
+        write_out(args.out, text + "\n")
     return 0
 
 
@@ -278,12 +301,27 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         run_and_report(bench_json=args.bench_json, scale=args.bench_scale)
         return 0
+    if args.experiment == "validate-flow":
+        # the grid declares its own duration; --seed still applies
+        from repro.exp.flow_validation import GRID_DURATIONS, validate_flow
+
+        grid_config = RunConfig(
+            duration_s=GRID_DURATIONS[args.grid], seed=args.seed
+        )
+        with use_runner(make_runner(args)):
+            report, ok = validate_flow(args.grid, grid_config)
+        text = report.to_text()
+        print(text)
+        if args.out:
+            write_out(args.out, text + "\n")
+        return 0 if ok else 1
 
     config = RunConfig(
         duration_s=args.duration,
         seed=args.seed,
         batch=args.batch,
         functional_rate=args.functional_rate,
+        sim_mode=args.sim_mode or "packet",
     )
     if args.experiment == "trace":
         return run_traced(args, config)
@@ -315,8 +353,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         text += f"\n({time.time() - started:.1f}s wall)"
         print(text)
         if args.out:
-            with open(args.out, "w") as fh:
-                fh.write(text + "\n")
+            write_out(args.out, text + "\n")
         return 0
 
     names = (
@@ -352,8 +389,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if session is not None:
         _export_session(session, args)
     if args.out:
-        with open(args.out, "w") as fh:
-            fh.write("\n\n".join(outputs) + "\n")
+        write_out(args.out, "\n\n".join(outputs) + "\n")
     return 0
 
 

@@ -396,6 +396,22 @@ def run_rack(
     """
     if config is None:
         from repro.exp.server import DEFAULT_CONFIG as config  # noqa: F811
+    if getattr(config, "sim_mode", "packet") == "flow":
+        # the fluid fast path reuses this module's scaled_trace and the
+        # real autoscaler/rack-power controllers; imported lazily to keep
+        # the packet-mode cluster importable without the flow layer
+        from repro.flow.cluster import run_rack_flow
+
+        return run_rack_flow(
+            member_kind,
+            function,
+            trace,
+            config,
+            servers=servers,
+            policy=policy,
+            autoscale=autoscale,
+            **kwargs,
+        )
     spec = scaled_trace(trace, servers)
     cluster = ClusterSystem(
         member_kind,

@@ -25,6 +25,9 @@ from repro.sim.metrics import RunMetrics
 
 SYSTEM_KINDS = ("host", "snic", "hal", "slb", "host-slb")
 
+#: event-granularity modes: per-packet ground truth vs fluid fast path
+SIM_MODES = ("packet", "flow")
+
 
 def auto_batch(rate_gbps: float, packet_bytes: int = 1500) -> int:
     """Wire packets per simulation event, scaled so the event rate stays
@@ -44,6 +47,21 @@ class RunConfig:
     seed: int = 2024
     functional_rate: float = 0.0
     trace_interval_s: float = 0.02
+    #: "packet" (per-train events, identity-hashed ground truth) or
+    #: "flow" (fluid fast path, validated by ``repro validate-flow``)
+    sim_mode: str = "packet"
+    #: flow mode only: control/advance interval of the fluid stations
+    flow_interval_s: float = 100e-6
+
+    def __post_init__(self) -> None:
+        if self.sim_mode not in SIM_MODES:
+            raise ValueError(
+                f"unknown sim_mode {self.sim_mode!r}; known: {SIM_MODES}"
+            )
+        if self.flow_interval_s <= 0:
+            raise ValueError(
+                f"flow_interval_s must be positive ({self.flow_interval_s})"
+            )
 
     def spec(self, rate_gbps: Optional[float] = None) -> TrafficSpec:
         batch = self.batch
@@ -92,6 +110,11 @@ def run_at_rate(
     **kwargs,
 ) -> RunMetrics:
     """One constant-rate run (the Fig. 2/4/5/9 workhorse)."""
+    if config.sim_mode == "flow":
+        # imported lazily: the flow layer builds on core/hw/cluster
+        from repro.flow.system import run_at_rate_flow
+
+        return run_at_rate_flow(kind, function, rate_gbps, config, **kwargs)
     system = build_system(kind, function, config, **kwargs)
     generator = ConstantRateGenerator(
         system.plan, config.spec(rate_gbps), system.rng, rate_gbps
@@ -109,6 +132,10 @@ def run_trace(
     """One datacenter-trace run (the Table V workhorse)."""
     if trace not in META_TRACES:
         raise ValueError(f"unknown trace {trace!r}; known: {sorted(META_TRACES)}")
+    if config.sim_mode == "flow":
+        from repro.flow.system import run_trace_flow
+
+        return run_trace_flow(kind, function, trace, config, **kwargs)
     system = build_system(kind, function, config, **kwargs)
     generator = LogNormalTraceGenerator(
         system.plan,

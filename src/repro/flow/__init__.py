@@ -1,0 +1,50 @@
+"""repro.flow — flow-level fast-path simulation mode.
+
+One simulator event per control interval instead of one per packet
+train: arrival trains become :class:`~repro.flow.batch.FlowBatch`
+payloads expanded analytically at each queueing stage, while the real
+control plane (Algorithm 1 LBP, HLB director registers, the rack
+autoscaler) runs unmodified against fluid state.  Packet mode stays the
+identity-hashed ground truth; :mod:`repro.flow.validate` holds the
+declared agreement tolerances checked by ``repro validate-flow``.
+"""
+
+from repro.flow.batch import FlowBatch, batch_train
+from repro.flow.cluster import FlowClusterSystem, run_rack_flow
+from repro.flow.source import ConstantRateSource, TraceRateSource
+from repro.flow.station import FlowStation, StationTick
+from repro.flow.system import (
+    FlowServerSystem,
+    build_flow_system,
+    run_at_rate_flow,
+    run_trace_flow,
+)
+from repro.flow.validate import (
+    DEFAULT_TOLERANCES,
+    CellComparison,
+    MetricCheck,
+    ValidationReport,
+    compare_cell,
+    energy_per_request_uj,
+)
+
+__all__ = [
+    "FlowBatch",
+    "batch_train",
+    "FlowClusterSystem",
+    "run_rack_flow",
+    "ConstantRateSource",
+    "TraceRateSource",
+    "FlowStation",
+    "StationTick",
+    "FlowServerSystem",
+    "build_flow_system",
+    "run_at_rate_flow",
+    "run_trace_flow",
+    "DEFAULT_TOLERANCES",
+    "CellComparison",
+    "MetricCheck",
+    "ValidationReport",
+    "compare_cell",
+    "energy_per_request_uj",
+]

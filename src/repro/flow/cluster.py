@@ -1,0 +1,384 @@
+"""Rack-scale flow mode: fluid members behind a fluid front tier.
+
+The rack *control plane* is the real one: the flow cluster instantiates
+:class:`repro.cluster.autoscaler.RackAutoscaler` and
+:class:`repro.cluster.power.RackPowerModel` unmodified — the autoscaler
+reads dispatched-bits deltas from the fluid front tier and Rx-ring
+occupancy / quiescence from the fluid stations through the same
+duck-typed surface a packet-mode rack exposes.  Only the data path is
+fluid: each control interval the front tier splits the offered-rate
+train across routable members (packing concentrates load at low
+indices, the other policies spread it), and each member expands its
+share analytically.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, TYPE_CHECKING, Tuple
+
+from repro.cluster.autoscaler import (
+    AutoscalerConfig,
+    ManagedServer,
+    RackAutoscaler,
+)
+from repro.cluster.fronttier import TOR_LATENCY_S
+from repro.cluster.policies import POLICIES, ServerSlot
+from repro.cluster.power import RackPowerConfig, RackPowerModel
+from repro.cluster.system import scaled_trace
+from repro.core.systems import DRAIN_S
+from repro.flow.batch import FlowBatch
+from repro.flow.source import TraceRateSource
+from repro.flow.station import FlowStation
+from repro.flow.system import (
+    WINDOW_S,
+    FlowHalSystem,
+    FlowHostOnlySystem,
+    FlowHostSideSlbSystem,
+    FlowServerSystem,
+    FlowSlbSystem,
+    FlowSnicOnlySystem,
+    fill_reservoir,
+)
+from repro.hw.power import ROLE_SNIC, PowerConfig
+from repro.net.addressing import RackAddressPlan
+from repro.sim.engine import Simulator
+from repro.sim.metrics import RunMetrics
+from repro.sim.rng import RngRegistry
+
+if TYPE_CHECKING:
+    from repro.exp.server import RunConfig
+
+_FLOW_MEMBER_CLASSES: Dict[str, type] = {
+    "hal": FlowHalSystem,
+    "slb": FlowSlbSystem,
+    "host": FlowHostOnlySystem,
+    "snic": FlowSnicOnlySystem,
+    "host-slb": FlowHostSideSlbSystem,
+}
+
+
+def _flow_member_kinds(member_kind: str, servers: int) -> List[str]:
+    kinds = [k.strip() for k in member_kind.split(",") if k.strip()]
+    if not kinds:
+        raise ValueError("member_kind cannot be empty")
+    for kind in kinds:
+        if kind not in _FLOW_MEMBER_CLASSES:
+            raise ValueError(
+                f"unknown member kind {kind!r}; known: "
+                f"{sorted(_FLOW_MEMBER_CLASSES)}"
+            )
+    return [kinds[i % len(kinds)] for i in range(servers)]
+
+
+class FlowFrontTier:
+    """Per-interval rate dispatch across routable member slots."""
+
+    def __init__(
+        self,
+        slots: List[ServerSlot],
+        capacities_gbps: List[float],
+        policy: str,
+        tor_latency_s: float = TOR_LATENCY_S,
+    ) -> None:
+        if policy not in POLICIES:
+            raise ValueError(f"unknown policy {policy!r}; known: {POLICIES}")
+        self.slots = slots
+        self.capacities_gbps = capacities_gbps
+        self.policy = policy
+        self.tor_latency_s = tor_latency_s
+        self.dispatched_bits = 0.0
+        self.dispatched_packets = 0.0
+        self.reroutes = 0
+        self._last_primary = -1
+
+    def dispatch(self, rate_gbps: float, dt_s: float, packet_bits: int) -> List[float]:
+        """Split one interval's offered rate; returns per-slot rates."""
+        shares = [0.0] * len(self.slots)
+        routable = [slot for slot in self.slots if slot.routable]
+        if not routable:
+            routable = list(self.slots)
+        if rate_gbps > 0:
+            if self.policy == "packing":
+                # fill low indices to capacity, spill the excess upward;
+                # the final slot absorbs any rate beyond rack capacity
+                remaining = rate_gbps
+                for position, slot in enumerate(routable):
+                    take = min(remaining, self.capacities_gbps[slot.index])
+                    if position == len(routable) - 1:
+                        take = remaining
+                    shares[slot.index] = take
+                    remaining -= take
+                    if remaining <= 0:
+                        break
+            else:
+                # flowhash / roundrobin / p2c all average to an even split
+                # at flow granularity
+                share = rate_gbps / len(routable)
+                for slot in routable:
+                    shares[slot.index] = share
+            primary = next(
+                (slot.index for slot in routable if shares[slot.index] > 0),
+                -1,
+            )
+            if primary != self._last_primary:
+                self.reroutes += 1
+                self._last_primary = primary
+        bits = rate_gbps * 1e9 * dt_s
+        self.dispatched_bits += bits
+        self.dispatched_packets += bits / packet_bits
+        for slot in self.slots:
+            if shares[slot.index] > 0:
+                slot_bits = shares[slot.index] * 1e9 * dt_s
+                slot.dispatched_bits += int(slot_bits)
+                slot.dispatched_packets += int(slot_bits / packet_bits)
+        return shares
+
+    def dispatched_gbps(self, elapsed_s: float) -> float:
+        if elapsed_s <= 0:
+            return 0.0
+        return self.dispatched_bits / elapsed_s / 1e9
+
+
+class FlowClusterSystem:
+    """N fluid members, one simulator, the real rack controllers."""
+
+    def __init__(
+        self,
+        member_kind: str = "hal",
+        function: str = "nat",
+        servers: int = 4,
+        seed: int = 2024,
+        policy: str = "packing",
+        autoscale: bool = True,
+        functional_rate: float = 0.0,
+        interval_s: float = 100e-6,
+        packet_bytes: int = 1500,
+        power_config: Optional[PowerConfig] = None,
+        rack_power_config: Optional[RackPowerConfig] = None,
+        autoscaler_config: Optional[AutoscalerConfig] = None,
+        tor_latency_s: float = TOR_LATENCY_S,
+    ) -> None:
+        if servers < 1:
+            raise ValueError("a rack needs at least one server")
+        self.function = function
+        self.servers = servers
+        self.policy = policy
+        self.sim = Simulator()
+        self.rng = RngRegistry(seed)
+        self.metrics = RunMetrics()
+        self.rack_plan = RackAddressPlan.build(servers)
+        self.plan = self.rack_plan.front
+        self.interval_s = interval_s
+        self.packet_bytes = packet_bytes
+
+        kinds = _flow_member_kinds(member_kind, servers)
+        self.members: List[FlowServerSystem] = []
+        for index, kind in enumerate(kinds):
+            instance = f"s{index}"
+            member_cls = _FLOW_MEMBER_CLASSES[kind]
+            member: FlowServerSystem = member_cls(
+                function,
+                seed=seed,
+                functional_rate=functional_rate,
+                interval_s=interval_s,
+                packet_bytes=packet_bytes,
+                power_config=power_config,
+                sim=self.sim,
+                rng=self.rng.spawn(instance),
+                plan=self.rack_plan.servers[index],
+                instance=instance,
+            )
+            self.members.append(member)
+
+        self.slots: List[ServerSlot] = []
+        for index, member in enumerate(self.members):
+            slot = ServerSlot(
+                index,
+                self.rack_plan.servers[index],
+                occupancy=self._occupancy_probe(member),
+            )
+            self.slots.append(slot)
+
+        self.front = FlowFrontTier(
+            self.slots,
+            [member.capacity_gbps for member in self.members],
+            policy,
+            tor_latency_s=tor_latency_s,
+        )
+        self.rack_power = RackPowerModel(
+            self.sim,
+            [member.power for member in self.members],
+            rack_power_config,
+        )
+        self.autoscaler: Optional[RackAutoscaler] = None
+        if autoscale and servers > 1:
+            managed = [
+                ManagedServer(slot, member)
+                for slot, member in zip(self.slots, self.members)
+            ]
+            self.autoscaler = RackAutoscaler(
+                self.sim,
+                self.front,
+                managed,
+                self.rack_power,
+                autoscaler_config,
+            )
+
+    @staticmethod
+    def _occupancy_probe(member: FlowServerSystem) -> Any:
+        stations = member.engines()
+
+        def probe() -> int:
+            return max(station.rx_queue_occupancy() for station in stations)
+
+        return probe
+
+    def total_backlog_packets(self) -> float:
+        return sum(member.total_backlog_packets() for member in self.members)
+
+    def run(
+        self,
+        source: Any,
+        duration_s: float,
+        train_multiplicity: int = 1,
+    ) -> RunMetrics:
+        sim = self.sim
+        start = sim.now
+        interval = self.interval_s
+        rates = source.rates(duration_s, interval)
+        drain_end = start + duration_s + DRAIN_S
+        packet_bits = self.packet_bytes * 8
+        state = {"index": 0}
+        generated = {"packets": 0.0}
+        window = {"start": start, "bits": 0.0, "max_gbps": 0.0}
+        frozen: Dict[str, float] = {}
+
+        def delivered_bits() -> float:
+            return sum(member._delivered_bits for member in self.members)
+
+        def tick() -> None:
+            index = state["index"]
+            state["index"] = index + 1
+            offered = index < len(rates)
+            rate = rates[index] if offered else 0.0
+            if offered:
+                generated["packets"] += rate * 1e9 * interval / packet_bits
+            shares = self.front.dispatch(rate, interval, packet_bits)
+            for member, share in zip(self.members, shares):
+                batch = FlowBatch(
+                    start_s=sim.now - interval,
+                    duration_s=interval,
+                    rate_gbps=share,
+                    packet_bytes=self.packet_bytes,
+                )
+                member._tick(batch, train_multiplicity)
+                member.power.update_all()
+            if index == len(rates) - 1:
+                frozen["final_backlog_packets"] = self.total_backlog_packets()
+                if self.autoscaler is not None:
+                    frozen["rack_awake_mean"] = self.autoscaler.awake_mean()
+            elapsed = sim.now - window["start"]
+            if elapsed >= WINDOW_S:
+                bits = delivered_bits()
+                gbps = (bits - window["bits"]) / elapsed / 1e9
+                window["max_gbps"] = max(window["max_gbps"], gbps)
+                window["start"] = sim.now
+                window["bits"] = bits
+
+        stop_tick = sim.every(
+            interval, tick, start=start + interval,
+            priority=Simulator.PRIORITY_NORMAL,
+        )
+        sim.run(until=drain_end)
+        stop_tick()
+        for member in self.members:
+            member.stop()
+        if self.autoscaler is not None:
+            self.autoscaler.stop()
+
+        metrics = self.metrics
+        metrics.offered_gbps = source.offered_gbps
+        metrics.duration_s = duration_s
+        delivered_packets = sum(m._delivered_packets for m in self.members)
+        metrics.delivered_bytes = int(round(delivered_bits() / 8))
+        metrics.delivered_packets = int(round(delivered_packets))
+        metrics.dropped_packets = int(
+            round(sum(m._dropped_packets for m in self.members))
+        )
+        metrics.generated_packets = int(round(generated["packets"]))
+        metrics.average_power_w = self.rack_power.average_watts()
+        metrics.power_breakdown = self.rack_power.breakdown()
+        samples: List[Tuple[float, float]] = []
+        tor = self.front.tor_latency_s
+        for member in self.members:
+            samples.extend(
+                (latency + tor, weight) for latency, weight in member._samples
+            )
+        fill_reservoir(metrics.latency, samples)
+        metrics.snic_share = self._rack_snic_share()
+        extras = metrics.extras
+        extras["max_window_gbps"] = max(
+            window["max_gbps"], metrics.throughput_gbps
+        )
+        extras["servers"] = float(self.servers)
+        extras["front_reroutes"] = float(self.front.reroutes)
+        extras["front_dispatched_gbps"] = self.front.dispatched_gbps(duration_s)
+        extras["final_backlog_packets"] = frozen.get("final_backlog_packets", 0.0)
+        if self.autoscaler is not None:
+            extras["rack_awake_mean"] = frozen.get(
+                "rack_awake_mean", float(self.servers)
+            )
+            extras["rack_wakes"] = float(self.autoscaler.wakes)
+            extras["rack_sleeps"] = float(self.autoscaler.sleeps)
+        return metrics
+
+    def _rack_snic_share(self) -> float:
+        snic_bits = total_bits = 0.0
+        for member in self.members:
+            roles = member.power._role_of
+            for station in member.engines():
+                if station.forward_stage:
+                    continue
+                bits = station.delivered_bits
+                total_bits += bits
+                if roles.get(station.name) == ROLE_SNIC:
+                    snic_bits += bits
+        return snic_bits / total_bits if total_bits > 0 else 0.0
+
+
+def run_rack_flow(
+    member_kind: str,
+    function: str,
+    trace: str,
+    config: "RunConfig",
+    servers: int = 4,
+    policy: str = "packing",
+    autoscale: bool = True,
+    **kwargs: Any,
+) -> RunMetrics:
+    """Flow-mode rack trace run (dispatched from ``cluster.run_rack``)."""
+    spec = scaled_trace(trace, servers)
+    cluster = FlowClusterSystem(
+        member_kind,
+        function,
+        servers=servers,
+        seed=config.seed,
+        policy=policy,
+        autoscale=autoscale,
+        functional_rate=config.functional_rate,
+        interval_s=config.flow_interval_s,
+        packet_bytes=config.packet_bytes,
+        **kwargs,
+    )
+    traffic_spec = config.spec(spec.average_gbps * 3)
+    source = TraceRateSource(
+        spec,
+        cluster.rng,
+        cluster.plan,
+        traffic_spec,
+        trace_interval_s=config.trace_interval_s,
+        line_rate_gbps=100.0 * servers,
+    )
+    return cluster.run(
+        source, config.duration_s, train_multiplicity=traffic_spec.batch
+    )

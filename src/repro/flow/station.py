@@ -1,0 +1,293 @@
+"""Analytic (fluid) expansion of one queueing stage per flow batch.
+
+A :class:`FlowStation` is the flow-mode counterpart of
+:class:`repro.hw.platform.ProcessingEngine`: same
+:func:`~repro.hw.profiles.service_costs` coefficients, same overload
+EWMA and quadratic SLO-knee ramp, same sleep/wake machinery — but one
+``advance()`` call per control interval instead of one simulator event
+per packet batch.  Within an interval the station solves the fluid
+queue update
+
+    served = min(backlog + arrivals, capacity · dt)
+
+drops whatever exceeds the Rx-ring capacity, and reports latency as a
+small set of *weighted quantile samples* along the arrival envelope
+(fluid backlog wait, plus a Kingman VUT term for the stochastic
+queueing the fluid limit cannot see, plus wake-up and overload
+penalties).
+
+The station also exposes the exact duck-typed surface that
+:mod:`repro.hw.dpdk`, :mod:`repro.core.lbp` and
+:mod:`repro.cluster.autoscaler` read from a real engine —
+``delivered_bits``, ``active_cores``, ``_rings[q].occupancy_packets``,
+``_in_pipeline``, ``busy_cores``, ``total_queued_packets()``,
+``sleeping``/``sleep_enabled``/``_notify_power()`` — so Algorithm 1 and
+the rack autoscaler run **unmodified** against fluid state.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.flow.batch import FlowBatch
+from repro.hw.profiles import EngineProfile, service_costs
+
+#: EWMA horizon of the delivered-rate estimator feeding the overload
+#: ramp — same constant as ``ProcessingEngine._rate_tau_s``
+RATE_TAU_S = 2e-3
+
+#: quantile points sampled along each interval's arrival envelope
+LATENCY_QUANTILES = (0.125, 0.375, 0.625, 0.875)
+
+#: Kingman utilisation clamp: the VUT term diverges at ρ→1, where the
+#: fluid backlog wait takes over anyway
+KINGMAN_MAX_RHO = 0.98
+
+
+class RingView:
+    """Occupancy snapshot of one Rx ring (what ``rte_eth_rx_queue_count``
+    reads in flow mode)."""
+
+    __slots__ = ("occupancy_packets",)
+
+    def __init__(self) -> None:
+        self.occupancy_packets = 0
+
+
+@dataclass
+class StationTick:
+    """What one ``advance()`` call produced."""
+
+    in_packets: float
+    served_packets: float
+    dropped_packets: float
+    busy_fraction: float
+    #: (latency_s, weight_packets) pairs for the served packets
+    samples: List[Tuple[float, float]] = field(default_factory=list)
+
+    def mean_latency_s(self) -> float:
+        weight = sum(w for _, w in self.samples)
+        if weight <= 0:
+            return 0.0
+        return sum(latency * w for latency, w in self.samples) / weight
+
+
+class FlowStation:
+    """Fluid model of one processing engine."""
+
+    def __init__(
+        self,
+        profile: EngineProfile,
+        name: str,
+        active_cores: Optional[int] = None,
+        delivery_latency_s: float = 0.0,
+        forward_stage: bool = False,
+        sleep_enabled: bool = False,
+        wake_latency_s: float = 30e-6,
+        sleep_after_idle_s: float = 200e-6,
+        service_jitter: float = 0.0,
+        on_power_change: Optional[Callable[["FlowStation"], None]] = None,
+    ) -> None:
+        self.profile = profile
+        self.name = name
+        self.active_cores = active_cores if active_cores is not None else profile.cores
+        if not 1 <= self.active_cores <= profile.cores:
+            raise ValueError(
+                f"active_cores must be in [1, {profile.cores}] "
+                f"(got {self.active_cores})"
+            )
+        costs = service_costs(profile, self.active_cores)
+        self._per_core_bps = costs.per_core_bps
+        self._per_packet_overhead_s = costs.per_packet_overhead_s
+        self._base_latency_s = costs.base_latency_s
+        self._overload_ramp_s = costs.overload_latency_s
+        # arrivals are paced trains (Ca²≈0); service variability carries
+        # the profile cv² plus the uniform batch jitter's variance
+        self._service_cs_sq = costs.service_cv_sq + service_jitter**2 / 3.0
+        self._capacity_gbps = costs.capacity_gbps
+        self.delivery_latency_s = delivery_latency_s
+        self.forward_stage = forward_stage
+        self.sleep_enabled = sleep_enabled
+        self.wake_latency_s = wake_latency_s
+        self.sleep_after_idle_s = sleep_after_idle_s
+        self.dynamic_power_w = profile.dynamic_power_w
+        self._ring_capacity_packets = profile.queue_capacity_packets * self.active_cores
+
+        # fluid state
+        self.backlog_packets = 0.0
+        self.sleeping = False
+        self._wake_remaining_s = 0.0
+        self._idle_s = 0.0
+        self._rate_bps_ewma = 0.0
+        self._last_busy_fraction = 0.0
+
+        # counters (floats; rounded once at run finalisation)
+        self.received_packets = 0.0
+        self.delivered_packets = 0.0
+        self.delivered_bits = 0.0
+        self.dropped_packets = 0.0
+        self.wake_count = 0
+
+        # LBP/dpdk shim surface
+        self._rings = [RingView() for _ in range(self.active_cores)]
+        self._in_pipeline = [0] * self.active_cores
+        self._on_power_change = on_power_change
+
+    # -- engine-compatible surface --------------------------------------
+    @property
+    def capacity_gbps(self) -> float:
+        return self._capacity_gbps
+
+    @property
+    def busy_cores(self) -> int:
+        """Cores occupied at the last interval boundary (quiescence test)."""
+        if self.backlog_packets < 0.5:
+            return 0
+        return max(1, round(self._last_busy_fraction * self.active_cores))
+
+    @property
+    def utilization(self) -> float:
+        return self._last_busy_fraction
+
+    def total_queued_packets(self) -> int:
+        return int(self.backlog_packets)
+
+    def rx_queue_occupancy(self) -> int:
+        return max(ring.occupancy_packets for ring in self._rings)
+
+    def _notify_power(self) -> None:
+        if self._on_power_change is not None:
+            self._on_power_change(self)
+
+    # -- internals -------------------------------------------------------
+    def _per_packet_service_s(self, packet_bits: int) -> float:
+        return packet_bits / self._per_core_bps + self._per_packet_overhead_s
+
+    def _overload_latency_s(self) -> float:
+        knee = self.profile.slo_knee_gbps
+        if knee is None or self._overload_ramp_s <= 0:
+            return 0.0
+        cap = self._capacity_gbps
+        if cap <= knee:
+            return 0.0
+        frac = (self._rate_bps_ewma / 1e9 - knee) / (cap - knee)
+        if frac <= 0:
+            return 0.0
+        return self._overload_ramp_s * min(1.0, frac) ** 2
+
+    def _update_rings(self) -> None:
+        occupancy = int(self.backlog_packets / self.active_cores + 0.5)
+        for ring in self._rings:
+            ring.occupancy_packets = occupancy
+
+    # -- the analytic expansion -----------------------------------------
+    def advance(self, batch: FlowBatch, train_multiplicity: int = 1) -> StationTick:
+        """Expand one arrival train through this stage.
+
+        ``train_multiplicity`` is the wire-batch size the packet-mode
+        generator would have used at this offered rate: packet mode
+        delivers an m-packet train as one service span whose midpoint
+        correction leaves an effective (m+1)/2 per-packet service
+        component, and flow mode charges the same so the two modes'
+        latency floors agree.
+        """
+        dt = batch.duration_s
+        arriving = batch.packets
+        packet_bits = batch.packet_bits
+        per_packet_s = self._per_packet_service_s(packet_bits)
+        mu_pps = self.active_cores / per_packet_s
+
+        # sleep/wake, same constants as the engine
+        wake_used = 0.0
+        if arriving > 0:
+            self._idle_s = 0.0
+            if self.sleeping:
+                self.sleeping = False
+                self._wake_remaining_s = self.wake_latency_s
+                self.wake_count += 1
+                self._notify_power()
+        if self._wake_remaining_s > 0:
+            wake_used = min(dt, self._wake_remaining_s)
+            self._wake_remaining_s -= wake_used
+
+        # fluid queue update over the service-available fraction
+        service_budget = mu_pps * (dt - wake_used)
+        backlog_0 = self.backlog_packets
+        total = backlog_0 + arriving
+        served = min(total, service_budget)
+        backlog_1 = total - served
+        dropped = max(0.0, backlog_1 - self._ring_capacity_packets)
+        backlog_1 = min(backlog_1, self._ring_capacity_packets)
+
+        # delivered-rate EWMA → overload penalty (discrete-interval form
+        # of the engine's per-delivery exponential update)
+        decay = math.exp(-dt / RATE_TAU_S)
+        delivered_bps = served * packet_bits / dt
+        self._rate_bps_ewma = self._rate_bps_ewma * decay + delivered_bps * (
+            1.0 - decay
+        )
+        overload_s = self._overload_latency_s()
+
+        # latency: quantile samples along the arrival envelope
+        lam_pps = arriving / dt
+        rho = min(KINGMAN_MAX_RHO, lam_pps / mu_pps)
+        samples: List[Tuple[float, float]] = []
+        if served > 0:
+            service_component_s = per_packet_s * (train_multiplicity + 1) / 2.0
+            kingman_wait_s = (
+                rho
+                / (1.0 - rho)
+                * (self._service_cs_sq / 2.0)
+                * (per_packet_s / self.active_cores)
+            )
+            fixed_s = (
+                service_component_s
+                + self._base_latency_s
+                + self.delivery_latency_s
+                + overload_s
+            )
+            weight = served / len(LATENCY_QUANTILES)
+            for q in LATENCY_QUANTILES:
+                elapsed = q * dt
+                backlog_q = backlog_0 + lam_pps * elapsed
+                backlog_q -= mu_pps * max(0.0, elapsed - wake_used)
+                backlog_q = min(
+                    max(0.0, backlog_q), float(self._ring_capacity_packets)
+                )
+                fluid_wait_s = backlog_q / mu_pps
+                wake_wait_s = max(0.0, wake_used - elapsed)
+                latency = (
+                    max(fluid_wait_s, kingman_wait_s) + wake_wait_s + fixed_s
+                )
+                samples.append((latency, weight))
+
+        # counters + shim state
+        self.backlog_packets = backlog_1
+        self.received_packets += arriving
+        self.delivered_packets += served
+        self.delivered_bits += served * packet_bits
+        self.dropped_packets += dropped
+        busy = min(1.0, served * per_packet_s / (self.active_cores * dt))
+        self._last_busy_fraction = busy
+        self._update_rings()
+
+        # idle → sleep (engine parks cores after sleep_after_idle_s)
+        if arriving <= 0 and served <= 0 and backlog_1 <= 0:
+            self._idle_s += dt
+            if (
+                self.sleep_enabled
+                and not self.sleeping
+                and self._idle_s >= self.sleep_after_idle_s
+            ):
+                self.sleeping = True
+                self._notify_power()
+
+        return StationTick(
+            in_packets=arriving,
+            served_packets=served,
+            dropped_packets=dropped,
+            busy_fraction=busy,
+            samples=samples,
+        )

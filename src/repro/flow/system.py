@@ -1,0 +1,710 @@
+"""Flow-mode server systems: fluid stations behind the real control plane.
+
+Each class here mirrors one packet-mode system kind (``host``, ``snic``,
+``hal``, ``slb``, ``host-slb``, plus the platform variants) with
+:class:`~repro.flow.station.FlowStation` stages in place of
+``ProcessingEngine``.  The *control plane is shared, not mirrored*: HAL
+runs the real :class:`~repro.core.lbp.LoadBalancingPolicy` (Algorithm 1)
+against the station's Rx-ring shim and writes the real
+:class:`~repro.core.hlb.TrafficDirector` threshold register; the flow
+tick then applies that register to the whole arrival train — the
+per-batch steering decision the paper's HLB makes per packet.
+
+Energy is integrated from busy-time fractions per interval with the same
+:class:`~repro.hw.power.PowerConfig` coefficients as packet mode, so
+energy-per-request is directly comparable across modes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, TYPE_CHECKING, Tuple
+
+from repro.core.hlb import HLB_LATENCY_S, TrafficDirector
+from repro.core.lbp import (
+    LbpConfig,
+    LoadBalancingPolicy,
+    profiled_initial_threshold,
+)
+from repro.core.slb import (
+    HOST_SLB_PATH_US,
+    SLB_SERVICE_JITTER,
+    _forward_profile,
+)
+from repro.core.systems import DRAIN_S
+from repro.flow.batch import FlowBatch
+from repro.flow.source import ConstantRateSource, TraceRateSource
+from repro.flow.station import FlowStation, StationTick
+from repro.hw.host import host_engine_profile
+from repro.hw.pcie import host_delivery_latency_s, snic_delivery_latency_s
+from repro.hw.power import ROLE_HOST, ROLE_SNIC, PowerConfig
+from repro.hw.profiles import EngineProfile, get_profile
+from repro.hw.snic import snic_engine_profile
+from repro.net.addressing import AddressPlan
+from repro.sim.engine import Simulator
+from repro.sim.metrics import LatencyReservoir, PowerIntegrator, RunMetrics
+from repro.sim.rng import RngRegistry
+
+if TYPE_CHECKING:
+    from repro.exp.server import RunConfig
+
+#: throughput window used for the ``max_window_gbps`` extra (same 25 ms
+#: window the packet-mode systems sample)
+WINDOW_S = 0.025
+
+#: cap on reservoir samples expanded from the weighted quantile pairs
+MAX_RESERVOIR_SAMPLES = 20_000
+
+
+class FlowPowerModel:
+    """Busy-fraction power integration with packet-mode coefficients.
+
+    Duck-type compatible with :class:`repro.hw.power.PowerModel` where the
+    rack layer reads it (``integrator``, ``average_watts``, ``breakdown``,
+    ``set_server_asleep``/``server_asleep``), so
+    :class:`repro.cluster.power.RackPowerModel` aggregates flow members
+    unmodified.
+    """
+
+    def __init__(self, sim: Simulator, config: Optional[PowerConfig] = None) -> None:
+        self.sim = sim
+        self.config = config if config is not None else PowerConfig()
+        self.integrator = PowerIntegrator(start_time=sim.now)
+        self.server_asleep = False
+        self._roles: Dict[str, Tuple[FlowStation, str]] = {}
+        self._role_of: Dict[str, str] = {}
+        self.integrator.set_level("idle", self.config.system_idle_w, sim.now)
+
+    def track(self, station: FlowStation, role: str) -> None:
+        self._roles[station.name] = (station, role)
+        self._role_of[station.name] = role
+        station._on_power_change = lambda st: self.update(st)
+        self.update(station)
+
+    def update(self, station: FlowStation) -> None:
+        role = self._roles[station.name][1]
+        busy = 0.0 if station.sleeping else station.utilization
+        watts = station.dynamic_power_w * busy
+        if role == ROLE_HOST and not station.sleeping:
+            watts += self.config.host_poll_w_per_core * station.active_cores
+        self.integrator.set_level(station.name, watts, self.sim.now)
+
+    def update_all(self) -> None:
+        for station, _role in self._roles.values():
+            self.update(station)
+
+    def set_constant(self, component: str, watts: float) -> None:
+        self.integrator.set_level(component, watts, self.sim.now)
+
+    def set_server_asleep(self, asleep: bool) -> None:
+        self.server_asleep = asleep
+        watts = (
+            self.config.server_sleep_w if asleep else self.config.system_idle_w
+        )
+        self.integrator.set_level("idle", watts, self.sim.now)
+
+    def average_watts(self) -> float:
+        return self.integrator.average_watts(self.sim.now)
+
+    def breakdown(self) -> Dict[str, float]:
+        now = self.sim.now
+        return {
+            component: self.integrator.average_watts(now, component)
+            for component in self.integrator.components()
+        }
+
+    def snic_host_split(self) -> Tuple[float, float]:
+        now = self.sim.now
+        snic = host = 0.0
+        for name, role in self._role_of.items():
+            watts = self.integrator.average_watts(now, name)
+            if role == ROLE_SNIC:
+                snic += watts
+            else:
+                host += watts
+        return snic, host
+
+
+class FlowServerSystem:
+    """Base class: the flow-mode run loop and result contract.
+
+    Produces the same :class:`~repro.sim.metrics.RunMetrics` shape as
+    :meth:`repro.core.systems.ServerSystem.run` (offered/delivered/
+    dropped/generated counts, latency reservoir, integrated power,
+    ``max_window_gbps``/``final_backlog_packets`` extras), so experiment
+    code and the result cache treat both modes interchangeably.
+    """
+
+    kind = "abstract"
+
+    def __init__(
+        self,
+        function: str,
+        seed: int = 2024,
+        functional_rate: float = 0.0,
+        interval_s: float = 100e-6,
+        packet_bytes: int = 1500,
+        power_config: Optional[PowerConfig] = None,
+        sim: Optional[Simulator] = None,
+        metrics: Optional[RunMetrics] = None,
+        rng: Optional[RngRegistry] = None,
+        plan: Optional[AddressPlan] = None,
+        instance: str = "",
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError(f"flow interval must be positive ({interval_s})")
+        self.function = function
+        self.profile = get_profile(function)
+        self.seed = seed
+        self.functional_rate = functional_rate
+        self.interval_s = interval_s
+        self.packet_bytes = packet_bytes
+        self.sim = sim if sim is not None else Simulator()
+        self.metrics = metrics if metrics is not None else RunMetrics()
+        self.rng = rng if rng is not None else RngRegistry(seed)
+        self.plan = plan if plan is not None else AddressPlan.default()
+        self.instance = instance
+        self.engine_prefix = f"{instance}:" if instance else ""
+        self.power = FlowPowerModel(self.sim, power_config)
+
+        self._samples: List[Tuple[float, float]] = []
+        self._generated_packets = 0.0
+        self._delivered_packets = 0.0
+        self._delivered_bits = 0.0
+        self._dropped_packets = 0.0
+        self._build()
+
+    # -- subclass hooks --------------------------------------------------
+    def _build(self) -> None:
+        raise NotImplementedError
+
+    def _tick(self, batch: FlowBatch, train_multiplicity: int) -> None:
+        """Route one interval's arrival train through the stations."""
+        raise NotImplementedError
+
+    def _finalize(self) -> None:
+        """Stamp subclass extras after the run (threshold, shares, ...)."""
+
+    def stop(self) -> None:
+        """Cancel periodic control processes (LBP ticks etc.)."""
+
+    def engines(self) -> List[FlowStation]:
+        """Every station, in build order (autoscaler/capacity surface)."""
+        return [
+            value
+            for value in self.__dict__.values()
+            if isinstance(value, FlowStation)
+        ]
+
+    @property
+    def capacity_gbps(self) -> float:
+        return sum(
+            station.capacity_gbps
+            for station in self.engines()
+            if not station.forward_stage
+        )
+
+    def total_backlog_packets(self) -> float:
+        return sum(station.backlog_packets for station in self.engines())
+
+    # -- shared data-path helper ----------------------------------------
+    def _advance(
+        self,
+        station: FlowStation,
+        batch: FlowBatch,
+        train_multiplicity: int,
+        extra_latency_s: float = 0.0,
+        record: bool = True,
+    ) -> StationTick:
+        tick = station.advance(batch, train_multiplicity)
+        self._dropped_packets += tick.dropped_packets
+        if record:
+            self._delivered_packets += tick.served_packets
+            self._delivered_bits += tick.served_packets * batch.packet_bits
+            if extra_latency_s > 0:
+                self._samples.extend(
+                    (latency + extra_latency_s, weight)
+                    for latency, weight in tick.samples
+                )
+            else:
+                self._samples.extend(tick.samples)
+        return tick
+
+    # -- the run loop ----------------------------------------------------
+    def run(
+        self,
+        source: Any,
+        duration_s: float,
+        train_multiplicity: int = 1,
+    ) -> RunMetrics:
+        sim = self.sim
+        start = sim.now
+        interval = self.interval_s
+        rates = source.rates(duration_s, interval)
+        drain_end = start + duration_s + DRAIN_S
+        state = {"index": 0}
+        window = {"start": start, "bits": 0.0, "max_gbps": 0.0}
+        final_backlog = {"packets": -1.0}
+
+        def tick() -> None:
+            index = state["index"]
+            state["index"] = index + 1
+            offered = index < len(rates)
+            rate = rates[index] if offered else 0.0
+            batch = FlowBatch(
+                start_s=sim.now - interval,
+                duration_s=interval,
+                rate_gbps=rate,
+                packet_bytes=self.packet_bytes,
+            )
+            if offered:
+                self._generated_packets += batch.packets
+            self._tick(batch, train_multiplicity)
+            self.power.update_all()
+            if index == len(rates) - 1:
+                final_backlog["packets"] = self.total_backlog_packets()
+            elapsed = sim.now - window["start"]
+            if elapsed >= WINDOW_S:
+                gbps = (self._delivered_bits - window["bits"]) / elapsed / 1e9
+                window["max_gbps"] = max(window["max_gbps"], gbps)
+                window["start"] = sim.now
+                window["bits"] = self._delivered_bits
+
+        stop_tick = sim.every(
+            interval, tick, start=start + interval,
+            priority=Simulator.PRIORITY_NORMAL,
+        )
+        sim.run(until=drain_end)
+        stop_tick()
+        self.stop()
+
+        metrics = self.metrics
+        metrics.offered_gbps = source.offered_gbps
+        metrics.duration_s = duration_s
+        metrics.delivered_bytes = int(round(self._delivered_bits / 8))
+        metrics.delivered_packets = int(round(self._delivered_packets))
+        metrics.dropped_packets = int(round(self._dropped_packets))
+        metrics.generated_packets = int(round(self._generated_packets))
+        metrics.average_power_w = self.power.average_watts()
+        metrics.power_breakdown = self.power.breakdown()
+        fill_reservoir(metrics.latency, self._samples)
+        metrics.extras["max_window_gbps"] = max(
+            window["max_gbps"], metrics.throughput_gbps
+        )
+        if final_backlog["packets"] >= 0:
+            metrics.extras["final_backlog_packets"] = final_backlog["packets"]
+        self._finalize()
+        return metrics
+
+
+def fill_reservoir(
+    reservoir: LatencyReservoir, samples: List[Tuple[float, float]]
+) -> None:
+    """Expand weighted (latency, weight) pairs into reservoir records at
+    evenly spaced cumulative-weight quantiles, preserving the weighted
+    distribution (and therefore p50/p99) up to reservoir resolution."""
+    if not samples:
+        return
+    ordered = sorted(samples)
+    total_weight = sum(weight for _, weight in ordered)
+    if total_weight <= 0:
+        return
+    count = min(MAX_RESERVOIR_SAMPLES, max(1, int(round(total_weight))))
+    position = 0
+    cumulative = ordered[0][1]
+    last = len(ordered) - 1
+    for k in range(count):
+        target = (k + 0.5) * total_weight / count
+        while cumulative < target and position < last:
+            position += 1
+            cumulative += ordered[position][1]
+        reservoir.record(ordered[position][0])
+
+
+# -- concrete kinds ------------------------------------------------------
+
+
+class FlowHostOnlySystem(FlowServerSystem):
+    kind = "host"
+
+    def _build(self) -> None:
+        profile = host_engine_profile(self.function)
+        self.engine = FlowStation(
+            profile,
+            name=self.engine_prefix + profile.name,
+            delivery_latency_s=host_delivery_latency_s(),
+        )
+        self.power.track(self.engine, ROLE_HOST)
+
+    def _tick(self, batch: FlowBatch, train_multiplicity: int) -> None:
+        self._advance(self.engine, batch, train_multiplicity)
+
+
+class FlowSnicOnlySystem(FlowServerSystem):
+    kind = "snic"
+
+    def __init__(self, function: str, generation: str = "bf2", **kwargs: Any) -> None:
+        self.generation = generation
+        super().__init__(function, **kwargs)
+
+    def _build(self) -> None:
+        profile = snic_engine_profile(self.function, self.generation)
+        self.engine = FlowStation(
+            profile,
+            name=self.engine_prefix + profile.name,
+            delivery_latency_s=snic_delivery_latency_s(),
+        )
+        self.power.track(self.engine, ROLE_SNIC)
+
+    def _tick(self, batch: FlowBatch, train_multiplicity: int) -> None:
+        self._advance(self.engine, batch, train_multiplicity)
+
+    def _finalize(self) -> None:
+        self.metrics.snic_share = 1.0
+
+
+class FlowPlatformSystem(FlowServerSystem):
+    kind = "platform"
+
+    def __init__(self, function: str, platform: str, **kwargs: Any) -> None:
+        if platform not in ("bf2", "bf3", "skylake", "spr"):
+            raise ValueError(f"unknown platform {platform!r}")
+        self.platform = platform
+        super().__init__(function, **kwargs)
+
+    def _build(self) -> None:
+        if self.platform in ("bf2", "bf3"):
+            profile = snic_engine_profile(self.function, self.platform)
+            delivery = snic_delivery_latency_s()
+            role = ROLE_SNIC
+        else:
+            profile = host_engine_profile(self.function, self.platform)
+            delivery = host_delivery_latency_s()
+            role = ROLE_HOST
+        self.engine = FlowStation(
+            profile,
+            name=self.engine_prefix + profile.name,
+            delivery_latency_s=delivery,
+        )
+        self.power.track(self.engine, role)
+
+    def _tick(self, batch: FlowBatch, train_multiplicity: int) -> None:
+        self._advance(self.engine, batch, train_multiplicity)
+
+
+class FlowHalSystem(FlowServerSystem):
+    """HAL in flow mode: real Algorithm 1 + director register, fluid
+    stations.  The per-interval steering split applies the threshold
+    register to the whole train: min(rate, Fwd_Th) stays on the SNIC,
+    the excess is forwarded to host cores (woken on demand)."""
+
+    kind = "hal"
+
+    def __init__(
+        self,
+        function: str,
+        lbp_config: Optional[LbpConfig] = None,
+        initial_threshold_gbps: Optional[float] = None,
+        host_sleep: bool = True,
+        **kwargs: Any,
+    ) -> None:
+        self.lbp_config = lbp_config
+        self.initial_threshold_gbps = initial_threshold_gbps
+        self.host_sleep = host_sleep
+        super().__init__(function, **kwargs)
+
+    def _build(self) -> None:
+        profile = self.profile
+        threshold = self.initial_threshold_gbps
+        if threshold is None:
+            threshold = profiled_initial_threshold(profile.slo_gbps, headroom=0.9)
+        self.snic_engine = FlowStation(
+            profile.snic,
+            name=self.engine_prefix + profile.snic.name,
+            delivery_latency_s=snic_delivery_latency_s(),
+        )
+        self.host_engine = FlowStation(
+            profile.host,
+            name=self.engine_prefix + profile.host.name,
+            delivery_latency_s=host_delivery_latency_s(),
+            sleep_enabled=self.host_sleep,
+        )
+        self.power.track(self.snic_engine, ROLE_SNIC)
+        self.power.track(self.host_engine, ROLE_HOST)
+        self.power.set_constant("hlb", self.power.config.hlb_fpga_w)
+        self.director = TrafficDirector(self.sim, self.plan, threshold)
+        self.lbp = LoadBalancingPolicy(
+            self.sim, self.snic_engine, self.director, config=self.lbp_config
+        )
+        self._merged_packets = 0.0
+
+    def stop(self) -> None:
+        self.lbp.stop()
+
+    def _tick(self, batch: FlowBatch, train_multiplicity: int) -> None:
+        threshold = self.director.fwd_threshold_gbps
+        rate = batch.rate_gbps
+        snic_fraction = 1.0 if rate <= threshold else threshold / rate
+        snic_batch = batch.split(snic_fraction)
+        host_batch = batch.split(1.0 - snic_fraction)
+        self._advance(
+            self.snic_engine, snic_batch, train_multiplicity,
+            extra_latency_s=HLB_LATENCY_S,
+        )
+        host_tick = self._advance(
+            self.host_engine, host_batch, train_multiplicity,
+            extra_latency_s=HLB_LATENCY_S,
+        )
+        # every host response re-enters through the merger on its way out
+        self._merged_packets += host_tick.served_packets
+
+    def _finalize(self) -> None:
+        metrics = self.metrics
+        total = self.snic_engine.delivered_bits + self.host_engine.delivered_bits
+        if total > 0:
+            metrics.snic_share = self.snic_engine.delivered_bits / total
+        metrics.extras["fwd_threshold_gbps"] = self.director.fwd_threshold_gbps
+        metrics.extras["host_wakeups"] = float(self.host_engine.wake_count)
+        metrics.extras["merged_packets"] = round(self._merged_packets)
+        metrics.extras["lbp_adjustments_up"] = float(self.lbp.adjustments_up)
+        metrics.extras["lbp_adjustments_down"] = float(self.lbp.adjustments_down)
+
+
+class FlowSlbSystem(FlowServerSystem):
+    """Software LB on the SNIC: static threshold, forwarding cores."""
+
+    kind = "slb"
+
+    def __init__(
+        self,
+        function: str,
+        fwd_threshold_gbps: float = 20.0,
+        slb_cores: int = 4,
+        total_snic_cores: int = 8,
+        **kwargs: Any,
+    ) -> None:
+        self.fwd_threshold_gbps = fwd_threshold_gbps
+        self.slb_cores = slb_cores
+        self.total_snic_cores = total_snic_cores
+        super().__init__(function, **kwargs)
+
+    def _build(self) -> None:
+        profile = self.profile
+        nf_cores = max(
+            1, min(self.total_snic_cores - self.slb_cores, profile.snic.cores)
+        )
+        self.snic_engine = FlowStation(
+            profile.snic,
+            name=self.engine_prefix + profile.snic.name,
+            active_cores=nf_cores,
+            delivery_latency_s=snic_delivery_latency_s(),
+        )
+        fwd_profile = _forward_profile(self.slb_cores)
+        self.forward_engine = FlowStation(
+            fwd_profile,
+            name=self.engine_prefix + fwd_profile.name,
+            forward_stage=True,
+            service_jitter=SLB_SERVICE_JITTER,
+        )
+        self.host_engine = FlowStation(
+            profile.host,
+            name=self.engine_prefix + profile.host.name,
+            delivery_latency_s=host_delivery_latency_s(),
+        )
+        self.power.track(self.snic_engine, ROLE_SNIC)
+        self.power.track(self.forward_engine, ROLE_SNIC)
+        self.power.track(self.host_engine, ROLE_HOST)
+
+    def _tick(self, batch: FlowBatch, train_multiplicity: int) -> None:
+        threshold = self.fwd_threshold_gbps
+        rate = batch.rate_gbps
+        snic_fraction = 1.0 if rate <= threshold else threshold / rate
+        self._advance(
+            self.snic_engine, batch.split(snic_fraction), train_multiplicity
+        )
+        forward_batch = batch.split(1.0 - snic_fraction)
+        forward_tick = self._advance(
+            self.forward_engine, forward_batch, train_multiplicity, record=False
+        )
+        host_rate = (
+            forward_tick.served_packets
+            * batch.packet_bits
+            / batch.duration_s
+            / 1e9
+        )
+        host_batch = FlowBatch(
+            start_s=batch.start_s,
+            duration_s=batch.duration_s,
+            rate_gbps=host_rate,
+            packet_bytes=batch.packet_bytes,
+        )
+        self._advance(
+            self.host_engine, host_batch, train_multiplicity,
+            extra_latency_s=forward_tick.mean_latency_s(),
+        )
+
+    def _finalize(self) -> None:
+        metrics = self.metrics
+        total = self.snic_engine.delivered_bits + self.host_engine.delivered_bits
+        if total > 0:
+            metrics.snic_share = self.snic_engine.delivered_bits / total
+        metrics.extras["forwarded_packets"] = round(
+            self.forward_engine.delivered_packets
+        )
+        metrics.extras["forward_drops"] = round(
+            self.forward_engine.dropped_packets
+        )
+
+
+class FlowHostSideSlbSystem(FlowServerSystem):
+    """SLB on the host CPU: every train crosses PCIe for forwarding."""
+
+    kind = "host-slb"
+
+    def __init__(
+        self, function: str, fwd_threshold_gbps: float = 20.0, **kwargs: Any
+    ) -> None:
+        self.fwd_threshold_gbps = fwd_threshold_gbps
+        super().__init__(function, **kwargs)
+
+    def _build(self) -> None:
+        profile = self.profile
+        fwd_profile = EngineProfile(
+            name="host-slb-fwd",
+            capacity_gbps=100.0,
+            cores=8,
+            scaling_exponent=1.0,
+            base_latency_us=HOST_SLB_PATH_US,
+            dynamic_power_w=40.0,
+            queue_capacity_packets=512,
+        )
+        self.host_fwd_engine = FlowStation(
+            fwd_profile,
+            name=self.engine_prefix + "host-slb-fwd",
+            delivery_latency_s=host_delivery_latency_s(),
+            forward_stage=True,
+        )
+        self.snic_engine = FlowStation(
+            profile.snic,
+            name=self.engine_prefix + profile.snic.name,
+            delivery_latency_s=snic_delivery_latency_s(),
+        )
+        self.host_engine = FlowStation(
+            profile.host,
+            name=self.engine_prefix + profile.host.name,
+            delivery_latency_s=host_delivery_latency_s(),
+        )
+        self.power.track(self.host_fwd_engine, ROLE_HOST)
+        self.power.track(self.snic_engine, ROLE_SNIC)
+        self.power.track(self.host_engine, ROLE_HOST)
+
+    def _tick(self, batch: FlowBatch, train_multiplicity: int) -> None:
+        forward_tick = self._advance(
+            self.host_fwd_engine, batch, train_multiplicity, record=False
+        )
+        forwarded_rate = (
+            forward_tick.served_packets
+            * batch.packet_bits
+            / batch.duration_s
+            / 1e9
+        )
+        carry = forward_tick.mean_latency_s()
+        threshold = self.fwd_threshold_gbps
+        snic_fraction = (
+            1.0 if forwarded_rate <= threshold else threshold / forwarded_rate
+        )
+        routed = FlowBatch(
+            start_s=batch.start_s,
+            duration_s=batch.duration_s,
+            rate_gbps=forwarded_rate,
+            packet_bytes=batch.packet_bytes,
+        )
+        # forwarded-to-SNIC trains pay a second PCIe crossing
+        self._advance(
+            self.snic_engine, routed.split(snic_fraction), train_multiplicity,
+            extra_latency_s=carry + host_delivery_latency_s(),
+        )
+        self._advance(
+            self.host_engine, routed.split(1.0 - snic_fraction),
+            train_multiplicity, extra_latency_s=carry,
+        )
+
+    def _finalize(self) -> None:
+        metrics = self.metrics
+        total = self.snic_engine.delivered_bits + self.host_engine.delivered_bits
+        if total > 0:
+            metrics.snic_share = self.snic_engine.delivered_bits / total
+
+
+# -- construction + run helpers ------------------------------------------
+
+FLOW_SYSTEM_KINDS = ("host", "snic", "hal", "slb", "host-slb")
+
+
+def build_flow_system(
+    kind: str,
+    function: str,
+    config: "RunConfig",
+    **kwargs: Any,
+) -> FlowServerSystem:
+    """Flow-mode counterpart of :func:`repro.exp.server.build_system`."""
+    common: Dict[str, Any] = dict(
+        seed=config.seed,
+        functional_rate=config.functional_rate,
+        interval_s=config.flow_interval_s,
+        packet_bytes=config.packet_bytes,
+        **kwargs,
+    )
+    if kind == "host":
+        return FlowHostOnlySystem(function, **common)
+    if kind == "snic":
+        return FlowSnicOnlySystem(function, **common)
+    if kind == "hal":
+        return FlowHalSystem(function, **common)
+    if kind == "slb":
+        return FlowSlbSystem(function, **common)
+    if kind == "host-slb":
+        return FlowHostSideSlbSystem(function, **common)
+    if kind in ("bf2", "bf3", "skylake", "spr"):
+        return FlowPlatformSystem(function, platform=kind, **common)
+    raise ValueError(
+        f"unknown system kind {kind!r}; known: {FLOW_SYSTEM_KINDS}"
+    )
+
+
+def run_at_rate_flow(
+    kind: str,
+    function: str,
+    rate_gbps: float,
+    config: "RunConfig",
+    **kwargs: Any,
+) -> RunMetrics:
+    """Flow-mode constant-rate run (dispatched from ``run_at_rate``)."""
+    system = build_flow_system(kind, function, config, **kwargs)
+    source = ConstantRateSource(rate_gbps)
+    multiplicity = config.spec(rate_gbps).batch
+    return system.run(source, config.duration_s, train_multiplicity=multiplicity)
+
+
+def run_trace_flow(
+    kind: str,
+    function: str,
+    trace: str,
+    config: "RunConfig",
+    **kwargs: Any,
+) -> RunMetrics:
+    """Flow-mode trace run: same RNG streams → same rate schedule as the
+    packet-mode generator for this spec."""
+    from repro.net.traffic import META_TRACES
+
+    average = META_TRACES[trace].average_gbps
+    system = build_flow_system(kind, function, config, **kwargs)
+    spec = config.spec(average * 3)
+    source = TraceRateSource(
+        trace,
+        system.rng,
+        system.plan,
+        spec,
+        trace_interval_s=config.trace_interval_s,
+    )
+    multiplicity = spec.batch
+    return system.run(source, config.duration_s, train_multiplicity=multiplicity)

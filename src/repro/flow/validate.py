@@ -1,0 +1,166 @@
+"""Two-mode agreement checks: flow mode vs packet-mode ground truth.
+
+Packet mode is the identity-hashed reference; flow mode is an
+approximation whose error must stay inside *declared* tolerances.  A
+:class:`CellComparison` evaluates one grid cell (one spec run in both
+modes) metric by metric; :class:`ValidationReport` aggregates cells and
+renders the per-metric tolerance report the CI gate and
+``repro validate-flow`` print.
+
+Tolerances are documented in docs/ARCHITECTURE.md ("Simulation modes")
+and asserted here — loosening them is a reviewed change, not a knob.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.sim.metrics import RunMetrics
+
+#: default relative tolerances per compared metric (fraction of the
+#: packet-mode value).  Latency quantiles get more headroom than
+#: throughput: the fluid limit suppresses per-packet jitter that the
+#: Kingman correction only partially restores.
+DEFAULT_TOLERANCES: Dict[str, float] = {
+    "throughput_gbps": 0.10,
+    "p50_latency_us": 0.35,
+    "p99_latency_us": 0.40,
+    "energy_per_request_uj": 0.15,
+}
+
+#: absolute floors under which a metric's relative error is not
+#: meaningful (e.g. sub-µs latencies, near-zero throughput)
+ABSOLUTE_FLOORS: Dict[str, float] = {
+    "throughput_gbps": 0.05,
+    "p50_latency_us": 2.0,
+    "p99_latency_us": 5.0,
+    "energy_per_request_uj": 0.5,
+}
+
+
+def energy_per_request_uj(metrics: RunMetrics) -> float:
+    """Average energy per delivered request in µJ — the paper's
+    efficiency metric reshaped per-request so both modes are comparable
+    independent of drop behaviour."""
+    if metrics.delivered_packets <= 0:
+        return 0.0
+    joules = metrics.average_power_w * metrics.duration_s
+    return joules / metrics.delivered_packets * 1e6
+
+
+def observables(metrics: RunMetrics) -> Dict[str, float]:
+    """The cross-validated observables of one run."""
+    return {
+        "throughput_gbps": metrics.throughput_gbps,
+        "p50_latency_us": metrics.latency.p50() * 1e6,
+        "p99_latency_us": metrics.p99_latency_us,
+        "energy_per_request_uj": energy_per_request_uj(metrics),
+    }
+
+
+@dataclass
+class MetricCheck:
+    """One metric's agreement verdict within one cell."""
+
+    metric: str
+    packet_value: float
+    flow_value: float
+    tolerance: float
+
+    @property
+    def absolute_error(self) -> float:
+        return abs(self.flow_value - self.packet_value)
+
+    @property
+    def relative_error(self) -> float:
+        reference = abs(self.packet_value)
+        if reference <= 0:
+            return 0.0 if self.absolute_error == 0 else float("inf")
+        return self.absolute_error / reference
+
+    @property
+    def passed(self) -> bool:
+        floor = ABSOLUTE_FLOORS.get(self.metric, 0.0)
+        if self.absolute_error <= floor:
+            return True
+        return self.relative_error <= self.tolerance
+
+    def line(self) -> str:
+        status = "ok  " if self.passed else "FAIL"
+        return (
+            f"  {status} {self.metric:<24} packet={self.packet_value:>12.4f} "
+            f"flow={self.flow_value:>12.4f} "
+            f"err={self.relative_error * 100:>6.1f}% "
+            f"tol={self.tolerance * 100:.0f}%"
+        )
+
+
+@dataclass
+class CellComparison:
+    """Flow-vs-packet agreement for one grid cell."""
+
+    cell: str
+    checks: List[MetricCheck] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(check.passed for check in self.checks)
+
+    def lines(self) -> List[str]:
+        header = f"{'PASS' if self.passed else 'FAIL'} {self.cell}"
+        return [header] + [check.line() for check in self.checks]
+
+
+def compare_cell(
+    cell: str,
+    packet_metrics: RunMetrics,
+    flow_metrics: RunMetrics,
+    tolerances: Dict[str, float] = DEFAULT_TOLERANCES,
+) -> CellComparison:
+    """Compare one cell's two-mode runs metric by metric."""
+    packet_obs = observables(packet_metrics)
+    flow_obs = observables(flow_metrics)
+    comparison = CellComparison(cell=cell)
+    for metric, tolerance in tolerances.items():
+        comparison.checks.append(
+            MetricCheck(
+                metric=metric,
+                packet_value=packet_obs[metric],
+                flow_value=flow_obs[metric],
+                tolerance=tolerance,
+            )
+        )
+    return comparison
+
+
+@dataclass
+class ValidationReport:
+    """All cells of one validation sweep."""
+
+    grid: str
+    cells: List[CellComparison] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(cell.passed for cell in self.cells)
+
+    @property
+    def failed_cells(self) -> List[CellComparison]:
+        return [cell for cell in self.cells if not cell.passed]
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def to_text(self) -> str:
+        lines = [
+            f"flow-mode validation — grid={self.grid} "
+            f"({len(self.cells)} cells, "
+            f"{'PASS' if self.passed else 'FAIL'})"
+        ]
+        for cell in self.cells:
+            lines.extend(cell.lines())
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)

@@ -145,6 +145,7 @@ class TestBench:
             "datapath_packets_per_s",
             "rack_dispatch_packets_per_s",
             "fig5_cell_wall_s",
+            "flow_events_per_s",
         }
         assert all(v > 0 for v in results["metrics"].values())
         assert len(results["identity"]["fig5_payload_sha256"]) == 64

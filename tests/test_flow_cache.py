@@ -1,0 +1,65 @@
+"""Cache isolation between simulation modes.
+
+``sim_mode`` and ``flow_interval_s`` live on :class:`RunConfig`, which is
+part of every :meth:`JobSpec.content_hash` — so a flow-mode run can never
+be served a packet-mode result (or vice versa) from the result cache.
+"""
+
+import json
+from dataclasses import replace
+
+from repro.exp.server import RunConfig
+from repro.runner import JobSpec, ResultCache, Runner, executor
+
+PACKET = RunConfig(duration_s=0.02, sim_mode="packet")
+FLOW = replace(PACKET, sim_mode="flow")
+
+
+def spec_for(config):
+    return JobSpec.at_rate("snic", "nat", 20.0, config)
+
+
+class TestModeCacheKeys:
+    def test_sim_mode_changes_content_hash(self):
+        assert spec_for(PACKET).content_hash() != spec_for(FLOW).content_hash()
+
+    def test_flow_interval_changes_content_hash(self):
+        coarse = replace(FLOW, flow_interval_s=200e-6)
+        assert spec_for(FLOW).content_hash() != spec_for(coarse).content_hash()
+
+    def test_mode_is_in_canonical_form(self):
+        canonical = spec_for(FLOW).canonical()
+        assert canonical["config"]["sim_mode"] == "flow"
+        assert canonical["config"]["flow_interval_s"] == 100e-6
+
+
+class TestModeCacheIsolation:
+    def test_modes_never_share_cache_entries(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        runner = Runner(jobs=1, cache=cache)
+
+        (packet_metrics,) = runner.map_metrics([spec_for(PACKET)])
+        executed = executor.EXECUTION_COUNT
+
+        # a flow run of the same cell is a cache miss, not a packet hit
+        (flow_metrics,) = runner.map_metrics([spec_for(FLOW)])
+        assert executor.EXECUTION_COUNT == executed + 1
+
+        # and the flow entry is cached under its own key
+        (flow_again,) = runner.map_metrics([spec_for(FLOW)])
+        assert executor.EXECUTION_COUNT == executed + 1
+        assert json.dumps(flow_again.to_dict(), sort_keys=True) == json.dumps(
+            flow_metrics.to_dict(), sort_keys=True
+        )
+
+        # both entries coexist on disk and round-trip independently
+        assert cache.get(spec_for(PACKET)) is not None
+        assert cache.get(spec_for(FLOW)) is not None
+        assert packet_metrics.to_dict() != flow_metrics.to_dict()
+
+    def test_executor_routes_by_mode(self):
+        packet_payload = executor.execute_job(spec_for(PACKET))
+        flow_payload = executor.execute_job(spec_for(FLOW))
+        assert packet_payload != flow_payload
+        # flow mode still produces the full metrics payload shape
+        assert set(packet_payload) == set(flow_payload)

@@ -1,0 +1,161 @@
+"""Tests for the fluid queueing stage (repro.flow.batch / station)."""
+
+import pytest
+
+from repro.flow.batch import FlowBatch, batch_train
+from repro.flow.station import FlowStation, LATENCY_QUANTILES
+from repro.hw.profiles import bf3_profile
+
+INTERVAL = 100e-6
+
+
+def make_station(**kwargs):
+    return FlowStation(bf3_profile("nat"), "snic", **kwargs)
+
+
+def make_batch(rate_gbps, start_s=0.0, duration_s=INTERVAL, packet_bytes=1500):
+    return FlowBatch(
+        start_s=start_s,
+        duration_s=duration_s,
+        rate_gbps=rate_gbps,
+        packet_bytes=packet_bytes,
+    )
+
+
+class TestFlowBatch:
+    def test_packet_accounting(self):
+        batch = make_batch(12.0)
+        assert batch.bits == pytest.approx(12.0 * 1e9 * INTERVAL)
+        assert batch.packets == pytest.approx(batch.bits / (1500 * 8))
+        assert batch.pps == pytest.approx(batch.packets / INTERVAL)
+
+    def test_split_scales_rate_only(self):
+        batch = make_batch(40.0)
+        half = batch.split(0.5)
+        assert half.rate_gbps == pytest.approx(20.0)
+        assert half.duration_s == batch.duration_s
+        assert half.packet_bytes == batch.packet_bytes
+        with pytest.raises(ValueError):
+            batch.split(1.5)
+
+    def test_rejects_bad_fields(self):
+        with pytest.raises(ValueError):
+            make_batch(-1.0)
+        with pytest.raises(ValueError):
+            make_batch(1.0, duration_s=0.0)
+        with pytest.raises(ValueError):
+            make_batch(1.0, packet_bytes=0)
+
+    def test_batch_train_expands_schedule(self):
+        train = batch_train([10.0, 0.0, 20.0], INTERVAL, 1500, start_s=1.0)
+        assert [b.rate_gbps for b in train] == [10.0, 0.0, 20.0]
+        assert train[2].start_s == pytest.approx(1.0 + 2 * INTERVAL)
+        with pytest.raises(ValueError):
+            batch_train([1.0], 0.0, 1500)
+
+
+class TestFlowStation:
+    def test_conservation_under_load(self):
+        station = make_station()
+        for i in range(200):
+            station.advance(make_batch(30.0, start_s=i * INTERVAL))
+        assert station.received_packets == pytest.approx(
+            station.delivered_packets
+            + station.dropped_packets
+            + station.backlog_packets
+        )
+        assert station.dropped_packets == 0.0
+
+    def test_overload_drops_and_caps_backlog(self):
+        station = make_station()
+        ring_cap = station._ring_capacity_packets
+        for i in range(100):
+            station.advance(make_batch(200.0, start_s=i * INTERVAL))
+        assert station.dropped_packets > 0
+        assert station.backlog_packets <= ring_cap
+        # conservation still holds with drops
+        assert station.received_packets == pytest.approx(
+            station.delivered_packets
+            + station.dropped_packets
+            + station.backlog_packets
+        )
+
+    def test_latency_grows_with_utilisation(self):
+        low, high = make_station(), make_station()
+        low_samples, high_samples = [], []
+        for i in range(100):
+            low_samples.extend(
+                low.advance(make_batch(5.0, start_s=i * INTERVAL)).samples
+            )
+            high_samples.extend(
+                high.advance(make_batch(39.0, start_s=i * INTERVAL)).samples
+            )
+
+        def weighted_mean(samples):
+            total = sum(w for _, w in samples)
+            return sum(lat * w for lat, w in samples) / total
+
+        assert weighted_mean(high_samples) > weighted_mean(low_samples)
+
+    def test_tick_sample_shape(self):
+        station = make_station()
+        tick = station.advance(make_batch(10.0))
+        assert len(tick.samples) == len(LATENCY_QUANTILES)
+        assert tick.mean_latency_s() > 0
+        weights = {w for _, w in tick.samples}
+        assert len(weights) == 1  # equal-weight quantile samples
+
+    def test_idle_tick_produces_no_samples(self):
+        station = make_station()
+        tick = station.advance(make_batch(0.0))
+        assert tick.samples == []
+        assert tick.served_packets == 0.0
+
+    def test_deterministic_replay(self):
+        rates = [0.0, 10.0, 80.0, 0.0, 40.0] * 40
+        a, b = make_station(), make_station()
+        for i, rate in enumerate(rates):
+            a.advance(make_batch(rate, start_s=i * INTERVAL))
+        for i, rate in enumerate(rates):
+            b.advance(make_batch(rate, start_s=i * INTERVAL))
+        assert a.delivered_packets == b.delivered_packets
+        assert a.delivered_bits == b.delivered_bits
+        assert a.dropped_packets == b.dropped_packets
+        assert a.backlog_packets == b.backlog_packets
+
+    def test_sleep_and_wake_cycle(self):
+        events = []
+        station = make_station(
+            sleep_enabled=True,
+            on_power_change=lambda st: events.append(st.sleeping),
+        )
+        station.advance(make_batch(10.0))
+        idle_ticks = int(station.sleep_after_idle_s / INTERVAL) + 2
+        for i in range(idle_ticks):
+            station.advance(make_batch(0.0, start_s=(i + 1) * INTERVAL))
+        assert station.sleeping
+        assert events[-1] is True
+        tick = station.advance(make_batch(10.0, start_s=1.0))
+        assert not station.sleeping
+        assert station.wake_count == 1
+        assert events[-1] is False
+        # the wake latency shows up as extra wait on the first train
+        awake = make_station()
+        awake_tick = awake.advance(make_batch(10.0))
+        assert tick.mean_latency_s() > awake_tick.mean_latency_s()
+
+    def test_engine_shim_surface(self):
+        station = make_station()
+        for i in range(50):
+            station.advance(make_batch(120.0, start_s=i * INTERVAL))
+        assert station.rx_queue_occupancy() == max(
+            ring.occupancy_packets for ring in station._rings
+        )
+        assert station.total_queued_packets() == int(station.backlog_packets)
+        assert 1 <= station.busy_cores <= station.active_cores
+        assert 0.0 < station.utilization <= 1.0
+
+    def test_rejects_bad_core_count(self):
+        profile = bf3_profile("nat")
+        with pytest.raises(ValueError):
+            FlowStation(profile, "snic", active_cores=profile.cores + 1)

@@ -1,0 +1,120 @@
+"""Tests for the flow-mode systems layer and its packet-mode agreement."""
+
+import json
+
+import pytest
+
+from repro.cluster.system import run_rack
+from repro.exp.server import RunConfig, run_at_rate, run_trace
+from repro.flow.source import ConstantRateSource, TraceRateSource
+from repro.flow.system import build_flow_system
+from repro.flow.validate import compare_cell
+
+FLOW = RunConfig(duration_s=0.02, sim_mode="flow")
+PACKET = RunConfig(duration_s=0.02, sim_mode="packet")
+
+ALL_KINDS = ("host", "snic", "hal", "slb", "host-slb")
+
+
+class TestFlowSystems:
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_every_kind_runs_sane(self, kind):
+        kwargs = {"fwd_threshold_gbps": 20.0} if "slb" in kind else {}
+        metrics = run_at_rate(kind, "nat", 20.0, FLOW, **kwargs)
+        assert metrics.delivered_packets > 0
+        assert 0 < metrics.throughput_gbps <= 20.0 + 1e-6
+        assert metrics.average_power_w > 0
+        assert metrics.latency.p50() > 0
+        assert metrics.p99_latency_us >= metrics.latency.p50() * 1e6
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            build_flow_system("warp", "nat", FLOW)
+
+    def test_snic_share_split(self):
+        hal = run_at_rate("hal", "nat", 80.0, FLOW)
+        snic = run_at_rate("snic", "nat", 20.0, FLOW)
+        host = run_at_rate("host", "nat", 20.0, FLOW)
+        assert snic.snic_share == pytest.approx(1.0)
+        assert host.snic_share == pytest.approx(0.0)
+        # HAL above SNIC capacity must steer some load to the host
+        assert 0.0 < hal.snic_share < 1.0
+
+    def test_constant_source_schedule(self):
+        source = ConstantRateSource(40.0)
+        rates = source.rates(1e-3, 100e-6)
+        assert rates == [40.0] * 10
+        with pytest.raises(ValueError):
+            ConstantRateSource(-1.0)
+
+    def test_trace_source_matches_packet_schedule(self):
+        system = build_flow_system("hal", "nat", FLOW)
+        spec = FLOW.spec(20.0)
+        source = TraceRateSource(
+            "web", system.rng, system.plan, spec, trace_interval_s=0.02
+        )
+        rates = source.rates(0.04, 100e-6)
+        assert len(rates) == 400
+        # piecewise-constant hold across each 0.02 s trace interval
+        assert len(set(rates[:200])) == 1
+        assert len(set(rates[200:])) == 1
+        assert source.offered_gbps > 0
+        with pytest.raises(ValueError):
+            TraceRateSource(
+                "nope", system.rng, system.plan, spec, trace_interval_s=0.02
+            )
+
+    def test_trace_run_delivers(self):
+        metrics = run_trace("hal", "nat", "web", FLOW)
+        assert metrics.delivered_packets > 0
+        assert metrics.offered_gbps > 0
+
+    def test_flow_determinism_double_run(self):
+        first = run_at_rate("hal", "nat", 60.0, FLOW)
+        second = run_at_rate("hal", "nat", 60.0, FLOW)
+        assert json.dumps(first.to_dict(), sort_keys=True) == json.dumps(
+            second.to_dict(), sort_keys=True
+        )
+
+
+class TestFlowRack:
+    def test_rack_dispatches_to_flow(self):
+        metrics = run_rack(
+            "snic", "nat", "cache", FLOW, servers=2, policy="packing"
+        )
+        assert metrics.delivered_packets > 0
+        assert metrics.extras["servers"] == 2.0
+        assert metrics.average_power_w > 0
+
+    def test_rack_determinism_double_run(self):
+        runs = [
+            run_rack("hal", "nat", "web", FLOW, servers=2, policy="packing")
+            for _ in range(2)
+        ]
+        assert json.dumps(runs[0].to_dict(), sort_keys=True) == json.dumps(
+            runs[1].to_dict(), sort_keys=True
+        )
+
+
+class TestModeAgreement:
+    def test_snic_reference_cell_agrees(self):
+        packet = run_at_rate("snic", "nat", 80.0, PACKET)
+        flow = run_at_rate("snic", "nat", 80.0, FLOW)
+        comparison = compare_cell("snic nat@80", packet, flow)
+        assert comparison.passed, "\n".join(comparison.lines())
+
+    def test_modes_share_offered_load(self):
+        packet = run_trace("hal", "nat", "web", PACKET)
+        flow = run_trace("hal", "nat", "web", FLOW)
+        # same RNG streams → byte-identical offered-rate schedule
+        assert flow.offered_gbps == pytest.approx(packet.offered_gbps)
+
+
+class TestRunConfig:
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            RunConfig(sim_mode="quantum")
+
+    def test_rejects_bad_flow_interval(self):
+        with pytest.raises(ValueError):
+            RunConfig(sim_mode="flow", flow_interval_s=0.0)
