@@ -44,6 +44,12 @@ def check(current: dict, baseline: dict, tolerance: float) -> int:
             print(f"FAIL {name}: missing from current results")
             failures += 1
             continue
+        if value == base_value:
+            print(
+                f"WARNING: {name} matches the baseline bit-exactly "
+                f"({value!r}) — continuous timings never do that; the "
+                "committed value was likely hand-edited, re-measure it"
+            )
         direction = METRIC_DIRECTIONS.get(name, "higher")
         if direction == "higher":
             bound = base_value * (1.0 - tolerance)
@@ -57,7 +63,7 @@ def check(current: dict, baseline: dict, tolerance: float) -> int:
         if not ok:
             failures += 1
 
-    for label in ("fig5", "rack"):
+    for label in ("fig5", "rack", "fabric"):
         base_sha = baseline.get("identity", {}).get(f"{label}_payload_sha256")
         cur_sha = current.get("identity", {}).get(f"{label}_payload_sha256")
         if base_sha and cur_sha:

@@ -40,6 +40,7 @@ METRIC_DIRECTIONS: Dict[str, str] = {
     "rack_dispatch_packets_per_s": "higher",
     "fig5_cell_wall_s": "lower",
     "flow_events_per_s": "higher",
+    "fabric_rack_intervals_per_s": "higher",
 }
 
 
@@ -224,6 +225,69 @@ def bench_flow(repeats: int = 2) -> Dict[str, Any]:
     }
 
 
+def fabric_smoke_config():
+    """The fixed fabric cell benchmarked for identity (2 HAL racks of 2
+    servers, packing dispatch, 24 h 'mix' diurnal curve over 0.2 s,
+    seed 2024, in-process sharding)."""
+    from repro.fabric.system import FabricConfig
+
+    return FabricConfig(
+        racks=2,
+        servers=2,
+        duration_s=0.2,
+        epoch_s=0.02,
+        flow_interval_s=1e-3,
+        seed=2024,
+    )
+
+
+def bench_fabric(repeats: int = 2) -> Dict[str, Any]:
+    """Fabric shard kernel throughput + fabric-cell result identity.
+
+    ``fabric_rack_intervals_per_s`` is the rate at which one rack shard
+    consumes flow intervals through the epoch-barrier protocol
+    (push/advance/snapshot per epoch) — the per-worker unit cost that
+    bounds how fast a sharded fabric can advance.
+    """
+    import json as _json
+
+    # import order: exp must load before runner (see bench_fig5)
+    import repro.exp  # noqa: F401
+    from repro.fabric.shard import RackShardSpec, build_rack_shard
+    from repro.fabric.system import run_fabric
+
+    epochs = 50
+    best = 0.0
+    for _ in range(repeats):
+        spec = RackShardSpec(
+            index=0,
+            member_kind="hal",
+            function="nat",
+            servers=2,
+            policy="packing",
+            seed=2024,
+            flow_interval_s=1e-3,
+            epoch_s=0.02,
+            epochs=epochs,
+            packet_bytes=1500,
+            train_multiplicity=8,
+        )
+        shard = build_rack_shard(spec)
+        t0 = perf_counter()
+        for _epoch in range(epochs):
+            shard.step(40.0)
+        wall = perf_counter() - t0
+        shard.finish(40.0)
+        best = max(best, epochs * spec.intervals_per_epoch / wall)
+
+    payload = run_fabric(fabric_smoke_config(), shard_jobs=1).to_dict()
+    blob = _json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return {
+        "fabric_rack_intervals_per_s": best,
+        "payload_sha256": hashlib.sha256(blob.encode()).hexdigest(),
+    }
+
+
 def run_bench(scale: float = 1.0) -> Dict[str, Any]:
     """Run all benchmarks; ``scale`` shrinks/grows the workload sizes
     (CI smoke runs use ``scale < 1`` — regression gating should compare
@@ -235,6 +299,7 @@ def run_bench(scale: float = 1.0) -> Dict[str, Any]:
     fig5 = bench_fig5()
     rack = bench_rack()
     flow = bench_flow()
+    fabric = bench_fabric()
     return {
         "schema": BENCH_SCHEMA,
         "scale": scale,
@@ -245,6 +310,9 @@ def run_bench(scale: float = 1.0) -> Dict[str, Any]:
             "rack_dispatch_packets_per_s": bench_rack_dispatch(datapath_cycles),
             "fig5_cell_wall_s": fig5["wall_s"],
             "flow_events_per_s": flow["flow_events_per_s"],
+            "fabric_rack_intervals_per_s": fabric[
+                "fabric_rack_intervals_per_s"
+            ],
         },
         "flow": {
             "event_headroom_x": flow["event_headroom_x"],
@@ -255,6 +323,7 @@ def run_bench(scale: float = 1.0) -> Dict[str, Any]:
             "fig5_spec_hash": fig5["spec_hash"],
             "rack_payload_sha256": rack["payload_sha256"],
             "rack_spec_hash": rack["spec_hash"],
+            "fabric_payload_sha256": fabric["payload_sha256"],
         },
     }
 
@@ -270,11 +339,17 @@ def format_results(results: Dict[str, Any]) -> str:
         f"  fig5 cell  {metrics['fig5_cell_wall_s']:12.3f} s wall",
         f"  flow tick  {metrics['flow_events_per_s']:12,.0f} events/s "
         f"({results['flow']['event_headroom_x']:.0f}x event headroom)",
+        f"  fabric     {metrics['fabric_rack_intervals_per_s']:12,.0f} "
+        "rack-intervals/s",
         f"  fig5 payload sha256 {identity['fig5_payload_sha256'][:16]}…",
         f"  fig5 cache key      {identity['fig5_spec_hash'][:16]}…",
         f"  rack payload sha256 {identity['rack_payload_sha256'][:16]}…",
         f"  rack cache key      {identity['rack_spec_hash'][:16]}…",
     ]
+    if "fabric_payload_sha256" in identity:
+        lines.append(
+            f"  fabric payload sha256 {identity['fabric_payload_sha256'][:16]}…"
+        )
     return "\n".join(lines)
 
 
@@ -284,10 +359,42 @@ def write_results(results: Dict[str, Any], path: str) -> None:
         fh.write("\n")
 
 
+#: the committed ratchet file the exact-floor warning compares against
+DEFAULT_BASELINE_PATH = "benchmarks/baseline.json"
+
+
+def exact_floor_warnings(
+    metrics: Dict[str, float], baseline_path: str = DEFAULT_BASELINE_PATH
+) -> list:
+    """Warn when a freshly measured metric *exactly* equals its committed
+    ratchet value.  Timings are continuous, so a bit-exact match is
+    overwhelmingly a hand-edited (or copy-pasted) baseline, not a
+    measurement — the ``flow_events_per_s == 16000.0`` bug class."""
+    import os
+
+    if not os.path.exists(baseline_path):
+        return []
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    warnings = []
+    for name, base_value in baseline.get("metrics", {}).items():
+        value = metrics.get(name)
+        if value is not None and value == base_value:
+            warnings.append(
+                f"WARNING: {name} = {value!r} matches the committed ratchet "
+                "value bit-exactly — measured timings are continuous, so "
+                "this baseline was almost certainly never measured; "
+                "re-record it from a real run"
+            )
+    return warnings
+
+
 def run_and_report(bench_json: Optional[str] = None, scale: float = 1.0) -> Dict[str, Any]:
     """CLI helper: run, print the summary, optionally write the JSON."""
     results = run_bench(scale=scale)
     print(format_results(results))
+    for warning in exact_floor_warnings(results["metrics"]):
+        print(warning)
     if bench_json:
         from repro.obs.log import get_logger
 

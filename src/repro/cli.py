@@ -162,6 +162,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="cluster mode: Meta trace driving the rack "
         "(web, cache, hadoop; default web)",
     )
+    parser.add_argument(
+        "--racks", type=int, default=None, metavar="N",
+        help="fabric mode: rack count (any of --racks/--shard-jobs/--hours/"
+        "--dispatch/--power-cap/--scaling switches 'fabric' from the "
+        "registered grid to one focused sharded run; default 8)",
+    )
+    parser.add_argument(
+        "--shard-jobs", type=int, default=None, metavar="K",
+        help="fabric mode: worker processes sharding ONE fabric simulation, "
+        "one rack per worker (default 1 = in-process; results are "
+        "byte-identical at any K). Distinct from --jobs, which fans out "
+        "INDEPENDENT runs — combining them multiplies process counts "
+        "(--jobs N x --shard-jobs K workers), so the CLI refuses "
+        "combinations that exceed the machine's cores",
+    )
+    parser.add_argument(
+        "--hours", type=float, default=None, metavar="H",
+        help="fabric mode: model-clock hours of diurnal traffic stitched "
+        "onto the simulated --duration (default 24)",
+    )
+    parser.add_argument(
+        "--dispatch", type=str, default=None,
+        help="fabric mode: cross-rack dispatch policy "
+        "(spread, packing, headroom; default packing)",
+    )
+    parser.add_argument(
+        "--power-cap", type=float, default=None, metavar="W",
+        help="fabric mode: fleet power cap in watts (default 0 = uncapped)",
+    )
+    parser.add_argument(
+        "--scaling", action="store_true",
+        help="fabric mode: run the focused fabric at shard-jobs "
+        "1, 2, ... K, assert byte-identical payloads across worker "
+        "counts, and report the wall-clock speedup",
+    )
     parser.add_argument("--out", type=str, default=None, help="also write to file")
     parser.add_argument(
         "--plot", type=str, default=None, metavar="YCOL",
@@ -221,6 +256,112 @@ def _export_session(session, args: argparse.Namespace) -> None:
         )
     for line in session.flight.summary_lines():
         log.info("flight", run=line)
+
+
+def check_process_budget(
+    jobs: int, shard_jobs: int, cores: Optional[int] = None
+) -> Optional[str]:
+    """Refuse silent oversubscription: ``--jobs N`` fans out N independent
+    runs and ``--shard-jobs K`` puts K shard workers inside *each* run,
+    so both together ask for N*K processes.  Returns an error message
+    when both are > 1 and the product exceeds the core count."""
+    if cores is None:
+        cores = os.cpu_count() or 1
+    if jobs <= 0:
+        jobs = cores
+    if jobs > 1 and shard_jobs > 1 and jobs * shard_jobs > cores:
+        return (
+            f"--jobs {jobs} x --shard-jobs {shard_jobs} = "
+            f"{jobs * shard_jobs} worker processes, but this machine has "
+            f"{cores} cores; lower one of them (--jobs fans out "
+            "independent runs, --shard-jobs shards one fabric run)"
+        )
+    return None
+
+
+def _fabric_focused(args: argparse.Namespace) -> bool:
+    """Any fabric-shape flag switches 'fabric' from the registered grid
+    to one focused (optionally sharded) run."""
+    return args.scaling or any(
+        value is not None
+        for value in (
+            args.racks,
+            args.shard_jobs,
+            args.hours,
+            args.dispatch,
+            args.power_cap,
+        )
+    )
+
+
+def _fabric_kwargs(args: argparse.Namespace) -> dict:
+    return {
+        "racks": args.racks if args.racks is not None else 8,
+        "servers": args.servers if args.servers is not None else 2,
+        "dispatch": args.dispatch or "packing",
+        "model_hours": args.hours if args.hours is not None else 24.0,
+        "policy": args.policy or "packing",
+        "power_cap_w": args.power_cap if args.power_cap is not None else 0.0,
+    }
+
+
+def run_fabric_focused(args: argparse.Namespace, config: RunConfig) -> int:
+    """``repro fabric --racks N --shard-jobs K --hours H [--scaling]``."""
+    import hashlib
+    import json
+
+    from repro.exp.fabric import run_focused
+
+    kwargs = _fabric_kwargs(args)
+    shard_jobs = args.shard_jobs if args.shard_jobs is not None else 1
+    if args.scaling:
+        counts = [1]
+        while counts[-1] * 2 <= max(shard_jobs, 2):
+            counts.append(counts[-1] * 2)
+        if shard_jobs not in counts and shard_jobs > 1:
+            counts.append(shard_jobs)
+    else:
+        counts = [shard_jobs]
+    digests = []
+    lines = []
+    result = None
+    base_step_wall_s = None
+    for count in counts:
+        wall_out: dict = {}
+        started = time.time()
+        result = run_focused(
+            config, shard_jobs=count, wall_out=wall_out, **kwargs
+        )
+        elapsed_s = time.time() - started
+        step_wall_s = sum(wall_out.values())
+        if base_step_wall_s is None:
+            base_step_wall_s = step_wall_s
+        blob = json.dumps(
+            result.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        digest = hashlib.sha256(blob.encode()).hexdigest()
+        digests.append(digest)
+        speedup = base_step_wall_s / step_wall_s if step_wall_s > 0 else 0.0
+        lines.append(
+            f"  K={count}: {elapsed_s:6.1f}s wall, {step_wall_s:6.1f}s in "
+            f"epoch barriers ({speedup:4.2f}x vs K=1, efficiency "
+            f"{speedup / count:.0%}), payload {digest[:16]}…"
+        )
+    text = result.to_text()
+    if args.scaling:
+        text += "\n\nscaling (wall-clock lives outside the payload):\n"
+        text += "\n".join(lines)
+        identical = len(set(digests)) == 1
+        text += (
+            "\n  payloads byte-identical across worker counts: "
+            f"{'yes' if identical else 'NO — DETERMINISM BUG'}"
+        )
+    print(text)
+    if args.out:
+        write_out(args.out, text + "\n")
+    if args.scaling and len(set(digests)) != 1:
+        return 1
+    return 0
 
 
 def _cluster_focused(args: argparse.Namespace) -> bool:
@@ -292,6 +433,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         obs_log.set_level("debug")
     elif args.quiet:
         obs_log.set_level("warning")
+    budget_error = check_process_budget(
+        args.jobs, args.shard_jobs if args.shard_jobs is not None else 1
+    )
+    if budget_error:
+        print(budget_error, file=sys.stderr)
+        return 2
     if args.experiment == "list":
         for name in available_experiments():
             print(name)
@@ -342,6 +489,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{name:20s} {wall:7.1f}s -> {run.run_dir}/{name}.txt{status}")
         print(f"manifest: {run.run_dir}/MANIFEST.txt")
         return 1 if run.failures else 0
+
+    if args.experiment == "fabric" and _fabric_focused(args):
+        return run_fabric_focused(args, config)
 
     if args.experiment == "cluster" and _cluster_focused(args):
         from repro.exp.rack import run_focused

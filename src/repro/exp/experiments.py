@@ -14,6 +14,7 @@ from typing import Callable, Dict, List
 from repro.exp import (
     costs,
     discussion,
+    fabric,
     fig2,
     fig3,
     fig4,
@@ -47,6 +48,7 @@ EXPERIMENTS: Dict[str, Runner] = {
     "costs": costs.run,
     "smallpkt": smallpkt.run,
     "cluster": rack.run,
+    "fabric": fabric.run,
     "dvfs": discussion.run_dvfs,
     "complementary": discussion.run_complementary,
     "validation": validation.run,

@@ -1,0 +1,26 @@
+"""Multi-rack fabric: N flow-mode racks behind a global control plane.
+
+* :mod:`repro.fabric.shard` — one rack as a steppable shard (the unit a
+  :class:`~repro.runner.sharded.ShardedRunner` worker owns);
+* :mod:`repro.fabric.control` — the fleet balancer (cross-rack dispatch,
+  global autoscaling, power capping) that runs in the parent;
+* :mod:`repro.fabric.system` — :func:`run_fabric`, composing shards,
+  control plane and the diurnal fleet schedule into one run.
+"""
+
+from repro.fabric.control import FABRIC_DISPATCH, FleetBalancer, FleetControlConfig
+from repro.fabric.shard import SHARD_FACTORY, RackShard, RackShardSpec, build_rack_shard
+from repro.fabric.system import FabricConfig, FabricResult, run_fabric
+
+__all__ = [
+    "FABRIC_DISPATCH",
+    "FabricConfig",
+    "FabricResult",
+    "FleetBalancer",
+    "FleetControlConfig",
+    "RackShard",
+    "RackShardSpec",
+    "SHARD_FACTORY",
+    "build_rack_shard",
+    "run_fabric",
+]

@@ -1,0 +1,227 @@
+"""The fleet control plane: cross-rack dispatch, scaling, power capping.
+
+Runs in the *parent* process, once per epoch barrier, on the boundary
+summaries the rack shards emit — the fabric analogue of what
+:class:`~repro.cluster.autoscaler.RackAutoscaler` does inside one rack:
+
+* **dispatch** — split the fleet's offered rate across racks.
+  ``spread`` is the diurnal-agnostic even split; ``packing``
+  concentrates load on a *hot set* of racks (filled low-index-first to
+  ``target_utilization``, like the rack-level packing policy) so cold
+  racks can park all their servers; ``headroom`` weights racks by
+  EWMA-estimated spare capacity, the fabric-level cousin of p2c.
+* **global autoscaling** — the packing hot set grows immediately on
+  demand and shrinks with hysteresis (``shrink_after_epochs``
+  consecutive epochs of surplus), mirroring the rack autoscaler's
+  wake-fast/sleep-lazy asymmetry one level up.
+* **power capping** — when the fleet's EWMA power draw exceeds
+  ``power_cap_w``, the next epoch's offered rate is throttled
+  proportionally (admission control at the fabric edge); shed traffic
+  is accounted, never silently dropped.
+
+Everything here is pure arithmetic over rack-index-ordered summaries,
+so the control decisions — and therefore the whole fabric run — are
+identical at every worker count.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+#: cross-rack dispatch policies
+FABRIC_DISPATCH: Tuple[str, ...] = ("spread", "packing", "headroom")
+
+
+@dataclass(frozen=True)
+class FleetControlConfig:
+    """Knobs of the fleet balancer (derived, not paper-anchored)."""
+
+    dispatch: str = "packing"
+    target_utilization: float = 0.6
+    ewma_alpha: float = 0.3
+    shrink_after_epochs: int = 3
+    min_hot_racks: int = 1
+    power_cap_w: float = 0.0
+    throttle_floor: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.dispatch not in FABRIC_DISPATCH:
+            raise ValueError(
+                f"unknown dispatch {self.dispatch!r}; known: {FABRIC_DISPATCH}"
+            )
+        if not 0 < self.target_utilization <= 1:
+            raise ValueError("target_utilization must be in (0, 1]")
+        if not 0 < self.ewma_alpha <= 1:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        if self.shrink_after_epochs < 1:
+            raise ValueError("shrink_after_epochs must be >= 1")
+        if self.min_hot_racks < 1:
+            raise ValueError("min_hot_racks must be >= 1")
+        if self.power_cap_w < 0:
+            raise ValueError("power_cap_w cannot be negative")
+        if not 0 < self.throttle_floor <= 1:
+            raise ValueError("throttle_floor must be in (0, 1]")
+
+
+class FleetBalancer:
+    """Per-epoch cross-rack dispatch with global scaling and capping."""
+
+    def __init__(
+        self,
+        config: FleetControlConfig,
+        capacities_gbps: Sequence[float],
+    ) -> None:
+        if not capacities_gbps:
+            raise ValueError("need at least one rack capacity")
+        for capacity_gbps in capacities_gbps:
+            if capacity_gbps <= 0:
+                raise ValueError("rack capacities must be positive")
+        self.config = config
+        self.capacities_gbps = list(capacities_gbps)
+        self.racks = len(self.capacities_gbps)
+        self.rate_ewma_gbps = 0.0
+        self.power_ewma_w = 0.0
+        self.dispatched_ewma_gbps = [0.0] * self.racks
+        self.hot_racks = min(config.min_hot_racks, self.racks)
+        self.throttle = 1.0
+        self.throttled_bits = 0.0
+        self.epochs = 0
+        self._hot_epoch_sum = 0.0
+        self._surplus_epochs = 0
+
+    # -- dispatch --------------------------------------------------------
+
+    def _needed_hot(self, rate_gbps: float) -> int:
+        """Racks needed to carry ``rate_gbps`` at the target utilization,
+        filling the (fixed, low-index-first) hot order."""
+        remaining = rate_gbps
+        for count in range(self.racks):
+            budget = self.capacities_gbps[count] * self.config.target_utilization
+            remaining -= budget
+            if remaining <= 0:
+                return count + 1
+        return self.racks
+
+    def split(self, offered_gbps: float, epoch_s: float) -> List[float]:
+        """Split (and possibly throttle) one epoch's fleet rate.
+
+        Called *before* :meth:`observe` for the same epoch: the split
+        uses state accumulated through the previous barrier plus the
+        instantaneous offered rate (so the packing hot set can grow
+        immediately, before queues build).
+        """
+        if offered_gbps < 0:
+            raise ValueError("offered rate cannot be negative")
+        config = self.config
+        admitted_gbps = offered_gbps * self.throttle
+        self.throttled_bits += (offered_gbps - admitted_gbps) * 1e9 * epoch_s
+        shares = [0.0] * self.racks
+        if admitted_gbps <= 0:
+            self._hot_epoch_sum += self.hot_racks
+            return shares
+        if config.dispatch == "spread":
+            for index in range(self.racks):
+                shares[index] = admitted_gbps / self.racks
+        elif config.dispatch == "packing":
+            demand_gbps = max(self.rate_ewma_gbps, admitted_gbps)
+            needed = self._needed_hot(demand_gbps)
+            if needed > self.hot_racks:
+                self.hot_racks = needed  # grow immediately
+                self._surplus_epochs = 0
+            remaining = admitted_gbps
+            for position in range(self.hot_racks):
+                budget = (
+                    self.capacities_gbps[position] * config.target_utilization
+                )
+                take = min(remaining, budget)
+                if position == self.hot_racks - 1:
+                    take = remaining  # last hot rack absorbs the spill
+                shares[position] = take
+                remaining -= take
+                if remaining <= 0:
+                    break
+        else:  # headroom
+            weights = []
+            for index in range(self.racks):
+                spare_gbps = (
+                    self.capacities_gbps[index]
+                    - self.dispatched_ewma_gbps[index]
+                )
+                weights.append(max(spare_gbps, self.capacities_gbps[index] * 0.05))
+            total = sum(weights)
+            for index in range(self.racks):
+                shares[index] = admitted_gbps * weights[index] / total
+        self._hot_epoch_sum += self.hot_racks
+        return shares
+
+    # -- feedback --------------------------------------------------------
+
+    def observe(
+        self, offered_gbps: float, summaries: Sequence[Dict[str, float]]
+    ) -> None:
+        """Fold one epoch's boundary summaries (rack-index order) into
+        the control state for the next epoch."""
+        if len(summaries) != self.racks:
+            raise ValueError(
+                f"need one summary per rack ({len(summaries)} != {self.racks})"
+            )
+        config = self.config
+        alpha = config.ewma_alpha
+        self.epochs += 1
+        admitted_gbps = offered_gbps * self.throttle
+        self.rate_ewma_gbps += alpha * (admitted_gbps - self.rate_ewma_gbps)
+        power_w = sum(summary["power_w"] for summary in summaries)
+        self.power_ewma_w += alpha * (power_w - self.power_ewma_w)
+        for index, summary in enumerate(summaries):
+            self.dispatched_ewma_gbps[index] += alpha * (
+                summary["dispatched_gbps"] - self.dispatched_ewma_gbps[index]
+            )
+        # hot-set shrink with hysteresis (packing only)
+        if config.dispatch == "packing":
+            needed = max(
+                self._needed_hot(self.rate_ewma_gbps), config.min_hot_racks
+            )
+            if needed < self.hot_racks:
+                self._surplus_epochs += 1
+                if self._surplus_epochs >= config.shrink_after_epochs:
+                    self.hot_racks = max(self.hot_racks - 1, needed)
+                    self._surplus_epochs = 0
+            else:
+                self._surplus_epochs = 0
+        # power capping: proportional admission throttle for next epoch
+        if config.power_cap_w > 0 and self.power_ewma_w > 0:
+            ratio = config.power_cap_w / self.power_ewma_w
+            if ratio < 1.0:
+                self.throttle = max(config.throttle_floor, ratio)
+            else:
+                # recover gradually so the throttle does not oscillate
+                self.throttle = min(1.0, self.throttle * math.sqrt(ratio))
+
+    # -- reporting -------------------------------------------------------
+
+    @property
+    def hot_racks_mean(self) -> float:
+        if self.epochs == 0:
+            return float(self.hot_racks)
+        return self._hot_epoch_sum / self.epochs
+
+    def throttled_gbps(self, duration_s: float) -> float:
+        if duration_s <= 0:
+            return 0.0
+        return self.throttled_bits / duration_s / 1e9
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "hot_racks_mean": self.hot_racks_mean,
+            "hot_racks_final": float(self.hot_racks),
+            "throttle_final": self.throttle,
+            "power_ewma_w": self.power_ewma_w,
+            "rate_ewma_gbps": self.rate_ewma_gbps,
+        }
+
+
+def spawn_rack_name(index: int) -> str:
+    """The per-rack spawn-seed namespace (shared by parent and tests)."""
+    return f"rack{index}"

@@ -1,0 +1,139 @@
+"""One rack as a shard: the unit a sharded worker process owns.
+
+A :class:`RackShard` wraps a flow-mode
+:class:`~repro.flow.cluster.FlowClusterSystem` behind the three-verb
+barrier protocol :class:`~repro.runner.sharded.ShardedRunner` speaks
+(``describe`` / ``step`` / ``finish``).  Everything a shard needs is in
+its frozen, scalar-only :class:`RackShardSpec`, so the spec pickles
+cleanly under both fork and spawn start methods and a shard rebuilt in
+any process from the same spec evolves identically.
+
+Determinism: the spec carries a *pre-spawned* rack seed (the parent
+derives it with :func:`repro.sim.rng.spawn_seed` from the fleet seed and
+the rack index), and a shard's evolution depends only on that seed and
+the rate sequence pushed to it — never on which worker hosts it or how
+many siblings it has.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+from repro.flow.cluster import FlowClusterSystem, RackSnapshot, RackStepper
+
+
+#: dotted path the sharded runner resolves in each worker process
+SHARD_FACTORY = "repro.fabric.shard:build_rack_shard"
+
+
+@dataclass(frozen=True)
+class RackShardSpec:
+    """Scalar-only description of one rack shard (picklable)."""
+
+    index: int
+    member_kind: str
+    function: str
+    servers: int
+    policy: str
+    seed: int
+    flow_interval_s: float
+    epoch_s: float
+    epochs: int
+    packet_bytes: int
+    train_multiplicity: int
+    autoscale: bool = True
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError("rack index cannot be negative")
+        if self.servers < 1:
+            raise ValueError("a rack needs at least one server")
+        if self.flow_interval_s <= 0 or self.epoch_s <= 0:
+            raise ValueError("intervals must be positive")
+        if self.epoch_s < self.flow_interval_s:
+            raise ValueError("epoch_s must be >= flow_interval_s")
+        if self.epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        if self.train_multiplicity < 1:
+            raise ValueError("train_multiplicity must be >= 1")
+
+    @property
+    def intervals_per_epoch(self) -> int:
+        return max(1, round(self.epoch_s / self.flow_interval_s))
+
+
+class RackShard:
+    """Steppable rack: one epoch in, one boundary summary out."""
+
+    def __init__(self, spec: RackShardSpec) -> None:
+        self.spec = spec
+        self.cluster = FlowClusterSystem(
+            spec.member_kind,
+            spec.function,
+            servers=spec.servers,
+            seed=spec.seed,
+            policy=spec.policy,
+            autoscale=spec.autoscale,
+            interval_s=spec.flow_interval_s,
+            packet_bytes=spec.packet_bytes,
+        )
+        self.stepper = RackStepper(
+            self.cluster,
+            offered_intervals=spec.epochs * spec.intervals_per_epoch,
+            train_multiplicity=spec.train_multiplicity,
+        )
+        self.epoch = 0
+        self._previous: RackSnapshot = self.stepper.snapshot()
+
+    def describe(self) -> Dict[str, float]:
+        """Static facts the fleet balancer needs before the first epoch."""
+        return {
+            "index": float(self.spec.index),
+            "servers": float(self.spec.servers),
+            "capacity_gbps": sum(self.cluster.front.capacities_gbps),
+        }
+
+    def step(self, rate_gbps: float) -> Dict[str, float]:
+        """Offer ``rate_gbps`` for one epoch, advance to the barrier,
+        return the epoch's boundary summary (per-epoch deltas of the
+        cumulative snapshot counters)."""
+        if self.epoch >= self.spec.epochs:
+            raise RuntimeError("shard already consumed all offered epochs")
+        spec = self.spec
+        self.stepper.push_rates([rate_gbps] * spec.intervals_per_epoch)
+        self.epoch += 1
+        self.stepper.advance_to(self.epoch * spec.epoch_s)
+        snapshot = self.stepper.snapshot()
+        previous = self._previous
+        self._previous = snapshot
+        epoch_s = spec.epoch_s
+        return {
+            "dispatched_gbps": (
+                (snapshot.dispatched_bits - previous.dispatched_bits)
+                / epoch_s
+                / 1e9
+            ),
+            "delivered_gbps": (
+                (snapshot.delivered_bits - previous.delivered_bits)
+                / epoch_s
+                / 1e9
+            ),
+            "power_w": (snapshot.energy_j - previous.energy_j) / epoch_s,
+            "rxq_occupancy": float(snapshot.rxq_occupancy),
+            "awake": snapshot.awake,
+            "backlog_packets": snapshot.backlog_packets,
+            "dropped_packets": (
+                snapshot.dropped_packets - previous.dropped_packets
+            ),
+        }
+
+    def finish(self, offered_gbps: Any = 0.0) -> Dict[str, Any]:
+        """Drain and return the rack's final RunMetrics payload."""
+        offered = float(offered_gbps) if offered_gbps is not None else 0.0
+        return self.stepper.finish(offered).to_dict()
+
+
+def build_rack_shard(spec: RackShardSpec) -> RackShard:
+    """Module-level factory the sharded worker resolves by dotted path."""
+    return RackShard(spec)

@@ -14,6 +14,7 @@ share analytically.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, TYPE_CHECKING, Tuple
 
 from repro.cluster.autoscaler import (
@@ -344,6 +345,209 @@ class FlowClusterSystem:
                 if roles.get(station.name) == ROLE_SNIC:
                     snic_bits += bits
         return snic_bits / total_bits if total_bits > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class RackSnapshot:
+    """Boundary state one rack exports at an epoch barrier.
+
+    Counters are cumulative since construction; the fabric control plane
+    differences consecutive snapshots to get per-epoch rates.
+    """
+
+    now_s: float
+    dispatched_bits: float
+    delivered_bits: float
+    delivered_packets: float
+    dropped_packets: float
+    backlog_packets: float
+    rxq_occupancy: int
+    awake: float
+    energy_j: float
+
+
+class RackStepper:
+    """Incremental (barrier-steppable) drive for a :class:`FlowClusterSystem`.
+
+    :meth:`FlowClusterSystem.run` consumes a whole rate schedule in one
+    call; the fabric layer instead needs to advance a rack *one epoch at
+    a time* — push the rates the global dispatcher assigned, advance the
+    simulator to the barrier, read the boundary snapshot, repeat.  The
+    stepper mirrors ``run``'s tick loop exactly (same dispatch, same
+    member ticks, same window/frozen bookkeeping) but exposes it as
+    push/advance/snapshot/finish so a parent process can drive it.
+
+    Rates not yet pushed read as 0.0 (idle), so a tick that drifts past a
+    barrier by float accumulation is harmless — it sees the same rate at
+    every worker count.
+    """
+
+    def __init__(
+        self,
+        cluster: FlowClusterSystem,
+        offered_intervals: int,
+        train_multiplicity: int = 1,
+    ) -> None:
+        if offered_intervals < 1:
+            raise ValueError("offered_intervals must be >= 1")
+        self.cluster = cluster
+        self.offered_intervals = offered_intervals
+        self.train_multiplicity = train_multiplicity
+        sim = cluster.sim
+        self._start_s = sim.now
+        self._rates: List[float] = []
+        self._index = 0
+        self._generated_packets = 0.0
+        self._window_start_s = self._start_s
+        self._window_bits = 0.0
+        self._max_window_gbps = 0.0
+        self._frozen: Dict[str, float] = {}
+        self._finished = False
+        self._stop_tick = sim.every(
+            cluster.interval_s,
+            self._tick,
+            start=self._start_s + cluster.interval_s,
+            priority=Simulator.PRIORITY_NORMAL,
+        )
+
+    # -- data-plane tick (mirrors FlowClusterSystem.run) ----------------
+
+    def _delivered_bits(self) -> float:
+        return sum(member._delivered_bits for member in self.cluster.members)
+
+    def _delivered_packets(self) -> float:
+        return sum(member._delivered_packets for member in self.cluster.members)
+
+    def _dropped_packets(self) -> float:
+        return sum(member._dropped_packets for member in self.cluster.members)
+
+    def _tick(self) -> None:
+        cluster = self.cluster
+        sim = cluster.sim
+        interval = cluster.interval_s
+        packet_bits = cluster.packet_bytes * 8
+        index = self._index
+        self._index = index + 1
+        offered = index < self.offered_intervals
+        rate = self._rates[index] if index < len(self._rates) else 0.0
+        if offered:
+            self._generated_packets += rate * 1e9 * interval / packet_bits
+        shares = cluster.front.dispatch(rate, interval, packet_bits)
+        for member, share in zip(cluster.members, shares):
+            batch = FlowBatch(
+                start_s=sim.now - interval,
+                duration_s=interval,
+                rate_gbps=share,
+                packet_bytes=cluster.packet_bytes,
+            )
+            member._tick(batch, self.train_multiplicity)
+            member.power.update_all()
+        if index == self.offered_intervals - 1:
+            self._frozen["final_backlog_packets"] = cluster.total_backlog_packets()
+            if cluster.autoscaler is not None:
+                self._frozen["rack_awake_mean"] = cluster.autoscaler.awake_mean()
+        elapsed_s = sim.now - self._window_start_s
+        if elapsed_s >= WINDOW_S:
+            bits = self._delivered_bits()
+            gbps = (bits - self._window_bits) / elapsed_s / 1e9
+            self._max_window_gbps = max(self._max_window_gbps, gbps)
+            self._window_start_s = sim.now
+            self._window_bits = bits
+
+    # -- barrier protocol -----------------------------------------------
+
+    def push_rates(self, rates_gbps: List[float]) -> None:
+        """Append the next epoch's per-interval offered rates."""
+        for rate_gbps in rates_gbps:
+            if rate_gbps < 0:
+                raise ValueError(f"rate cannot be negative ({rate_gbps})")
+        self._rates.extend(rates_gbps)
+
+    def advance_to(self, when_s: float) -> None:
+        """Run the rack's simulator up to the barrier at ``when_s``."""
+        if self._finished:
+            raise RuntimeError("stepper already finished")
+        self.cluster.sim.run(until=when_s)
+
+    def snapshot(self) -> RackSnapshot:
+        """Cumulative boundary counters at the current simulator time."""
+        cluster = self.cluster
+        rxq = 0
+        for member in cluster.members:
+            for station in member.engines():
+                occupancy = station.rx_queue_occupancy()
+                if occupancy > rxq:
+                    rxq = occupancy
+        awake = float(cluster.servers)
+        if cluster.autoscaler is not None:
+            awake = float(cluster.autoscaler.active_count())
+        now_s = cluster.sim.now
+        return RackSnapshot(
+            now_s=now_s,
+            dispatched_bits=cluster.front.dispatched_bits,
+            delivered_bits=self._delivered_bits(),
+            delivered_packets=self._delivered_packets(),
+            dropped_packets=self._dropped_packets(),
+            backlog_packets=cluster.total_backlog_packets(),
+            rxq_occupancy=rxq,
+            awake=awake,
+            energy_j=cluster.rack_power.average_watts() * now_s,
+        )
+
+    def finish(self, offered_gbps: float) -> RunMetrics:
+        """Drain, stop the control plane, assemble the rack's metrics.
+
+        Mirrors the tail of :meth:`FlowClusterSystem.run`: the measured
+        duration is ``offered_intervals * interval_s`` plus the standard
+        drain window.
+        """
+        if self._finished:
+            raise RuntimeError("stepper already finished")
+        self._finished = True
+        cluster = self.cluster
+        sim = cluster.sim
+        duration_s = self.offered_intervals * cluster.interval_s
+        sim.run(until=self._start_s + duration_s + DRAIN_S)
+        self._stop_tick()
+        for member in cluster.members:
+            member.stop()
+        if cluster.autoscaler is not None:
+            cluster.autoscaler.stop()
+
+        metrics = cluster.metrics
+        metrics.offered_gbps = offered_gbps
+        metrics.duration_s = duration_s
+        metrics.delivered_bytes = int(round(self._delivered_bits() / 8))
+        metrics.delivered_packets = int(round(self._delivered_packets()))
+        metrics.dropped_packets = int(round(self._dropped_packets()))
+        metrics.generated_packets = int(round(self._generated_packets))
+        metrics.average_power_w = cluster.rack_power.average_watts()
+        metrics.power_breakdown = cluster.rack_power.breakdown()
+        samples: List[Tuple[float, float]] = []
+        tor_s = cluster.front.tor_latency_s
+        for member in cluster.members:
+            samples.extend(
+                (latency + tor_s, weight) for latency, weight in member._samples
+            )
+        fill_reservoir(metrics.latency, samples)
+        metrics.snic_share = cluster._rack_snic_share()
+        extras = metrics.extras
+        extras["max_window_gbps"] = max(
+            self._max_window_gbps, metrics.throughput_gbps
+        )
+        extras["servers"] = float(cluster.servers)
+        extras["front_reroutes"] = float(cluster.front.reroutes)
+        extras["front_dispatched_gbps"] = cluster.front.dispatched_gbps(duration_s)
+        extras["final_backlog_packets"] = self._frozen.get(
+            "final_backlog_packets", 0.0
+        )
+        if cluster.autoscaler is not None:
+            extras["rack_awake_mean"] = self._frozen.get(
+                "rack_awake_mean", float(cluster.servers)
+            )
+            extras["rack_wakes"] = float(cluster.autoscaler.wakes)
+            extras["rack_sleeps"] = float(cluster.autoscaler.sleeps)
+        return metrics
 
 
 def run_rack_flow(

@@ -24,7 +24,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
 #: randomness are forbidden (they would leak into payload bytes and
 #: therefore into cache keys and identity shas)
 SIM_DOMAIN_PACKAGES: FrozenSet[str] = frozenset(
-    {"sim", "hw", "core", "net", "nf", "cluster", "exp", "flow"}
+    {"sim", "hw", "core", "net", "nf", "cluster", "exp", "flow", "fabric"}
 )
 
 #: packages/modules allowed to read the wall clock: orchestration and

@@ -21,7 +21,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from statistics import NormalDist
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.net.addressing import AddressPlan
 from repro.net.packet import MTU_BYTES, Packet
@@ -391,6 +391,129 @@ class LogNormalTraceGenerator(PacketGenerator):
             sim.schedule(self.interval_s, reroll, priority=Simulator.PRIORITY_CONTROL)
 
         sim.schedule(0.0, reroll, priority=Simulator.PRIORITY_CONTROL)
+
+
+@dataclass(frozen=True)
+class DiurnalPhase:
+    """One workload's share of a fleet mix and its daily rhythm.
+
+    The Meta traces publish rate *distributions*, not time-of-day
+    curves; production fleets overlay a diurnal swing on top (user-facing
+    web peaks in the afternoon, cache follows the evening content surge,
+    Hadoop batch fills the night trough).  The phase parameters here are
+    derived from typical published fleet shapes, not measured by the
+    paper.
+    """
+
+    trace: str
+    weight: float
+    peak_hour: float
+    swing: float
+
+    def __post_init__(self) -> None:
+        if self.trace not in META_TRACES:
+            raise ValueError(
+                f"unknown trace {self.trace!r}; known: {sorted(META_TRACES)}"
+            )
+        if not 0 < self.weight <= 1:
+            raise ValueError("phase weight must be in (0, 1]")
+        if not 0 <= self.peak_hour < 24:
+            raise ValueError("peak_hour must be in [0, 24)")
+        if not 0 <= self.swing < 1:
+            raise ValueError("swing must be in [0, 1)")
+
+
+#: Named fleet mixes: each phase keeps its Fig. 8 log-normal *shape* and
+#: overlays a cosine day curve (mean 1.0, peak 1 + swing) on its average.
+DIURNAL_PHASES: Dict[str, Tuple[DiurnalPhase, ...]] = {
+    "web": (DiurnalPhase("web", 1.0, peak_hour=14.0, swing=0.45),),
+    "cache": (DiurnalPhase("cache", 1.0, peak_hour=20.0, swing=0.35),),
+    "hadoop": (DiurnalPhase("hadoop", 1.0, peak_hour=3.0, swing=0.55),),
+    "mix": (
+        DiurnalPhase("web", 0.40, peak_hour=14.0, swing=0.45),
+        DiurnalPhase("cache", 0.35, peak_hour=20.0, swing=0.35),
+        DiurnalPhase("hadoop", 0.25, peak_hour=3.0, swing=0.55),
+    ),
+}
+
+
+def diurnal_multiplier(hour: float, peak_hour: float, swing: float) -> float:
+    """Cosine day curve: mean 1.0 over 24 h, ``1 + swing`` at the peak."""
+    return 1.0 + swing * math.cos((hour - peak_hour) / 24.0 * 2.0 * math.pi)
+
+
+def _stratified_rates(
+    spec: LogNormalSpec,
+    rng: RngRegistry,
+    intervals: int,
+    line_rate_gbps: float,
+    stream: str,
+) -> List[float]:
+    """Stratified clipped log-normal schedule pinned to ``spec``'s mean.
+
+    Same construction as :meth:`LogNormalTraceGenerator.plan_rates`
+    (one draw per equal-probability quantile bin, shuffled, mean pinned
+    by a final linear correction) without needing an address plan or a
+    packet spec.
+    """
+    scale = fit_lognormal_scale(spec, rng, line_rate_gbps)
+    rates = []
+    for i in range(intervals):
+        z = NormalDist().inv_cdf((i + 0.5) / intervals)
+        raw = math.exp(spec.mu + spec.sigma * z)
+        rates.append(min(scale * raw, line_rate_gbps))
+    mean = sum(rates) / intervals
+    if mean > 0:
+        factor = spec.average_gbps / mean
+        rates = [min(r * factor, line_rate_gbps) for r in rates]
+    rng.stream(stream).shuffle(rates)
+    return rates
+
+
+def stitch_diurnal_rates(
+    phases: Sequence[DiurnalPhase],
+    model_hours: float,
+    intervals: int,
+    rng: RngRegistry,
+    scale: float = 1.0,
+    line_rate_gbps: float = LINE_RATE_GBPS,
+) -> List[float]:
+    """Stitch a multi-workload diurnal schedule: ``intervals`` rates
+    covering ``model_hours`` model-clock hours of fleet traffic.
+
+    Each phase contributes a stratified log-normal schedule (its Fig. 8
+    shape, average scaled by ``weight * scale``) modulated by its diurnal
+    curve; phases sum and the total clips at ``line_rate_gbps``.  The
+    caller compresses the model hours onto however many simulated
+    seconds it runs — only the per-interval *rates* matter, so a 24 h
+    curve can replay over a fraction of a simulated second.
+    """
+    if not phases:
+        raise ValueError("need at least one diurnal phase")
+    if model_hours <= 0:
+        raise ValueError("model_hours must be positive")
+    if intervals < 1:
+        raise ValueError("intervals must be >= 1")
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    total = [0.0] * intervals
+    for phase in phases:
+        base = META_TRACES[phase.trace]
+        scaled = LogNormalSpec(
+            base.name,
+            mu=base.mu,
+            sigma=base.sigma,
+            average_gbps=base.average_gbps * phase.weight * scale,
+        )
+        rates = _stratified_rates(
+            scaled, rng, intervals, line_rate_gbps, f"diurnal-{phase.trace}"
+        )
+        for i in range(intervals):
+            hour = ((i + 0.5) / intervals * model_hours) % 24.0
+            total[i] += rates[i] * diurnal_multiplier(
+                hour, phase.peak_hour, phase.swing
+            )
+    return [min(r, line_rate_gbps) for r in total]
 
 
 def synthesize_rate_trace(

@@ -5,13 +5,16 @@
 * :mod:`repro.runner.cache` — the ``.repro-cache/`` JSON result store;
 * :mod:`repro.runner.runner` — :class:`Runner` (process pool, retries,
   progress) and :class:`BatchReport`;
-* :mod:`repro.runner.context` — the ambient runner experiment code uses.
+* :mod:`repro.runner.context` — the ambient runner experiment code uses;
+* :mod:`repro.runner.sharded` — :class:`ShardedRunner`, long-lived
+  barrier-synchronized shard workers for the fabric layer.
 """
 
 from repro.runner.cache import DEFAULT_CACHE_DIR, ResultCache, code_salt
 from repro.runner.context import current_runner, use_runner
 from repro.runner.executor import decode_payload, execute_job
 from repro.runner.runner import BatchReport, JobOutcome, Runner, RunnerError
+from repro.runner.sharded import ShardedRunner, ShardWorkerError
 from repro.runner.spec import JobSpec
 
 __all__ = [
@@ -22,6 +25,8 @@ __all__ = [
     "ResultCache",
     "Runner",
     "RunnerError",
+    "ShardWorkerError",
+    "ShardedRunner",
     "code_salt",
     "current_runner",
     "decode_payload",

@@ -146,6 +146,7 @@ class TestBench:
             "rack_dispatch_packets_per_s",
             "fig5_cell_wall_s",
             "flow_events_per_s",
+            "fabric_rack_intervals_per_s",
         }
         assert all(v > 0 for v in results["metrics"].values())
         assert len(results["identity"]["fig5_payload_sha256"]) == 64

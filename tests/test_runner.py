@@ -217,3 +217,49 @@ class TestArtifactIntegration:
         assert "table1" in run.results  # sibling survived
         manifest = open(os.path.join(run.run_dir, "MANIFEST.txt")).read()
         assert "FAILED" in manifest and "synthetic experiment failure" in manifest
+
+
+class TestPoolSizing:
+    """The pool must never spawn more workers than there are pending
+    jobs, and a batch with at most one pending job must not pay for a
+    pool at all."""
+
+    def test_pool_capped_by_pending_count(self, monkeypatch):
+        from repro.runner import runner as runner_mod
+
+        captured = {}
+        real = runner_mod.ProcessPoolExecutor
+
+        class SpyPool(real):
+            def __init__(self, max_workers=None, **kwargs):
+                captured["max_workers"] = max_workers
+                super().__init__(max_workers=max_workers, **kwargs)
+
+        monkeypatch.setattr(runner_mod, "ProcessPoolExecutor", SpyPool)
+        report = Runner(jobs=8).run(sweep_specs())  # 2 pending jobs
+        assert captured["max_workers"] == 2
+        assert not report.failures
+
+    def test_single_pending_job_skips_pool(self, monkeypatch):
+        from repro.runner import runner as runner_mod
+
+        def no_pool(*args, **kwargs):
+            raise AssertionError("a single-job batch must run in-process")
+
+        monkeypatch.setattr(runner_mod, "ProcessPoolExecutor", no_pool)
+        report = Runner(jobs=8).run(sweep_specs()[:1])
+        assert not report.failures
+
+    def test_all_cached_batch_skips_pool(self, monkeypatch, tmp_path):
+        from repro.runner import runner as runner_mod
+
+        specs = sweep_specs()
+        cache = ResultCache(str(tmp_path))
+        Runner(jobs=1, cache=cache).run(specs)  # warm the cache
+
+        def no_pool(*args, **kwargs):
+            raise AssertionError("a fully cached batch must not fork")
+
+        monkeypatch.setattr(runner_mod, "ProcessPoolExecutor", no_pool)
+        report = Runner(jobs=8, cache=cache).run(specs)
+        assert all(outcome.cached for outcome in report.outcomes)
