@@ -24,6 +24,22 @@ sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "src"))
 DEFAULT_BASELINE = str(pathlib.Path(__file__).parent / "baseline.json")
 
 
+def _fabric_payload() -> dict:
+    """The fabric smoke cell's payload sha, without bench_fabric's
+    timing repeats — identity only needs one run."""
+    import hashlib
+    import json as json_mod
+
+    from repro.bench import fabric_smoke_config
+    from repro.fabric.system import run_fabric
+
+    result = run_fabric(fabric_smoke_config(), shard_jobs=1)
+    blob = json_mod.dumps(
+        result.to_dict(), sort_keys=True, separators=(",", ":")
+    )
+    return {"payload_sha256": hashlib.sha256(blob.encode()).hexdigest()}
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", default=DEFAULT_BASELINE)
@@ -37,6 +53,8 @@ def main(argv=None) -> int:
     # baselines without the key skip the check rather than fail
     if "rack_payload_sha256" in baseline["identity"]:
         checks.append(("rack", "rack_payload_sha256", bench_rack))
+    if "fabric_payload_sha256" in baseline["identity"]:
+        checks.append(("fabric", "fabric_payload_sha256", _fabric_payload))
     failed = False
     for label, key, run in checks:
         expected = baseline["identity"][key]

@@ -1,0 +1,182 @@
+#!/usr/bin/env python
+"""CI obs-overhead gate: fleet telemetry must be free when off and
+read-only when on.
+
+Usage: python benchmarks/check_obs_overhead.py [--shard-jobs-list 1,2]
+           [--max-overhead 1.75] [--journal-out FILE] [--trace-out FILE]
+
+Three invariants over the fabric smoke cell, at every worker count in
+``--shard-jobs-list``:
+
+1. **Off is free** — the untraced payload sha256 matches the committed
+   ``fabric_payload_sha256`` baseline (telemetry's existence changed
+   nothing).
+2. **On is read-only** — the payload of a fully-instrumented run
+   (journal + SLO monitors + Prometheus snapshot + downsampled series)
+   is byte-identical to the untraced payload.  Telemetry observes the
+   simulation; it never perturbs it.
+3. **On is cheap** — traced epoch-barrier wall-clock stays within
+   ``--max-overhead`` x untraced (best-of-``--repeats``), with a small
+   absolute slack so sub-second smoke runs don't flake on scheduler
+   noise.
+
+``--journal-out`` / ``--trace-out`` save the instrumented run's journal
+and multi-process fleet trace for CI artifact upload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from time import perf_counter
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "src"))
+
+DEFAULT_BASELINE = str(pathlib.Path(__file__).parent / "baseline.json")
+
+#: absolute slack added to the relative bound: smoke runs finish in
+#: fractions of a second, where scheduler noise dwarfs any real ratio
+ABS_SLACK_S = 0.05
+
+
+def _sha(result) -> str:
+    import hashlib
+
+    blob = json.dumps(result.to_dict(), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE)
+    parser.add_argument(
+        "--shard-jobs-list", default="1,2",
+        help="comma-separated worker counts to check (default 1,2)",
+    )
+    parser.add_argument(
+        "--max-overhead", type=float, default=1.75,
+        help="max traced/untraced step wall-clock ratio (default 1.75)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="timing repeats; best-of is compared (default 3)",
+    )
+    parser.add_argument(
+        "--journal-out", default=None,
+        help="save the instrumented run's journal here (CI artifact)",
+    )
+    parser.add_argument(
+        "--trace-out", default=None,
+        help="save the instrumented run's fleet trace here (CI artifact)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.bench import fabric_smoke_config
+    from repro.fabric.shard import SHARD_FACTORY
+    from repro.fabric.system import run_fabric
+    from repro.obs.export import write_chrome_trace
+    from repro.obs.fleet import FleetTelemetry
+    from repro.obs.slo import parse_slo_rule
+    from repro.runner.sharded import ShardedRunner
+
+    baseline = json.loads(pathlib.Path(args.baseline).read_text())
+    expected = baseline["identity"]["fabric_payload_sha256"]
+    counts = [int(part) for part in args.shard_jobs_list.split(",") if part]
+    config = fabric_smoke_config()
+    rules = [parse_slo_rule("power_w<=1.0")]  # deliberately tight: must fail
+
+    failed = False
+    last_telemetry = None
+    for jobs in counts:
+        untraced_best = traced_best = float("inf")
+        untraced_sha = traced_sha = None
+        for _ in range(max(1, args.repeats)):
+            runner = ShardedRunner(
+                config.shard_specs(), SHARD_FACTORY, jobs=jobs
+            )
+            try:
+                result = run_fabric(config, runner=runner)
+                untraced_best = min(untraced_best, runner.step_wall_s)
+            finally:
+                runner.close()
+            untraced_sha = _sha(result)
+
+            telemetry = FleetTelemetry(rules=rules)
+            runner = ShardedRunner(
+                config.shard_specs(telemetry=True), SHARD_FACTORY, jobs=jobs
+            )
+            try:
+                result = run_fabric(
+                    config, runner=runner, telemetry=telemetry, label="smoke"
+                )
+                traced_best = min(traced_best, runner.step_wall_s)
+            finally:
+                runner.close()
+            telemetry.close()
+            traced_sha = _sha(result)
+            last_telemetry = telemetry
+
+        if untraced_sha != expected:
+            print(
+                f"FAIL: K={jobs}: untraced fabric payload moved\n"
+                f"  baseline {expected}\n  current  {untraced_sha}"
+            )
+            failed = True
+        elif traced_sha != untraced_sha:
+            print(
+                f"FAIL: K={jobs}: telemetry perturbed the payload\n"
+                f"  untraced {untraced_sha}\n  traced   {traced_sha}"
+            )
+            failed = True
+        else:
+            print(
+                f"OK: K={jobs}: traced payload byte-identical to untraced "
+                f"baseline ({traced_sha[:12]}…)"
+            )
+        bound = untraced_best * args.max_overhead + ABS_SLACK_S
+        if traced_best > bound:
+            print(
+                f"FAIL: K={jobs}: traced barriers {traced_best:.3f}s > "
+                f"bound {bound:.3f}s (untraced {untraced_best:.3f}s x "
+                f"{args.max_overhead} + {ABS_SLACK_S}s slack)"
+            )
+            failed = True
+        else:
+            ratio = traced_best / untraced_best if untraced_best > 0 else 0.0
+            print(
+                f"OK: K={jobs}: traced barriers {traced_best:.3f}s vs "
+                f"untraced {untraced_best:.3f}s ({ratio:.2f}x, bound "
+                f"{args.max_overhead}x + {ABS_SLACK_S}s)"
+            )
+
+    if last_telemetry is not None:
+        if not last_telemetry.slo_failed:
+            print("FAIL: the deliberately tight SLO rule did not fail")
+            failed = True
+        else:
+            print("OK: tight SLO rule power_w<=1.0 failed as designed")
+        if args.trace_out:
+            trace = write_chrome_trace(
+                last_telemetry.to_trace_session(), args.trace_out
+            )
+            print(
+                f"saved fleet trace: {args.trace_out} "
+                f"({len(trace['traceEvents'])} events)"
+            )
+
+    if args.journal_out:
+        # journal a fresh instrumented run so the artifact is complete
+        telemetry = FleetTelemetry(journal_path=args.journal_out, rules=rules)
+        run_fabric(config, telemetry=telemetry, label="smoke")
+        telemetry.close()
+        print(
+            f"saved journal: {args.journal_out} "
+            f"({telemetry.journal.records_written} records)"
+        )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

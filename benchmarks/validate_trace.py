@@ -2,12 +2,15 @@
 """CI trace-smoke gate: check an exported trace file is schema-valid.
 
 Usage: python benchmarks/validate_trace.py trace.json [--min-tracks N]
+           [--min-processes N]
 
-Loads the Chrome/Perfetto trace-event JSON written by ``repro trace``,
-runs :func:`repro.obs.export.validate_chrome_trace` (structure plus
-per-track timestamp monotonicity), and optionally requires a minimum
-number of named tracks.  Exit 0 when clean, 1 with the problem list
-otherwise.
+Loads the Chrome/Perfetto trace-event JSON written by ``repro trace``
+or ``repro fabric --fleet-trace``, runs
+:func:`repro.obs.export.validate_chrome_trace` (structure plus
+per-track timestamp monotonicity), and optionally requires minimum
+numbers of named tracks and processes (the fleet exporter emits one
+process per rack plus the control plane).  Exit 0 when clean, 1 with
+the problem list otherwise.
 """
 
 from __future__ import annotations
@@ -19,7 +22,11 @@ import sys
 
 sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "src"))
 
-from repro.obs.export import trace_tracks, validate_chrome_trace  # noqa: E402
+from repro.obs.export import (  # noqa: E402
+    trace_processes,
+    trace_tracks,
+    validate_chrome_trace,
+)
 
 
 def main(argv=None) -> int:
@@ -28,6 +35,11 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--min-tracks", type=int, default=4,
         help="minimum number of named tracks required (default 4)",
+    )
+    parser.add_argument(
+        "--min-processes", type=int, default=1,
+        help="minimum number of named processes required (default 1; "
+        "multi-process fleet traces carry racks + control plane)",
     )
     args = parser.parse_args(argv)
 
@@ -39,9 +51,15 @@ def main(argv=None) -> int:
 
     problems = validate_chrome_trace(trace)
     tracks = trace_tracks(trace)
+    processes = trace_processes(trace)
     if len(tracks) < args.min_tracks:
         problems.append(
             f"only {len(tracks)} named tracks (need >= {args.min_tracks}): {tracks}"
+        )
+    if len(processes) < args.min_processes:
+        problems.append(
+            f"only {len(processes)} named processes "
+            f"(need >= {args.min_processes}): {processes}"
         )
     if problems:
         print(f"FAIL: {args.trace} has {len(problems)} problem(s):")
@@ -53,7 +71,8 @@ def main(argv=None) -> int:
     other = trace.get("otherData", {})
     print(
         f"OK: {args.trace}: {len(events)} events, {len(tracks)} tracks, "
-        f"{other.get('runs', '?')} runs, clock={other.get('clock', '?')}, "
+        f"{len(processes)} processes, {other.get('runs', '?')} runs, "
+        f"clock={other.get('clock', '?')}, "
         f"dropped={other.get('dropped_events', '?')}"
     )
     return 0

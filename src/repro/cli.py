@@ -10,6 +10,9 @@ Usage::
     python -m repro bench --bench-json BENCH_results.json
     python -m repro trace fig9 --trace-out trace.json   # Perfetto trace
     python -m repro fig5 --probes probes.csv --capture 256
+    python -m repro fabric --racks 8 --shard-jobs 4 --journal fleet.jsonl \\
+        --slo "power_w<=900" --slo-strict --live --fleet-trace fleet.json
+    python -m repro journal fleet.jsonl                 # summarize a journal
 
 Each experiment prints the reproduced table/figure series; ``--out``
 additionally writes it to a file (like the artifact's per-figure .txt
@@ -53,13 +56,15 @@ def build_parser() -> argparse.ArgumentParser:
         "'list', 'bench' (hot-path perf benchmarks), 'artifact' "
         "(batch-run the default set into --results-dir), 'trace' "
         "(run one experiment under telemetry; see the 'target' argument), "
-        "or 'lint' (determinism/invariant static analysis; "
+        "'journal' (summarize a fabric run journal; see the 'target' "
+        "argument), or 'lint' (determinism/invariant static analysis; "
         "`hal-repro lint --help`), or 'validate-flow' (flow-mode "
         "cross-validation against packet-mode ground truth; see --grid)",
     )
     parser.add_argument(
         "target", nargs="?", default=None,
-        help="trace mode: the experiment id to run traced (e.g. fig9)",
+        help="trace mode: the experiment id to run traced (e.g. fig9); "
+        "journal mode: the journal file to summarize",
     )
     parser.add_argument(
         "--trace-out", type=str, default="trace.json", metavar="FILE",
@@ -197,6 +202,38 @@ def build_parser() -> argparse.ArgumentParser:
         "1, 2, ... K, assert byte-identical payloads across worker "
         "counts, and report the wall-clock speedup",
     )
+    parser.add_argument(
+        "--journal", type=str, default=None, metavar="FILE",
+        help="fabric mode: stream an epoch-stamped JSONL run journal "
+        "(flushed per record; read back with 'repro journal FILE')",
+    )
+    parser.add_argument(
+        "--live", action="store_true",
+        help="fabric mode: live progress ticker on stderr "
+        "(epoch, offered/shed Gbps, watts, awake servers, p99)",
+    )
+    parser.add_argument(
+        "--prom-out", type=str, default=None, metavar="FILE",
+        help="fabric mode: periodically (re)write a Prometheus "
+        "text-format snapshot of the latest fleet epoch record",
+    )
+    parser.add_argument(
+        "--slo", action="append", default=None, metavar="RULE",
+        help="fabric mode: declarative SLO rule over the fleet epoch "
+        "record, e.g. 'power_w<=900', 'shed_gbps<=0.5', 'p99_us<=2000', "
+        "'rack_flaps<=4' (repeatable); verdicts land in the flight "
+        "record and the journal. Journal mode: re-check rules against "
+        "a journal's epoch records",
+    )
+    parser.add_argument(
+        "--slo-strict", action="store_true",
+        help="exit non-zero when any --slo rule is violated",
+    )
+    parser.add_argument(
+        "--fleet-trace", type=str, default=None, metavar="FILE",
+        help="fabric mode: write a multi-process Perfetto trace of the "
+        "fleet telemetry (one process per rack plus the control plane)",
+    )
     parser.add_argument("--out", type=str, default=None, help="also write to file")
     parser.add_argument(
         "--plot", type=str, default=None, metavar="YCOL",
@@ -280,16 +317,25 @@ def check_process_budget(
 
 
 def _fabric_focused(args: argparse.Namespace) -> bool:
-    """Any fabric-shape flag switches 'fabric' from the registered grid
-    to one focused (optionally sharded) run."""
-    return args.scaling or any(
-        value is not None
-        for value in (
-            args.racks,
-            args.shard_jobs,
-            args.hours,
-            args.dispatch,
-            args.power_cap,
+    """Any fabric-shape or telemetry flag switches 'fabric' from the
+    registered grid to one focused (optionally sharded) run."""
+    return (
+        args.scaling
+        or args.live
+        or args.slo_strict
+        or any(
+            value is not None
+            for value in (
+                args.racks,
+                args.shard_jobs,
+                args.hours,
+                args.dispatch,
+                args.power_cap,
+                args.journal,
+                args.prom_out,
+                args.slo,
+                args.fleet_trace,
+            )
         )
     )
 
@@ -305,6 +351,31 @@ def _fabric_kwargs(args: argparse.Namespace) -> dict:
     }
 
 
+def _fabric_telemetry(args: argparse.Namespace):
+    """Build the fleet telemetry plane when any telemetry flag is set
+    (None otherwise — the zero-overhead default)."""
+    wanted = (
+        args.journal
+        or args.live
+        or args.prom_out
+        or args.slo
+        or args.fleet_trace
+        or args.slo_strict
+    )
+    if not wanted:
+        return None
+    from repro.obs.fleet import FleetTelemetry
+    from repro.obs.slo import parse_slo_rule
+
+    rules = [parse_slo_rule(text) for text in (args.slo or [])]
+    return FleetTelemetry(
+        journal_path=args.journal,
+        rules=rules,
+        live=args.live,
+        prom_path=args.prom_out,
+    )
+
+
 def run_fabric_focused(args: argparse.Namespace, config: RunConfig) -> int:
     """``repro fabric --racks N --shard-jobs K --hours H [--scaling]``."""
     import hashlib
@@ -312,6 +383,11 @@ def run_fabric_focused(args: argparse.Namespace, config: RunConfig) -> int:
 
     from repro.exp.fabric import run_focused
 
+    try:
+        telemetry = _fabric_telemetry(args)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     kwargs = _fabric_kwargs(args)
     shard_jobs = args.shard_jobs if args.shard_jobs is not None else 1
     if args.scaling:
@@ -330,7 +406,11 @@ def run_fabric_focused(args: argparse.Namespace, config: RunConfig) -> int:
         wall_out: dict = {}
         started = time.time()
         result = run_focused(
-            config, shard_jobs=count, wall_out=wall_out, **kwargs
+            config,
+            shard_jobs=count,
+            wall_out=wall_out,
+            telemetry=telemetry,
+            **kwargs,
         )
         elapsed_s = time.time() - started
         step_wall_s = sum(wall_out.values())
@@ -359,9 +439,94 @@ def run_fabric_focused(args: argparse.Namespace, config: RunConfig) -> int:
     print(text)
     if args.out:
         write_out(args.out, text + "\n")
+    exit_code = 0
     if args.scaling and len(set(digests)) != 1:
-        return 1
-    return 0
+        exit_code = 1
+    if telemetry is not None:
+        log = obs_log.get_logger("cli")
+        for line in telemetry.flight.summary_lines():
+            log.info("flight", run=line)
+        if args.fleet_trace:
+            from repro.obs.export import write_chrome_trace
+
+            trace = write_chrome_trace(
+                telemetry.to_trace_session(), args.fleet_trace
+            )
+            log.info(
+                "fleet_trace_written",
+                path=args.fleet_trace,
+                events=len(trace["traceEvents"]),
+                processes=len(telemetry.runs)
+                * (1 + (telemetry.runs[0].racks if telemetry.runs else 0)),
+            )
+        telemetry.close()
+        if args.journal and telemetry.journal is not None:
+            log.info(
+                "journal_written",
+                path=args.journal,
+                records=telemetry.journal.records_written,
+            )
+        if telemetry.slo_failed:
+            for verdict in telemetry.verdicts():
+                if not verdict["passed"]:
+                    log.warning(
+                        "slo_failed",
+                        run=verdict["run"],
+                        rule=verdict["rule"],
+                        violations=verdict["violations"],
+                        epochs=verdict["epochs"],
+                        worst=verdict["worst"],
+                    )
+            if args.slo_strict:
+                exit_code = 1
+    return exit_code
+
+
+def run_journal(args: argparse.Namespace) -> int:
+    """``repro journal FILE [--slo RULE ... [--slo-strict]]``: summarize
+    a fabric run journal, optionally re-checking SLO rules against the
+    journaled epoch records."""
+    from repro.obs.journal import read_journal, summarize_journal
+    from repro.obs.slo import evaluate_rules, parse_slo_rule
+
+    if not args.target:
+        print(
+            "journal mode needs a file, e.g.: repro journal fleet.jsonl",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        records, truncated = read_journal(args.target)
+    except OSError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"corrupt journal: {exc}", file=sys.stderr)
+        return 2
+    lines = summarize_journal(records, truncated)
+    failed = False
+    if args.slo:
+        try:
+            rules = [parse_slo_rule(text) for text in args.slo]
+            epochs = [r for r in records if r.get("kind") == "epoch"]
+            verdicts = evaluate_rules(rules, epochs)
+        except (KeyError, ValueError) as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        lines.append("re-checked rules:")
+        for verdict in verdicts:
+            status = "ok" if verdict["passed"] else "FAIL"
+            failed = failed or not verdict["passed"]
+            lines.append(
+                f"  slo {verdict['rule']}: {status} "
+                f"({verdict['violations']}/{verdict['epochs']} epochs "
+                f"violated, worst {verdict['worst']:.4g})"
+            )
+    text = "\n".join(lines)
+    print(text)
+    if args.out:
+        write_out(args.out, text + "\n")
+    return 1 if failed and args.slo_strict else 0
 
 
 def _cluster_focused(args: argparse.Namespace) -> bool:
@@ -448,6 +613,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         run_and_report(bench_json=args.bench_json, scale=args.bench_scale)
         return 0
+    if args.experiment == "journal":
+        return run_journal(args)
     if args.experiment == "validate-flow":
         # the grid declares its own duration; --seed still applies
         from repro.exp.flow_validation import GRID_DURATIONS, validate_flow

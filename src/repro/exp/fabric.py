@@ -20,11 +20,14 @@ same config produces a byte-identical :class:`ExperimentResult` at any
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.exp.report import ExperimentResult
 from repro.exp.server import DEFAULT_CONFIG, RunConfig
 from repro.fabric.system import FabricConfig, FabricResult, run_fabric
+
+if TYPE_CHECKING:
+    from repro.obs.fleet import FleetTelemetry
 
 SYSTEMS = ("hal", "host")
 GRID_RACKS = 2
@@ -167,12 +170,15 @@ def run_focused(
     shard_jobs: int = 1,
     systems: Sequence[str] = SYSTEMS,
     wall_out: Optional[dict] = None,
+    telemetry: Optional["FleetTelemetry"] = None,
 ) -> ExperimentResult:
     """One fabric shape, every member system — the CLI's
     ``repro fabric --racks N --shard-jobs K --hours H`` path.
 
     ``wall_out`` (never part of the payload) receives per-system
     step wall-clock from the sharded runner for the CLI to print.
+    ``telemetry`` attaches the fleet telemetry plane to every member
+    system's run (labelled by system); the payload is unchanged.
     """
     result = ExperimentResult(
         experiment="fabric",
@@ -197,9 +203,15 @@ def run_focused(
             policy=policy,
             power_cap_w=power_cap_w,
         )
-        runner = ShardedRunner(cfg.shard_specs(), SHARD_FACTORY, jobs=shard_jobs)
+        runner = ShardedRunner(
+            cfg.shard_specs(telemetry=telemetry is not None),
+            SHARD_FACTORY,
+            jobs=shard_jobs,
+        )
         try:
-            outcome = run_fabric(cfg, runner=runner)
+            outcome = run_fabric(
+                cfg, runner=runner, telemetry=telemetry, label=system
+            )
             if wall_out is not None:
                 wall_out[system] = runner.step_wall_s
         finally:

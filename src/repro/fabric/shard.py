@@ -18,9 +18,11 @@ many siblings it has.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 from repro.flow.cluster import FlowClusterSystem, RackSnapshot, RackStepper
+from repro.obs.fleet import ProbeDeltaTap
+from repro.obs.probes import ProbeRegistry
 
 
 #: dotted path the sharded runner resolves in each worker process
@@ -43,6 +45,9 @@ class RackShardSpec:
     packet_bytes: int
     train_multiplicity: int
     autoscale: bool = True
+    #: attach a local ProbeRegistry and ship per-epoch probe deltas in
+    #: every step summary (read-only: never changes the rack's evolution)
+    telemetry: bool = False
 
     def __post_init__(self) -> None:
         if self.index < 0:
@@ -85,6 +90,11 @@ class RackShard:
         )
         self.epoch = 0
         self._previous: RackSnapshot = self.stepper.snapshot()
+        self.probes: Optional[ProbeRegistry] = None
+        self._tap: Optional[ProbeDeltaTap] = None
+        if spec.telemetry:
+            self.probes = ProbeRegistry()
+            self._tap = ProbeDeltaTap(self.probes)
 
     def describe(self) -> Dict[str, float]:
         """Static facts the fleet balancer needs before the first epoch."""
@@ -94,10 +104,13 @@ class RackShard:
             "capacity_gbps": sum(self.cluster.front.capacities_gbps),
         }
 
-    def step(self, rate_gbps: float) -> Dict[str, float]:
+    def step(self, rate_gbps: float) -> Dict[str, Any]:
         """Offer ``rate_gbps`` for one epoch, advance to the barrier,
         return the epoch's boundary summary (per-epoch deltas of the
-        cumulative snapshot counters)."""
+        cumulative snapshot counters).  With ``spec.telemetry`` the
+        summary additionally carries ``"probes"`` — the local registry's
+        delta since the previous barrier — which downstream consumers
+        that only read the numeric keys ignore."""
         if self.epoch >= self.spec.epochs:
             raise RuntimeError("shard already consumed all offered epochs")
         spec = self.spec
@@ -108,7 +121,7 @@ class RackShard:
         previous = self._previous
         self._previous = snapshot
         epoch_s = spec.epoch_s
-        return {
+        summary: Dict[str, Any] = {
             "dispatched_gbps": (
                 (snapshot.dispatched_bits - previous.dispatched_bits)
                 / epoch_s
@@ -127,6 +140,28 @@ class RackShard:
                 snapshot.dropped_packets - previous.dropped_packets
             ),
         }
+        if self._tap is not None and self.probes is not None:
+            probes = self.probes
+            probes.counter("rack/dispatched_bits").inc(
+                snapshot.dispatched_bits - previous.dispatched_bits
+            )
+            probes.counter("rack/delivered_bits").inc(
+                snapshot.delivered_bits - previous.delivered_bits
+            )
+            probes.counter("rack/dropped_packets").inc(
+                snapshot.dropped_packets - previous.dropped_packets
+            )
+            sample = self.stepper.telemetry_sample()
+            probes.gauge("rack/power_w").set(summary["power_w"])
+            probes.gauge("rack/rxq_occupancy").set(float(snapshot.rxq_occupancy))
+            probes.gauge("rack/awake").set(snapshot.awake)
+            probes.gauge("rack/draining").set(sample["draining"])
+            probes.gauge("rack/asleep").set(sample["asleep"])
+            probes.gauge("rack/waking").set(sample["waking"])
+            probes.gauge("rack/backlog_packets").set(snapshot.backlog_packets)
+            probes.gauge("rack/p99_us").set(sample["p99_us"])
+            summary["probes"] = self._tap.collect()
+        return summary
 
     def finish(self, offered_gbps: Any = 0.0) -> Dict[str, Any]:
         """Drain and return the rack's final RunMetrics payload."""

@@ -23,7 +23,7 @@ in-process included).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 import repro.exp  # noqa: F401  (import order: exp must load before runner)
 from repro.fabric.control import (
@@ -38,6 +38,9 @@ from repro.net.traffic import DIURNAL_PHASES, META_TRACES, stitch_diurnal_rates
 from repro.runner.sharded import ShardedRunner
 from repro.sim.metrics import RunMetrics
 from repro.sim.rng import RngRegistry, spawn_seed
+
+if TYPE_CHECKING:
+    from repro.obs.fleet import FleetTelemetry
 
 
 @dataclass(frozen=True)
@@ -99,8 +102,12 @@ class FabricConfig:
             power_cap_w=self.power_cap_w,
         )
 
-    def shard_specs(self) -> List[RackShardSpec]:
-        """One spec per rack, each with its spawned rack seed."""
+    def shard_specs(self, telemetry: bool = False) -> List[RackShardSpec]:
+        """One spec per rack, each with its spawned rack seed.
+
+        ``telemetry=True`` marks every shard to carry a local probe
+        registry and ship per-epoch deltas (read-only — the rack's
+        evolution and payload are unchanged)."""
         multiplicity = _train_multiplicity(self)
         return [
             RackShardSpec(
@@ -116,6 +123,7 @@ class FabricConfig:
                 packet_bytes=self.packet_bytes,
                 train_multiplicity=multiplicity,
                 autoscale=self.autoscale,
+                telemetry=telemetry,
             )
             for index in range(self.racks)
         ]
@@ -239,14 +247,21 @@ def run_fabric(
     config: FabricConfig,
     shard_jobs: int = 1,
     runner: Optional[ShardedRunner] = None,
+    telemetry: Optional["FleetTelemetry"] = None,
+    label: str = "fleet",
 ) -> FabricResult:
     """Run one fabric simulation, sharded over ``shard_jobs`` workers.
 
     The result payload carries no wall-clock state; timing lives on the
     runner (``runner.step_wall_s``), which callers may pass in to read
     afterwards.
+
+    ``telemetry`` attaches the fleet telemetry plane: shards ship probe
+    deltas at every barrier and the plane journals / monitors / exports
+    the aggregated series.  Telemetry is strictly read-only — the result
+    payload is byte-identical with or without it, at every worker count.
     """
-    specs = config.shard_specs()
+    specs = config.shard_specs(telemetry=telemetry is not None)
     owns_runner = runner is None
     if runner is None:
         runner = ShardedRunner(specs, SHARD_FACTORY, jobs=shard_jobs)
@@ -256,9 +271,25 @@ def run_fabric(
             [facts["capacity_gbps"] for facts in runner.describe()],
         )
         schedule = fleet_schedule(config)
+        if telemetry is not None:
+            telemetry.begin(
+                label,
+                racks=config.racks,
+                epochs=config.epochs,
+                epoch_s=config.epoch_s,
+                meta={
+                    "servers": config.servers,
+                    "member_kind": config.member_kind,
+                    "dispatch": config.dispatch,
+                    "mix": config.mix,
+                    "model_hours": config.model_hours,
+                    "seed": config.seed,
+                    "power_cap_w": config.power_cap_w,
+                },
+            )
         offered_bits = [0.0] * config.racks
         awake_sums = [0.0] * config.racks
-        for fleet_gbps in schedule:
+        for epoch, fleet_gbps in enumerate(schedule):
             shares = balancer.split(fleet_gbps, config.epoch_s)
             summaries = runner.step(shares)
             balancer.observe(fleet_gbps, summaries)
@@ -266,6 +297,16 @@ def run_fabric(
                 offered_bits[index] += share * 1e9 * config.epoch_s
             for index, summary in enumerate(summaries):
                 awake_sums[index] += summary["awake"]
+            if telemetry is not None:
+                telemetry.on_epoch(
+                    epoch,
+                    (epoch + 1) * config.epoch_s,
+                    fleet_gbps,
+                    shares,
+                    summaries,
+                    balancer.hot_racks,
+                    balancer.throttle,
+                )
         duration_s = config.measured_duration_s
         payloads = runner.finish(
             [bits / duration_s / 1e9 for bits in offered_bits]
@@ -275,6 +316,20 @@ def run_fabric(
             runner.close()
     rack_metrics = [RunMetrics.from_dict(payload) for payload in payloads]
     fleet = _aggregate_fleet(config, schedule, rack_metrics, balancer, awake_sums)
+    if telemetry is not None:
+        telemetry.end_run(
+            {
+                "racks": config.racks,
+                "epochs": config.epochs,
+                "offered_gbps": fleet.offered_gbps,
+                "throughput_gbps": fleet.throughput_gbps,
+                "average_power_w": fleet.average_power_w,
+                "p99_latency_us": fleet.p99_latency_us,
+                "dropped_packets": fleet.dropped_packets,
+                "shed_gbps": balancer.throttled_gbps(duration_s),
+                "fleet_awake_mean": fleet.extras["fleet_awake_mean"],
+            }
+        )
     return FabricResult(
         config=config,
         fleet=fleet,

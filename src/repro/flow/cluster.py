@@ -18,6 +18,9 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, TYPE_CHECKING, Tuple
 
 from repro.cluster.autoscaler import (
+    STATE_ASLEEP,
+    STATE_DRAINING,
+    STATE_WAKING,
     AutoscalerConfig,
     ManagedServer,
     RackAutoscaler,
@@ -347,6 +350,23 @@ class FlowClusterSystem:
         return snic_bits / total_bits if total_bits > 0 else 0.0
 
 
+def weighted_quantile(samples: List[Tuple[float, float]], q: float) -> float:
+    """Quantile of ``(value, weight)`` samples; 0 for an empty window."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    total = sum(weight for _, weight in ordered)
+    if total <= 0:
+        return ordered[-1][0]
+    target = q * total
+    accumulated = 0.0
+    for value, weight in ordered:
+        accumulated += weight
+        if accumulated >= target:
+            return value
+    return ordered[-1][0]
+
+
 @dataclass(frozen=True)
 class RackSnapshot:
     """Boundary state one rack exports at an epoch barrier.
@@ -402,6 +422,7 @@ class RackStepper:
         self._window_bits = 0.0
         self._max_window_gbps = 0.0
         self._frozen: Dict[str, float] = {}
+        self._sample_marks: List[int] = [0] * len(cluster.members)
         self._finished = False
         self._stop_tick = sim.every(
             cluster.interval_s,
@@ -493,6 +514,40 @@ class RackStepper:
             awake=awake,
             energy_j=cluster.rack_power.average_watts() * now_s,
         )
+
+    def telemetry_sample(self) -> Dict[str, float]:
+        """Read-only per-epoch telemetry beyond the boundary snapshot:
+        the weighted p99 latency (µs, ToR hop included) over samples
+        that arrived since the previous call, and the autoscaler's state
+        census.  Pure observation — reads the same member sample lists
+        ``finish`` consumes without mutating any simulation state, so
+        sampling cannot perturb the payload."""
+        cluster = self.cluster
+        tor_s = cluster.front.tor_latency_s
+        window: List[Tuple[float, float]] = []
+        for position, member in enumerate(cluster.members):
+            samples = member._samples
+            mark = self._sample_marks[position]
+            window.extend(
+                (latency + tor_s, weight) for latency, weight in samples[mark:]
+            )
+            self._sample_marks[position] = len(samples)
+        out: Dict[str, float] = {
+            "p99_us": weighted_quantile(window, 0.99) * 1e6,
+            "sampled_weight": sum(weight for _, weight in window),
+            "draining": 0.0,
+            "asleep": 0.0,
+            "waking": 0.0,
+        }
+        if cluster.autoscaler is not None:
+            for server in cluster.autoscaler.servers:
+                if server.state == STATE_DRAINING:
+                    out["draining"] += 1.0
+                elif server.state == STATE_ASLEEP:
+                    out["asleep"] += 1.0
+                elif server.state == STATE_WAKING:
+                    out["waking"] += 1.0
+        return out
 
     def finish(self, offered_gbps: float) -> RunMetrics:
         """Drain, stop the control plane, assemble the rack's metrics.

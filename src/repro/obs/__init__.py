@@ -18,6 +18,14 @@ This package is the layer that captures that behaviour:
   summary that rides along in :class:`ExperimentResult` payloads.
 * :mod:`repro.obs.log` — structured ``key=value`` logging for the
   runner/CLI/bench progress output.
+* :mod:`repro.obs.journal` — the append-only JSONL run journal written
+  at every fabric epoch barrier (crash-truncation-safe, epoch-stamped).
+* :mod:`repro.obs.slo` — declarative SLO rules evaluated streaming over
+  the fleet series; verdicts land in the flight recorder.
+* :mod:`repro.obs.fleet` — the fleet telemetry plane for sharded fabric
+  runs: per-shard probe deltas over the epoch barrier, bounded
+  downsampled fleet series, live ticker, Prometheus snapshot, and the
+  multi-process Perfetto export.
 
 The one hard invariant: **untraced runs are bit-identical** to a build
 without this package — no extra simulation events, no extra RNG draws,
@@ -25,8 +33,11 @@ no payload or cache-key changes.  Everything here activates only inside
 a :func:`use_session` block (the CLI's ``repro trace`` command).
 """
 
+from repro.obs.fleet import DownsampledSeries, FleetTelemetry, ProbeDeltaTap
 from repro.obs.flight import FlightRecorder
+from repro.obs.journal import RunJournal, read_journal, summarize_journal
 from repro.obs.probes import ProbeRegistry
+from repro.obs.slo import SloMonitor, SloRule, parse_slo_rule
 from repro.obs.tracer import (
     NULL_SESSION,
     NULL_TRACER,
@@ -39,8 +50,17 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
+    "DownsampledSeries",
+    "FleetTelemetry",
     "FlightRecorder",
+    "ProbeDeltaTap",
     "ProbeRegistry",
+    "RunJournal",
+    "SloMonitor",
+    "SloRule",
+    "parse_slo_rule",
+    "read_journal",
+    "summarize_journal",
     "NULL_SESSION",
     "NULL_TRACER",
     "NullTracer",

@@ -152,6 +152,16 @@ def trace_tracks(trace: Dict[str, Any]) -> List[str]:
     ]
 
 
+def trace_processes(trace: Dict[str, Any]) -> List[str]:
+    """Process names declared in the trace, in order — one per run; the
+    fleet exporter emits one process per rack plus the control plane."""
+    return [
+        e["args"]["name"]
+        for e in trace.get("traceEvents", [])
+        if e.get("ph") == "M" and e.get("name") == "process_name"
+    ]
+
+
 # -- time-series dumps ----------------------------------------------------
 
 

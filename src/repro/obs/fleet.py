@@ -1,0 +1,606 @@
+"""The fleet telemetry plane for sharded fabric runs.
+
+PR 7 moved the flagship workloads into ``ShardedRunner`` fabric runs —
+and put every per-worker probe behind a process boundary.  This module
+is the parent-side plane that turns the epoch-barrier protocol into a
+telemetry bus:
+
+* **shard side** — :class:`ProbeDeltaTap` wraps a rack shard's local
+  :class:`~repro.obs.probes.ProbeRegistry` and emits *deltas* (changed
+  counters + current gauges, sorted names) that ride the existing
+  ``Pipe`` reply of every ``step``;
+* **parent side** — :class:`FleetTelemetry` aggregates the per-rack
+  summaries and probe deltas at each 20 ms epoch barrier into
+  fleet-wide time-series (watts, shed traffic, awake/draining servers,
+  hot set, throttle, occupancy, p99) under bounded-memory
+  :class:`DownsampledSeries`, streams an epoch-stamped JSONL
+  :class:`~repro.obs.journal.RunJournal`, evaluates declarative
+  :mod:`~repro.obs.slo` monitors, drives a :class:`LiveTicker` and a
+  Prometheus text-format snapshot, and exports a multi-process
+  Perfetto trace (one process per rack, the fleet control plane as its
+  own process).
+
+The hard invariant is inherited from :mod:`repro.obs`: with no
+``FleetTelemetry`` attached, fabric payloads are byte-identical at
+every ``--shard-jobs`` — telemetry only ever *reads* simulation state,
+so even traced payloads hash identically to untraced ones (the
+``benchmarks/check_obs_overhead.py`` gate asserts both).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Any, Dict, List, Optional, Sequence, TextIO, Tuple
+
+from repro.obs.flight import FlightRecorder
+from repro.obs.journal import SCHEMA, RunJournal
+from repro.obs.probes import ProbeRegistry
+from repro.obs.slo import SloMonitor, SloRule
+from repro.obs.tracer import TraceSession
+
+
+# -- bounded series --------------------------------------------------------
+
+
+class DownsampledSeries:
+    """A time-series that never stores more than ``max_points`` samples.
+
+    When full, the stored points are decimated 2:1 and the sampling
+    stride doubles — coverage stays uniform over the whole run, memory
+    stays in ``[max_points/2, max_points]``, and the decision is purely
+    count-driven, so the retained points are deterministic.  Running
+    aggregates (count/total/min/max/last) always cover **every** sample.
+    """
+
+    def __init__(self, name: str, max_points: int = 2048) -> None:
+        if max_points < 4:
+            raise ValueError("max_points must be >= 4")
+        self.name = name
+        self.max_points = max_points
+        self.times: List[float] = []
+        self.values: List[float] = []
+        self.stride = 1
+        self.count = 0
+        self.total = 0.0
+        self.minimum = 0.0
+        self.maximum = 0.0
+        self.last = 0.0
+
+    def append(self, t: float, value: float) -> None:
+        index = self.count
+        self.count += 1
+        self.total += value
+        self.last = value
+        if index == 0:
+            self.minimum = self.maximum = value
+        else:
+            self.minimum = min(self.minimum, value)
+            self.maximum = max(self.maximum, value)
+        if index % self.stride:
+            return
+        if len(self.times) >= self.max_points:
+            self.times = self.times[::2]
+            self.values = self.values[::2]
+            self.stride *= 2
+            if index % self.stride:
+                return
+        self.times.append(t)
+        self.values.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+# -- shard side ------------------------------------------------------------
+
+
+class ProbeDeltaTap:
+    """Ship a registry's state as per-epoch deltas, not full dumps.
+
+    Counters travel as increments since the previous collect (omitted
+    when unchanged); gauges travel by value.  Names are sorted, so the
+    shipped payload is deterministic and diffable.
+    """
+
+    def __init__(self, registry: ProbeRegistry) -> None:
+        self.registry = registry
+        self._last_counters: Dict[str, float] = {}
+
+    def collect(self) -> Dict[str, Dict[str, float]]:
+        counters: Dict[str, float] = {}
+        for name, counter in self.registry.counters():
+            previous = self._last_counters.get(name, 0.0)
+            if counter.value != previous:
+                counters[name] = counter.value - previous
+                self._last_counters[name] = counter.value
+        gauges = {name: gauge.value for name, gauge in self.registry.gauges()}
+        return {"counters": counters, "gauges": gauges}
+
+
+# -- live progress ---------------------------------------------------------
+
+
+class LiveTicker:
+    """In-terminal epoch ticker: one status line, updated in place.
+
+    Refresh cadence is *epoch-count* driven (no wall-clock reads), so a
+    ticking run stays deterministic.  On a TTY the line rewrites itself
+    with ``\\r``; on a plain stream it degrades to one line per ~10 % of
+    the run, so CI logs stay readable.
+    """
+
+    def __init__(
+        self,
+        stream: Optional[TextIO] = None,
+        refresh_epochs: Optional[int] = None,
+    ) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.refresh_epochs = refresh_epochs
+        self._is_tty = bool(getattr(self.stream, "isatty", lambda: False)())
+        self._dirty = False
+
+    def _cadence(self, total_epochs: int) -> int:
+        if self.refresh_epochs is not None:
+            return max(1, self.refresh_epochs)
+        share = 100 if self._is_tty else 10
+        return max(1, total_epochs // share)
+
+    def update(
+        self, label: str, epoch: int, total_epochs: int, record: Dict[str, Any]
+    ) -> None:
+        if (epoch + 1) % self._cadence(total_epochs) and epoch + 1 != total_epochs:
+            return
+        percent = 100.0 * (epoch + 1) / max(1, total_epochs)
+        line = (
+            f"{label}: epoch {epoch + 1}/{total_epochs} ({percent:3.0f}%)  "
+            f"offered {record['offered_gbps']:7.1f} Gbps  "
+            f"shed {record['shed_gbps']:6.2f}  "
+            f"power {record['power_w']:7.1f} W  "
+            f"awake {record['awake']:5.1f}  "
+            f"hot {record['hot_racks']:d}  "
+            f"p99 {record['p99_us']:7.1f} us"
+        )
+        if self._is_tty:
+            self.stream.write("\r" + line)
+            self._dirty = True
+        else:
+            self.stream.write(line + "\n")
+        self.stream.flush()
+
+    def close(self) -> None:
+        if self._dirty:
+            self.stream.write("\n")
+            self.stream.flush()
+            self._dirty = False
+
+
+# -- Prometheus snapshot ---------------------------------------------------
+
+_PROM_PREFIX = "hal_fabric"
+
+#: fleet-record keys exported as gauges (name, help)
+_PROM_GAUGES: Tuple[Tuple[str, str], ...] = (
+    ("epoch", "last completed epoch barrier"),
+    ("t_s", "simulated seconds at the barrier"),
+    ("offered_gbps", "fleet offered rate"),
+    ("admitted_gbps", "fleet admitted rate after power-cap throttle"),
+    ("shed_gbps", "traffic shed by the admission throttle"),
+    ("power_w", "fleet power draw"),
+    ("awake", "awake (non-asleep) servers fleet-wide"),
+    ("draining", "draining servers fleet-wide"),
+    ("hot_racks", "racks in the packing hot set"),
+    ("parked_racks", "racks receiving zero dispatch this epoch"),
+    ("throttle", "admission throttle factor"),
+    ("backlog_packets", "queued packets fleet-wide"),
+    ("rxq_occupancy", "max Rx-queue occupancy across racks"),
+    ("p99_us", "per-epoch p99 latency, worst rack"),
+    ("rack_flaps", "cumulative hot-set size changes"),
+)
+
+
+def prometheus_text(runs: Sequence[Tuple[str, Dict[str, Any]]]) -> str:
+    """Prometheus text-format snapshot of the latest epoch record of
+    each run (label becomes the ``run`` label)."""
+    lines: List[str] = []
+    for key, help_text in _PROM_GAUGES:
+        metric = f"{_PROM_PREFIX}_{key}"
+        samples = [
+            (label, record[key])
+            for label, record in runs
+            if record is not None and key in record
+        ]
+        if not samples:
+            continue
+        lines.append(f"# HELP {metric} {help_text}")
+        lines.append(f"# TYPE {metric} gauge")
+        for label, value in samples:
+            lines.append(f'{metric}{{run="{label}"}} {float(value):g}')
+    for label, record in runs:
+        if record is None:
+            continue
+        for key, per_rack in (
+            ("rack_power_w", f"{_PROM_PREFIX}_rack_power_w"),
+            ("rack_dispatched_gbps", f"{_PROM_PREFIX}_rack_dispatched_gbps"),
+            ("rack_awake", f"{_PROM_PREFIX}_rack_awake"),
+        ):
+            values = record.get(key)
+            if not values:
+                continue
+            lines.append(f"# TYPE {per_rack} gauge")
+            for rack, value in enumerate(values):
+                lines.append(
+                    f'{per_rack}{{run="{label}",rack="{rack}"}} {float(value):g}'
+                )
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus_snapshot(
+    path: str, runs: Sequence[Tuple[str, Dict[str, Any]]]
+) -> None:
+    """Atomic snapshot write (tmp + rename) so a scraper never reads a
+    half-written exposition."""
+    tmp = path + ".tmp"
+    with open(tmp, "w") as fh:
+        fh.write(prometheus_text(runs))
+    os.replace(tmp, path)
+
+
+# -- per-run aggregation ---------------------------------------------------
+
+#: fleet series kept per run (record key -> series)
+_FLEET_SERIES = (
+    "offered_gbps",
+    "admitted_gbps",
+    "shed_gbps",
+    "power_w",
+    "awake",
+    "draining",
+    "hot_racks",
+    "parked_racks",
+    "throttle",
+    "backlog_packets",
+    "rxq_occupancy",
+    "dropped_packets",
+    "p99_us",
+)
+
+#: per-rack series kept per run
+_RACK_SERIES = ("power_w", "dispatched_gbps", "awake")
+
+
+class FleetRun:
+    """One fabric run's aggregated state inside the telemetry plane."""
+
+    def __init__(
+        self,
+        label: str,
+        racks: int,
+        epochs: int,
+        epoch_s: float,
+        rules: Sequence[SloRule],
+        max_points: int,
+    ) -> None:
+        self.label = label
+        self.racks = racks
+        self.epochs = epochs
+        self.epoch_s = epoch_s
+        self.max_points = max_points
+        self.fleet_series: Dict[str, DownsampledSeries] = {
+            name: DownsampledSeries(f"fleet/{name}", max_points)
+            for name in _FLEET_SERIES
+        }
+        self.rack_series: Dict[Tuple[int, str], DownsampledSeries] = {
+            (rack, name): DownsampledSeries(f"rack{rack}/{name}", max_points)
+            for rack in range(racks)
+            for name in _RACK_SERIES
+        }
+        self.monitors = [SloMonitor(rule) for rule in rules]
+        self.violation_events: List[Tuple[int, float, str, float]] = []
+        self.flap_events: List[Tuple[int, float, int]] = []
+        self.rack_flaps = 0
+        self.last_hot_racks: Optional[int] = None
+        self.last_record: Optional[Dict[str, Any]] = None
+        self.verdicts: List[Dict[str, Any]] = []
+        self.finished = False
+
+    # -- record construction -------------------------------------------
+
+    def build_record(
+        self,
+        epoch: int,
+        t_s: float,
+        offered_gbps: float,
+        shares: Sequence[float],
+        summaries: Sequence[Dict[str, Any]],
+        hot_racks: int,
+        throttle: float,
+    ) -> Dict[str, Any]:
+        admitted_gbps = float(sum(shares))
+        power_w = sum(float(s["power_w"]) for s in summaries)
+        awake = sum(float(s["awake"]) for s in summaries)
+        backlog = sum(float(s["backlog_packets"]) for s in summaries)
+        dropped = sum(float(s["dropped_packets"]) for s in summaries)
+        rxq = max((int(s["rxq_occupancy"]) for s in summaries), default=0)
+        draining = 0.0
+        p99_us = 0.0
+        for summary in summaries:
+            gauges = summary.get("probes", {}).get("gauges", {})
+            draining += float(gauges.get("rack/draining", 0.0))
+            p99_us = max(p99_us, float(gauges.get("rack/p99_us", 0.0)))
+        flap = 0
+        if self.last_hot_racks is not None and hot_racks != self.last_hot_racks:
+            flap = 1
+            self.rack_flaps += 1
+            if len(self.flap_events) < 1000:
+                self.flap_events.append((epoch, t_s, hot_racks))
+        self.last_hot_racks = hot_racks
+        return {
+            "kind": "epoch",
+            "epoch": epoch,
+            "t_s": t_s,
+            "offered_gbps": offered_gbps,
+            "admitted_gbps": admitted_gbps,
+            "shed_gbps": max(0.0, offered_gbps - admitted_gbps),
+            "power_w": power_w,
+            "awake": awake,
+            "draining": draining,
+            "hot_racks": hot_racks,
+            "parked_racks": sum(1 for share in shares if share == 0.0),
+            "throttle": throttle,
+            "backlog_packets": backlog,
+            "rxq_occupancy": rxq,
+            "dropped_packets": dropped,
+            "p99_us": p99_us,
+            "rack_flap": flap,
+            "rack_flaps": self.rack_flaps,
+            "rack_power_w": [float(s["power_w"]) for s in summaries],
+            "rack_dispatched_gbps": [
+                float(s["dispatched_gbps"]) for s in summaries
+            ],
+            "rack_awake": [float(s["awake"]) for s in summaries],
+        }
+
+    def absorb(
+        self,
+        record: Dict[str, Any],
+        summaries: Sequence[Dict[str, Any]],
+    ) -> List[Dict[str, Any]]:
+        """Fold one epoch record into series + monitors; returns the SLO
+        violation records (possibly empty) for journaling."""
+        t_s = record["t_s"]
+        for name in _FLEET_SERIES:
+            self.fleet_series[name].append(t_s, float(record[name]))
+        for rack, summary in enumerate(summaries):
+            self.rack_series[(rack, "power_w")].append(
+                t_s, float(summary["power_w"])
+            )
+            self.rack_series[(rack, "dispatched_gbps")].append(
+                t_s, float(summary["dispatched_gbps"])
+            )
+            self.rack_series[(rack, "awake")].append(
+                t_s, float(summary["awake"])
+            )
+        violations: List[Dict[str, Any]] = []
+        for monitor in self.monitors:
+            if monitor.observe(record["epoch"], record):
+                if len(self.violation_events) < 1000:
+                    self.violation_events.append(
+                        (
+                            record["epoch"],
+                            t_s,
+                            monitor.rule.name,
+                            float(record[monitor.rule.metric]),
+                        )
+                    )
+                violations.append(
+                    {
+                        "kind": "slo",
+                        "epoch": record["epoch"],
+                        "t_s": t_s,
+                        "rule": monitor.rule.name,
+                        "value": float(record[monitor.rule.metric]),
+                        "threshold": monitor.rule.threshold,
+                    }
+                )
+        self.last_record = record
+        return violations
+
+    def finish(self) -> List[Dict[str, Any]]:
+        self.finished = True
+        self.verdicts = [monitor.verdict() for monitor in self.monitors]
+        return self.verdicts
+
+    @property
+    def slo_failed(self) -> bool:
+        return any(not v["passed"] for v in self.verdicts)
+
+
+# -- the plane -------------------------------------------------------------
+
+
+class FleetTelemetry:
+    """Orchestrates every consumer of the per-epoch fleet records.
+
+    One instance may observe several runs back to back (``repro fabric``
+    runs each member system through the same plane); each run gets its
+    own :class:`FleetRun`, and the journal/flight recorder accumulate
+    across runs.
+    """
+
+    def __init__(
+        self,
+        journal_path: Optional[str] = None,
+        rules: Sequence[SloRule] = (),
+        live: bool = False,
+        live_stream: Optional[TextIO] = None,
+        prom_path: Optional[str] = None,
+        prom_every_epochs: int = 10,
+        max_points: int = 2048,
+    ) -> None:
+        self.rules = list(rules)
+        self.journal = RunJournal(journal_path) if journal_path else None
+        self.ticker = LiveTicker(stream=live_stream) if live else None
+        self.prom_path = prom_path
+        self.prom_every_epochs = max(1, prom_every_epochs)
+        self.max_points = max_points
+        self.flight = FlightRecorder()
+        self.runs: List[FleetRun] = []
+        self._closed = False
+
+    # -- run lifecycle ---------------------------------------------------
+
+    def begin(
+        self,
+        label: str,
+        racks: int,
+        epochs: int,
+        epoch_s: float,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> FleetRun:
+        run = FleetRun(
+            label, racks, epochs, epoch_s, self.rules, self.max_points
+        )
+        self.runs.append(run)
+        if self.journal is not None:
+            record: Dict[str, Any] = {
+                "kind": "meta",
+                "schema": SCHEMA,
+                "label": label,
+                "racks": racks,
+                "epochs": epochs,
+                "epoch_s": epoch_s,
+            }
+            if meta:
+                record.update(meta)
+            self.journal.write(record)
+        return run
+
+    def on_epoch(
+        self,
+        epoch: int,
+        t_s: float,
+        offered_gbps: float,
+        shares: Sequence[float],
+        summaries: Sequence[Dict[str, Any]],
+        hot_racks: int,
+        throttle: float,
+    ) -> None:
+        run = self._current_run()
+        record = run.build_record(
+            epoch, t_s, offered_gbps, shares, summaries, hot_racks, throttle
+        )
+        violations = run.absorb(record, summaries)
+        if self.journal is not None:
+            self.journal.write(record)
+            for violation in violations:
+                self.journal.write(violation)
+        if self.ticker is not None:
+            self.ticker.update(run.label, epoch, run.epochs, record)
+        if self.prom_path is not None and (
+            (epoch + 1) % self.prom_every_epochs == 0
+            or epoch + 1 == run.epochs
+        ):
+            self.write_prometheus(self.prom_path)
+
+    def end_run(self, fleet_summary: Dict[str, Any]) -> None:
+        run = self._current_run()
+        verdicts = run.finish()
+        if self.ticker is not None:
+            self.ticker.close()
+        if self.journal is not None:
+            self.journal.write(
+                {
+                    "kind": "finish",
+                    "label": run.label,
+                    "fleet": dict(fleet_summary),
+                    "slo": verdicts,
+                }
+            )
+        self.flight.record_run(run.label, **fleet_summary, slo=verdicts)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self.prom_path is not None and self.runs:
+            self.write_prometheus(self.prom_path)
+        if self.journal is not None:
+            self.journal.close()
+        if self.ticker is not None:
+            self.ticker.close()
+
+    def __enter__(self) -> "FleetTelemetry":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def _current_run(self) -> FleetRun:
+        if not self.runs:
+            raise RuntimeError("FleetTelemetry.begin() was never called")
+        return self.runs[-1]
+
+    # -- verdict surface -------------------------------------------------
+
+    @property
+    def slo_failed(self) -> bool:
+        return any(run.slo_failed for run in self.runs)
+
+    def verdicts(self) -> List[Dict[str, Any]]:
+        out: List[Dict[str, Any]] = []
+        for run in self.runs:
+            for verdict in run.verdicts:
+                out.append(dict(verdict, run=run.label))
+        return out
+
+    # -- exporters -------------------------------------------------------
+
+    def write_prometheus(self, path: str) -> None:
+        write_prometheus_snapshot(
+            path,
+            [
+                (run.label, run.last_record)
+                for run in self.runs
+                if run.last_record is not None
+            ],
+        )
+
+    def to_trace_session(self) -> TraceSession:
+        """Multi-process Perfetto view: one trace process per rack, the
+        fleet control plane as its own process, counters fed from the
+        (bounded) downsampled series, instants for SLO violations and
+        hot-set changes."""
+        session = TraceSession()
+        for run in self.runs:
+            fleet = session.new_run(f"{run.label}/fleet")
+            for name in _FLEET_SERIES:
+                series = run.fleet_series[name]
+                for t, value in zip(series.times, series.values):
+                    fleet.counter(name, name, t, value)
+            for epoch, t_s, hot in run.flap_events:
+                fleet.instant(
+                    "decisions",
+                    "hot_set_change",
+                    t_s,
+                    {"epoch": epoch, "hot_racks": hot},
+                )
+            for epoch, t_s, rule, value in run.violation_events:
+                fleet.instant(
+                    "slo",
+                    "violation",
+                    t_s,
+                    {"epoch": epoch, "rule": rule, "value": value},
+                )
+            for rack in range(run.racks):
+                tracer = session.new_run(f"{run.label}/rack{rack}")
+                for name in _RACK_SERIES:
+                    series = run.rack_series[(rack, name)]
+                    for t, value in zip(series.times, series.values):
+                        tracer.counter(name, name, t, value)
+        session.flight = self.flight
+        return session

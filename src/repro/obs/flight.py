@@ -61,5 +61,23 @@ class FlightRecorder:
                     for c in captures
                 )
                 parts.append(f"capture_invariants={'ok' if ok else 'VIOLATED'}")
+            verdicts = run.get("slo")
+            if verdicts:
+                failed = sum(1 for v in verdicts if not v.get("passed"))
+                parts.append(
+                    "slo=ok" if failed == 0 else f"slo=FAIL({failed} rule"
+                    + ("s)" if failed != 1 else ")")
+                )
             lines.append("  ".join(parts))
+            if verdicts:
+                for verdict in verdicts:
+                    if verdict.get("passed"):
+                        continue
+                    lines.append(
+                        f"    slo {verdict.get('rule')}: "
+                        f"{verdict.get('violations', 0)}/"
+                        f"{verdict.get('epochs', 0)} epochs violated, "
+                        f"worst {verdict.get('worst', 0.0):.4g} "
+                        f"(first at epoch {verdict.get('first_violation_epoch')})"
+                    )
         return lines

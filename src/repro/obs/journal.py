@@ -1,0 +1,164 @@
+"""The run journal: an append-only JSONL stream of a fabric run.
+
+A multi-hour sharded fabric run used to be a telemetry black hole — the
+operator saw nothing between launch and the final table.  The journal
+is the durable half of the fleet telemetry plane: one JSON object per
+line, written and flushed at every epoch barrier, so
+
+* a crash (or ``kill -9``) loses at most the half-written last line —
+  :func:`read_journal` tolerates exactly that truncation;
+* records are **epoch-stamped** (simulated seconds, never wall clock),
+  so two runs of the same spec produce byte-identical journals at every
+  worker count — journals diff like any other payload;
+* the stream is consumable while the run is still going (``tail -f``,
+  or the ``repro journal`` summarizer on a live file).
+
+Record kinds (all carry ``"kind"``):
+
+``meta``
+    One per run (a journal may hold several runs back to back): label,
+    fabric shape, epoch count/length, schema version.
+``epoch``
+    One per epoch barrier: the aggregated fleet record (offered /
+    admitted / shed Gbps, watts, awake/draining servers, hot racks,
+    throttle, occupancy, backlog, p99, flap counters) plus compact
+    per-rack arrays.
+``slo``
+    One per epoch in which an SLO rule is violated (rule, value,
+    threshold).
+``finish``
+    One per run: final fleet aggregates and the SLO verdict list.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, TextIO, Tuple
+
+SCHEMA = 1
+
+
+def encode_record(record: Dict[str, Any]) -> str:
+    """One canonical JSONL line (sorted keys, no whitespace)."""
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+class RunJournal:
+    """Append-only JSONL writer, flushed per record (crash-safe)."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.records_written = 0
+        self._fh: Optional[TextIO] = open(path, "w")
+
+    def write(self, record: Dict[str, Any]) -> None:
+        if self._fh is None:
+            raise ValueError(f"journal {self.path} already closed")
+        self._fh.write(encode_record(record) + "\n")
+        self._fh.flush()
+        self.records_written += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+def read_journal(path: str) -> Tuple[List[Dict[str, Any]], bool]:
+    """Parse a journal; returns ``(records, truncated)``.
+
+    A half-written **last** line (the crash case the flush-per-record
+    protocol permits) is dropped and reported as ``truncated=True``; a
+    malformed line anywhere else is a real corruption and raises.
+    """
+    records: List[Dict[str, Any]] = []
+    truncated = False
+    with open(path) as fh:
+        lines = fh.read().split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    for index, line in enumerate(lines):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            if index == len(lines) - 1:
+                truncated = True
+                break
+            raise ValueError(
+                f"{path}:{index + 1}: corrupt journal line (not the last "
+                f"line, so not crash truncation): {line[:80]!r}"
+            )
+        if not isinstance(record, dict):
+            raise ValueError(f"{path}:{index + 1}: journal line is not an object")
+        records.append(record)
+    return records, truncated
+
+
+def summarize_journal(
+    records: List[Dict[str, Any]], truncated: bool = False
+) -> List[str]:
+    """Human-readable digest of a journal, one run per block."""
+    lines: List[str] = []
+    runs: List[Dict[str, Any]] = []
+    for record in records:
+        kind = record.get("kind")
+        if kind == "meta":
+            runs.append({"meta": record, "epochs": [], "slo": [], "finish": None})
+        elif not runs:
+            continue  # tolerate a journal whose head was truncated away
+        elif kind == "epoch":
+            runs[-1]["epochs"].append(record)
+        elif kind == "slo":
+            runs[-1]["slo"].append(record)
+        elif kind == "finish":
+            runs[-1]["finish"] = record
+    for run in runs:
+        meta = run["meta"]
+        epochs = run["epochs"]
+        lines.append(
+            f"run {meta.get('label', '?')}: {meta.get('racks', '?')} racks, "
+            f"{len(epochs)}/{meta.get('epochs', '?')} epochs journaled "
+            f"(epoch {meta.get('epoch_s', 0) * 1e3:g} ms)"
+        )
+        if epochs:
+            power = [e["power_w"] for e in epochs if "power_w" in e]
+            shed = [e["shed_gbps"] for e in epochs if "shed_gbps" in e]
+            p99 = [e["p99_us"] for e in epochs if "p99_us" in e]
+            if power:
+                lines.append(
+                    f"  power_w mean {sum(power) / len(power):.1f} "
+                    f"max {max(power):.1f}"
+                )
+            if shed:
+                lines.append(
+                    f"  shed_gbps mean {sum(shed) / len(shed):.3f} "
+                    f"max {max(shed):.3f}"
+                )
+            if p99:
+                lines.append(f"  p99_us max {max(p99):.1f}")
+        if run["slo"]:
+            lines.append(f"  slo violations journaled: {len(run['slo'])}")
+        finish = run["finish"]
+        if finish is not None:
+            verdicts = finish.get("slo", [])
+            for verdict in verdicts:
+                status = "ok" if verdict.get("passed") else "FAIL"
+                lines.append(
+                    f"  slo {verdict.get('rule')}: {status} "
+                    f"({verdict.get('violations', 0)}/"
+                    f"{verdict.get('epochs', 0)} epochs violated, "
+                    f"worst {verdict.get('worst', 0.0):.4g})"
+                )
+        elif epochs:
+            lines.append("  (no finish record: run interrupted)")
+    if truncated:
+        lines.append("journal truncated mid-line (crash tail dropped)")
+    if not runs:
+        lines.append("empty journal (no meta records)")
+    return lines

@@ -8,12 +8,22 @@ can capture and parse the output deterministically.
 Result *tables* (the product of an experiment run) still go to stdout
 via plain ``print`` — this module is for progress and diagnostics,
 which belong on stderr.
+
+Worker processes (the sharded runner's long-lived shard workers) do not
+share the parent's stderr ordering: raw writes from K workers interleave
+mid-line.  :func:`set_capture` diverts emitted records into a buffer the
+worker ships back over its pipe with every protocol reply; the parent
+replays them through its own logger (see
+:meth:`StructuredLogger.emit_at`), tagged with the worker's shard block.
 """
 
 from __future__ import annotations
 
 import sys
-from typing import Any, Dict, TextIO
+from typing import Any, Callable, Dict, Optional, TextIO, Tuple
+
+#: one captured record: (logger name, level, event, fields)
+LogRecord = Tuple[str, int, str, Dict[str, Any]]
 
 DEBUG = 10
 INFO = 20
@@ -29,6 +39,7 @@ LEVELS: Dict[str, int] = {
 
 _level = INFO
 _stream: TextIO = sys.stderr
+_capture: Optional[Callable[[LogRecord], None]] = None
 
 
 def set_level(level: object) -> None:
@@ -50,6 +61,15 @@ def set_stream(stream: TextIO) -> None:
     """Redirect log output (tests point this at a buffer)."""
     global _stream
     _stream = stream
+
+
+def set_capture(sink: Optional[Callable[[LogRecord], None]]) -> None:
+    """Divert records that pass the level filter into ``sink`` instead of
+    the stream (``None`` restores direct output).  Worker processes
+    install a buffer here so their records travel the pipe instead of
+    interleaving raw on a shared stderr."""
+    global _capture
+    _capture = sink
 
 
 def format_value(value: Any) -> str:
@@ -80,7 +100,15 @@ class StructuredLogger:
     def _emit(self, level: int, event: str, fields: Dict[str, Any]) -> None:
         if level < _level:
             return
+        if _capture is not None:
+            _capture((self.name, level, event, dict(fields)))
+            return
         print(kv_line(self.name, event, fields), file=_stream, flush=True)
+
+    def emit_at(self, level: int, event: str, **fields: Any) -> None:
+        """Emit at an explicit numeric level (the replay path for records
+        captured in worker processes)."""
+        self._emit(level, event, fields)
 
     def debug(self, event: str, **fields: Any) -> None:
         self._emit(DEBUG, event, fields)

@@ -15,7 +15,7 @@ are ``/``-separated paths, ``<scope>/<component>/<metric>``, e.g.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.sim.metrics import TimeSeries
 
@@ -103,9 +103,26 @@ class ProbeRegistry:
     def series_names(self) -> List[str]:
         return sorted(self._series)
 
+    # -- deterministic iteration -----------------------------------------
+    # Every exported view walks probes in sorted-name order, regardless
+    # of creation order, so journals, CSV dumps and shipped deltas diff
+    # cleanly across runs and worker counts.
+
+    def counters(self) -> Iterator[Tuple[str, Counter]]:
+        for name in sorted(self._counters):
+            yield name, self._counters[name]
+
+    def gauges(self) -> Iterator[Tuple[str, Gauge]]:
+        for name in sorted(self._gauges):
+            yield name, self._gauges[name]
+
+    def series_items(self) -> Iterator[Tuple[str, SeriesProbe]]:
+        for name in sorted(self._series):
+            yield name, self._series[name]
+
     # -- export ----------------------------------------------------------
     def snapshot(self) -> Dict[str, object]:
-        """JSON-safe dump of every probe's current state."""
+        """JSON-safe dump of every probe's current state (sorted names)."""
         return {
             "counters": {n: c.value for n, c in sorted(self._counters.items())},
             "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
@@ -120,7 +137,11 @@ class ProbeRegistry:
         }
 
     def to_csv(self, names: Optional[List[str]] = None) -> str:
-        """Long-form CSV (``series,time_s,value``) of the time-series."""
+        """Long-form CSV (``series,time_s,value``) of the time-series.
+
+        Without ``names``, series appear in sorted-name order (stable
+        across runs); an explicit ``names`` list is honoured as given.
+        """
         selected = names if names is not None else self.series_names()
         lines = ["series,time_s,value"]
         for name in selected:

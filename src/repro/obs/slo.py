@@ -1,0 +1,131 @@
+"""Declarative SLO monitors over the aggregated fleet series.
+
+A rule is a comparison over one metric of the per-epoch fleet record
+(``"power_w<=900"``, ``"shed_gbps<=0.5"``, ``"p99_us<=2000"``,
+``"rack_flaps<=4"``).  Monitors evaluate streaming — one
+:meth:`SloMonitor.observe` call per epoch barrier — so a violation is
+caught (and journaled) the epoch it happens, not after a multi-hour run
+completes.  Verdicts land in the flight recorder, and the CLI's
+``--slo-strict`` turns any failed rule into a non-zero exit code.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+#: comparison operators, longest first so the parser matches ``<=`` before ``<``
+_OPS = ("<=", ">=", "<", ">")
+
+_RULE_RE = re.compile(
+    r"^\s*([A-Za-z_][A-Za-z0-9_/]*)\s*(<=|>=|<|>)\s*([-+0-9.eE]+)\s*$"
+)
+
+
+@dataclass(frozen=True)
+class SloRule:
+    """One declarative bound on a fleet-record metric."""
+
+    metric: str
+    op: str
+    threshold: float
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ValueError(f"unknown SLO operator {self.op!r}; known: {_OPS}")
+
+    @property
+    def name(self) -> str:
+        return f"{self.metric}{self.op}{self.threshold:g}"
+
+    def holds(self, value: float) -> bool:
+        if self.op == "<=":
+            return value <= self.threshold
+        if self.op == ">=":
+            return value >= self.threshold
+        if self.op == "<":
+            return value < self.threshold
+        return value > self.threshold
+
+
+def parse_slo_rule(text: str) -> SloRule:
+    """Parse ``"metric<=value"`` (also ``>=``, ``<``, ``>``)."""
+    match = _RULE_RE.match(text)
+    if not match:
+        raise ValueError(
+            f"cannot parse SLO rule {text!r}; expected metric<=value, "
+            "e.g. 'power_w<=900' or 'shed_gbps<=0.5'"
+        )
+    metric, op, threshold = match.groups()
+    return SloRule(metric=metric, op=op, threshold=float(threshold))
+
+
+class SloMonitor:
+    """Streaming evaluator for one rule: per-epoch observe, final verdict."""
+
+    def __init__(self, rule: SloRule) -> None:
+        self.rule = rule
+        self.epochs = 0
+        self.violations = 0
+        self.worst: Optional[float] = None
+        self.first_violation_epoch: Optional[int] = None
+
+    def observe(self, epoch: int, record: Dict[str, Any]) -> bool:
+        """Fold one epoch's fleet record; returns True when this epoch
+        violates the rule.  Unknown metrics fail loudly — a typo'd rule
+        that silently always passes is worse than no rule."""
+        rule = self.rule
+        if rule.metric not in record:
+            known = ", ".join(sorted(k for k, v in record.items()
+                                     if isinstance(v, (int, float))))
+            raise KeyError(
+                f"SLO rule {rule.name!r}: metric {rule.metric!r} is not in "
+                f"the fleet epoch record; known metrics: {known}"
+            )
+        value = float(record[rule.metric])
+        self.epochs += 1
+        # "worst" is the value farthest in the violating direction
+        if self.worst is None:
+            self.worst = value
+        elif rule.op in ("<=", "<"):
+            self.worst = max(self.worst, value)
+        else:
+            self.worst = min(self.worst, value)
+        if rule.holds(value):
+            return False
+        self.violations += 1
+        if self.first_violation_epoch is None:
+            self.first_violation_epoch = epoch
+        return True
+
+    @property
+    def passed(self) -> bool:
+        return self.violations == 0
+
+    def verdict(self) -> Dict[str, Any]:
+        """The JSON-safe verdict that lands in the flight recorder and
+        the journal's finish record."""
+        return {
+            "rule": self.rule.name,
+            "metric": self.rule.metric,
+            "op": self.rule.op,
+            "threshold": self.rule.threshold,
+            "epochs": self.epochs,
+            "violations": self.violations,
+            "first_violation_epoch": self.first_violation_epoch,
+            "worst": self.worst if self.worst is not None else 0.0,
+            "passed": self.passed,
+        }
+
+
+def evaluate_rules(
+    rules: List[SloRule], records: List[Dict[str, Any]]
+) -> List[Dict[str, Any]]:
+    """Batch evaluation (the ``repro journal`` re-check path): run every
+    rule over a list of already-journaled epoch records."""
+    monitors = [SloMonitor(rule) for rule in rules]
+    for epoch, record in enumerate(records):
+        for monitor in monitors:
+            monitor.observe(record.get("epoch", epoch), record)
+    return [monitor.verdict() for monitor in monitors]

@@ -25,6 +25,15 @@ results are byte-identical at every worker count.
 
 Wall-clock accounting (``step_wall_s``) lives here, in the runner layer,
 so the simulation payloads themselves stay free of wall-clock reads.
+
+Worker logging: a worker process must not write raw lines to the shared
+stderr (K workers interleave mid-line, and under spawn the stream may not
+even be inherited).  Each worker diverts its :mod:`repro.obs.log` records
+into a buffer (:func:`repro.obs.log.set_capture`) and ships the drained
+buffer with every protocol reply; the parent replays them through its own
+logger, tagged ``worker=<index> shards=<start>:<stop>``.  Replies are
+``(status, payload, logs)`` triples — the parent also accepts legacy
+2-tuples so a mixed-version pipe fails soft.
 """
 
 from __future__ import annotations
@@ -35,7 +44,8 @@ import traceback
 from time import perf_counter
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
-from repro.obs.log import get_logger
+from repro.obs import log as obs_log
+from repro.obs.log import LogRecord, get_logger
 
 log = get_logger("runner.sharded")
 
@@ -59,12 +69,24 @@ def resolve_factory(path: str) -> Callable[[Any], Any]:
 
 
 def _shard_worker(conn: Any, factory_path: str, specs: Sequence[Any]) -> None:
-    """Worker loop: build this block's shards, answer barrier requests."""
+    """Worker loop: build this block's shards, answer barrier requests.
+
+    Every reply ships the log records buffered since the previous reply
+    so the parent can replay them on its own stream in order.
+    """
+    records: List[LogRecord] = []
+    obs_log.set_capture(records.append)
+
+    def drain() -> List[LogRecord]:
+        drained = list(records)
+        records.clear()
+        return drained
+
     try:
         factory = resolve_factory(factory_path)
         shards = [factory(spec) for spec in specs]
     except Exception:
-        conn.send(("error", traceback.format_exc()))
+        conn.send(("error", traceback.format_exc(), drain()))
         conn.close()
         return
     try:
@@ -74,19 +96,17 @@ def _shard_worker(conn: Any, factory_path: str, specs: Sequence[Any]) -> None:
                 break
             try:
                 if op == "describe":
-                    conn.send(("ok", [shard.describe() for shard in shards]))
+                    reply: Any = [shard.describe() for shard in shards]
                 elif op == "step":
-                    conn.send(
-                        ("ok", [s.step(x) for s, x in zip(shards, payload)])
-                    )
+                    reply = [s.step(x) for s, x in zip(shards, payload)]
                 elif op == "finish":
-                    conn.send(
-                        ("ok", [s.finish(x) for s, x in zip(shards, payload)])
-                    )
+                    reply = [s.finish(x) for s, x in zip(shards, payload)]
                 else:
-                    conn.send(("error", f"unknown op {op!r}"))
+                    conn.send(("error", f"unknown op {op!r}", drain()))
+                    continue
+                conn.send(("ok", reply, drain()))
             except Exception:
-                conn.send(("error", traceback.format_exc()))
+                conn.send(("error", traceback.format_exc(), drain()))
     except (EOFError, KeyboardInterrupt):
         pass
     finally:
@@ -171,16 +191,33 @@ class ShardedRunner:
             except (BrokenPipeError, OSError) as exc:
                 raise self._worker_died(exc)
         results: List[Any] = []
-        for conn in self._conns:
+        for index, conn in enumerate(self._conns):
             try:
-                status, payload = conn.recv()
+                message = conn.recv()
             except (EOFError, OSError) as exc:
                 raise self._worker_died(exc)
+            status, payload = message[0], message[1]
+            self._replay_logs(index, message[2] if len(message) > 2 else [])
             if status != "ok":
                 self.close()
                 raise ShardWorkerError(f"shard worker failed:\n{payload}")
             results.extend(payload)
         return results
+
+    def _replay_logs(self, worker_index: int, records: Sequence[LogRecord]) -> None:
+        """Re-emit a worker's captured records on the parent's stream,
+        tagged with the worker's identity and shard block."""
+        if not records:
+            return
+        start, stop = self._blocks[worker_index]
+        for name, level, event, fields in records:
+            get_logger(name).emit_at(
+                level,
+                event,
+                **fields,
+                worker=worker_index,
+                shards=f"{start}:{stop}",
+            )
 
     def _worker_died(self, exc: Exception) -> ShardWorkerError:
         codes = [worker.exitcode for worker in self._workers]
