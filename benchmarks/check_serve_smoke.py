@@ -1,0 +1,150 @@
+#!/usr/bin/env python
+"""CI serve-smoke gate: daemon checkpoint/kill/restart/resume identity.
+
+Usage: python benchmarks/check_serve_smoke.py [--duration 0.1] [--shard-jobs 2]
+
+The end-to-end claim of service mode, exercised across *real* process
+boundaries:
+
+1. compute the uninterrupted payload sha in-process (ground truth);
+2. spawn a `repro serve` daemon as a subprocess;
+3. submit a small fabric job over the HTTP API;
+4. checkpoint it mid-run (the job drains to the next epoch barrier);
+5. SIGKILL the daemon — no cleanup, no goodbye;
+6. start a fresh daemon on the same state directory (kill recovery
+   must surface the job as paused/resumable);
+7. resume; wait for completion; the payload sha256 must equal the
+   uninterrupted run's byte for byte;
+8. exercise the journal endpoint: meta/epoch/interrupt records before
+   the kill, appended meta/finish after the resume.
+
+The daemon job runs with --shard-jobs workers while the ground-truth
+sha is computed in-process at shard_jobs=1, so the gate also covers
+worker-count independence of checkpoints.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+ROOT = pathlib.Path(__file__).parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+
+def uninterrupted_sha(duration: float) -> str:
+    from repro.exp.server import RunConfig
+    from repro.serve.checkpoint import FabricJobParams, run_resumable
+
+    outcome = run_resumable(
+        RunConfig(duration_s=duration), FabricJobParams(racks=2, servers=2)
+    )
+    assert outcome.result is not None
+    blob = json.dumps(
+        outcome.result.to_dict(), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def spawn_daemon(state_dir: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--state-dir", state_dir],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--duration", type=float, default=0.1)
+    parser.add_argument("--shard-jobs", type=int, default=2)
+    args = parser.parse_args(argv)
+
+    from repro.serve.client import connect
+
+    expected = uninterrupted_sha(args.duration)
+    print(f"uninterrupted payload sha256: {expected}")
+
+    with tempfile.TemporaryDirectory(prefix="serve-smoke-") as state_dir:
+        daemon = spawn_daemon(state_dir)
+        try:
+            client = connect(state_dir, wait_s=30.0)
+            job = client.submit_fabric(
+                run_config={"duration_s": args.duration},
+                params={"racks": 2, "servers": 2},
+                shard_jobs=args.shard_jobs,
+            )
+            job_id = job["id"]
+            print(f"submitted {job_id}")
+
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline:
+                job = client.status(job_id)
+                progress = job.get("progress") or {}
+                if progress.get("epoch", -1) >= 2:
+                    break
+                if job["status"] != "running" and job["status"] != "queued":
+                    break
+                time.sleep(0.02)
+            assert job["status"] == "running", f"job finished too fast: {job}"
+            client.checkpoint(job_id)
+            job = client.wait(job_id, timeout=120.0)
+            assert job["status"] == "paused", f"expected paused: {job}"
+            print(f"paused: {job['detail']}")
+
+            records, cursor = client.journal(job_id)
+            kinds = [r["kind"] for r in records]
+            assert kinds and kinds[0] == "meta", kinds
+            assert "interrupt" in kinds, f"no interrupt record: {kinds}"
+            print(f"journal before kill: {kinds}")
+        finally:
+            daemon.send_signal(signal.SIGKILL)
+            daemon.wait(timeout=30)
+        print("daemon SIGKILLed")
+
+        daemon = spawn_daemon(state_dir)
+        try:
+            client = connect(state_dir, wait_s=30.0)
+            job = client.status(job_id)
+            assert job["status"] == "paused", f"recovery lost the job: {job}"
+            print(f"recovered as paused: {job['detail']}")
+
+            client.resume(job_id)
+            job = client.wait(job_id, timeout=300.0)
+            assert job["status"] == "done", f"resume failed: {job}"
+            actual = job["payload_sha256"]
+            print(f"resumed payload sha256:       {actual}")
+            assert actual == expected, (
+                f"payload diverged after kill/resume:\n"
+                f"  expected {expected}\n  actual   {actual}"
+            )
+
+            tail, _ = client.journal(job_id, since=cursor)
+            tail_kinds = [r["kind"] for r in tail]
+            assert "finish" in tail_kinds, f"no finish after resume: {tail_kinds}"
+            print(f"journal after resume: {tail_kinds}")
+
+            client.shutdown()
+            daemon.wait(timeout=30)
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.wait(timeout=30)
+
+    print("serve-smoke ok: kill/restart/resume is byte-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

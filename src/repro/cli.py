@@ -13,6 +13,10 @@ Usage::
     python -m repro fabric --racks 8 --shard-jobs 4 --journal fleet.jsonl \\
         --slo "power_w<=900" --slo-strict --live --fleet-trace fleet.json
     python -m repro journal fleet.jsonl                 # summarize a journal
+    python -m repro fabric --racks 8 --checkpoint run.ckpt   # interruptible
+    python -m repro fabric --resume run.ckpt            # continue, any -K
+    python -m repro serve --state-dir .repro-serve      # local job daemon
+    python -m repro cache --gc --max-age 7              # cache stats / GC
 
 Each experiment prints the reproduced table/figure series; ``--out``
 additionally writes it to a file (like the artifact's per-figure .txt
@@ -59,7 +63,9 @@ def build_parser() -> argparse.ArgumentParser:
         "'journal' (summarize a fabric run journal; see the 'target' "
         "argument), or 'lint' (determinism/invariant static analysis; "
         "`hal-repro lint --help`), or 'validate-flow' (flow-mode "
-        "cross-validation against packet-mode ground truth; see --grid)",
+        "cross-validation against packet-mode ground truth; see --grid), "
+        "or 'serve' (the local job daemon; `hal-repro serve --help`), or "
+        "'cache' (result-cache stats and GC; `hal-repro cache --help`)",
     )
     parser.add_argument(
         "target", nargs="?", default=None,
@@ -203,6 +209,28 @@ def build_parser() -> argparse.ArgumentParser:
         "counts, and report the wall-clock speedup",
     )
     parser.add_argument(
+        "--checkpoint", type=str, default=None, metavar="FILE",
+        help="fabric mode: enable pause/resume — SIGINT/SIGTERM (or "
+        "--pause-at-epoch) drain to the next epoch barrier, write a "
+        "versioned checkpoint here, and exit 3 with a resume hint; "
+        "without it an interrupt still drains cleanly but persists "
+        "nothing",
+    )
+    parser.add_argument(
+        "--resume", type=str, default=None, metavar="FILE",
+        help="fabric mode: continue a checkpointed run (the checkpoint "
+        "carries the whole job, so shape flags like --racks are ignored; "
+        "--shard-jobs is free to differ from the pausing run). Further "
+        "interrupts re-checkpoint to the same file unless --checkpoint "
+        "names another",
+    )
+    parser.add_argument(
+        "--pause-at-epoch", type=int, default=None, metavar="N",
+        help="fabric mode: checkpoint the first system once it completes "
+        "N epochs and exit 3 (the deterministic test/CI pause knob; "
+        "requires --checkpoint)",
+    )
+    parser.add_argument(
         "--journal", type=str, default=None, metavar="FILE",
         help="fabric mode: stream an epoch-stamped JSONL run journal "
         "(flushed per record; read back with 'repro journal FILE')",
@@ -335,6 +363,9 @@ def _fabric_focused(args: argparse.Namespace) -> bool:
                 args.prom_out,
                 args.slo,
                 args.fleet_trace,
+                args.checkpoint,
+                args.resume,
+                args.pause_at_epoch,
             )
         )
     )
@@ -373,7 +404,94 @@ def _fabric_telemetry(args: argparse.Namespace):
         rules=rules,
         live=args.live,
         prom_path=args.prom_out,
+        # resumed runs append so the paused run's journal survives
+        journal_append=bool(getattr(args, "resume", None)),
     )
+
+
+def _run_fabric_resumable(args: argparse.Namespace, config: RunConfig, telemetry) -> int:
+    """The checkpoint-aware focused fabric path: run through
+    :func:`repro.serve.checkpoint.run_resumable` under a
+    :class:`~repro.runner.sharded.DrainSignal`, so SIGINT/SIGTERM (and
+    ``--pause-at-epoch``) drain to the next epoch barrier instead of
+    killing workers mid-epoch.  Exit 3 = paused (resumable when a
+    checkpoint file was written)."""
+    from repro.runner.sharded import DrainSignal
+    from repro.serve.checkpoint import (
+        EXPERIMENT_KIND,
+        FabricJobParams,
+        load_checkpoint_job,
+        pause_at_epoch,
+        run_resumable,
+    )
+    from repro.serve.snapshot import CheckpointError, read_checkpoint
+
+    resume_body = None
+    if args.resume:
+        try:
+            resume_body = read_checkpoint(args.resume, EXPERIMENT_KIND)
+            run_config, params = load_checkpoint_job(resume_body)
+        except CheckpointError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+    else:
+        run_config = config
+        params = FabricJobParams(**_fabric_kwargs(args))
+    checkpoint_path = args.checkpoint or args.resume
+    epoch_hook = (
+        pause_at_epoch(args.pause_at_epoch)
+        if args.pause_at_epoch is not None
+        else None
+    )
+    drain = DrainSignal()
+
+    def should_pause(system: str, epoch: int) -> bool:
+        if drain.triggered:
+            return True
+        return epoch_hook is not None and epoch_hook(system, epoch)
+
+    shard_jobs = args.shard_jobs if args.shard_jobs is not None else 1
+    with drain:
+        try:
+            outcome = run_resumable(
+                run_config,
+                params,
+                shard_jobs=shard_jobs,
+                checkpoint_path=checkpoint_path,
+                should_pause=should_pause,
+                resume_body=resume_body,
+                telemetry=telemetry,
+            )
+        except CheckpointError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+    if outcome.paused:
+        resumable = checkpoint_path is not None
+        if telemetry is not None:
+            telemetry.interrupt(
+                epoch=outcome.paused_epoch or 0,
+                signame=drain.signame,
+                resumable=resumable,
+            )
+        cause = drain.signame or "--pause-at-epoch"
+        print(
+            f"{cause}: drained mid-{outcome.paused_system} at epoch "
+            f"{outcome.paused_epoch} "
+            + (
+                f"— resumable from epoch {outcome.paused_epoch}: "
+                f"repro fabric --resume {checkpoint_path}"
+                if resumable
+                else "— nothing persisted (re-run with --checkpoint FILE "
+                "to make interruptions resumable)"
+            ),
+            file=sys.stderr,
+        )
+        return 3
+    text = outcome.result.to_text()
+    print(text)
+    if args.out:
+        write_out(args.out, text + "\n")
+    return 0
 
 
 def run_fabric_focused(args: argparse.Namespace, config: RunConfig) -> int:
@@ -383,21 +501,34 @@ def run_fabric_focused(args: argparse.Namespace, config: RunConfig) -> int:
 
     from repro.exp.fabric import run_focused
 
+    checkpointing = bool(
+        args.checkpoint or args.resume or args.pause_at_epoch is not None
+    )
+    if args.scaling and checkpointing:
+        print(
+            "--scaling re-runs the same job at several worker counts; it "
+            "cannot be combined with --checkpoint/--resume/--pause-at-epoch",
+            file=sys.stderr,
+        )
+        return 2
+    if args.pause_at_epoch is not None and not (args.checkpoint or args.resume):
+        print("--pause-at-epoch requires --checkpoint (or --resume)", file=sys.stderr)
+        return 2
     try:
         telemetry = _fabric_telemetry(args)
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    if not args.scaling:
+        exit_code = _run_fabric_resumable(args, config, telemetry)
+        return _fabric_telemetry_epilogue(args, telemetry, exit_code)
     kwargs = _fabric_kwargs(args)
     shard_jobs = args.shard_jobs if args.shard_jobs is not None else 1
-    if args.scaling:
-        counts = [1]
-        while counts[-1] * 2 <= max(shard_jobs, 2):
-            counts.append(counts[-1] * 2)
-        if shard_jobs not in counts and shard_jobs > 1:
-            counts.append(shard_jobs)
-    else:
-        counts = [shard_jobs]
+    counts = [1]
+    while counts[-1] * 2 <= max(shard_jobs, 2):
+        counts.append(counts[-1] * 2)
+    if shard_jobs not in counts and shard_jobs > 1:
+        counts.append(shard_jobs)
     digests = []
     lines = []
     result = None
@@ -428,20 +559,25 @@ def run_fabric_focused(args: argparse.Namespace, config: RunConfig) -> int:
             f"{speedup / count:.0%}), payload {digest[:16]}…"
         )
     text = result.to_text()
-    if args.scaling:
-        text += "\n\nscaling (wall-clock lives outside the payload):\n"
-        text += "\n".join(lines)
-        identical = len(set(digests)) == 1
-        text += (
-            "\n  payloads byte-identical across worker counts: "
-            f"{'yes' if identical else 'NO — DETERMINISM BUG'}"
-        )
+    text += "\n\nscaling (wall-clock lives outside the payload):\n"
+    text += "\n".join(lines)
+    identical = len(set(digests)) == 1
+    text += (
+        "\n  payloads byte-identical across worker counts: "
+        f"{'yes' if identical else 'NO — DETERMINISM BUG'}"
+    )
     print(text)
     if args.out:
         write_out(args.out, text + "\n")
     exit_code = 0
-    if args.scaling and len(set(digests)) != 1:
+    if len(set(digests)) != 1:
         exit_code = 1
+    return _fabric_telemetry_epilogue(args, telemetry, exit_code)
+
+
+def _fabric_telemetry_epilogue(
+    args: argparse.Namespace, telemetry, exit_code: int
+) -> int:
     if telemetry is not None:
         log = obs_log.get_logger("cli")
         for line in telemetry.flight.summary_lines():
@@ -478,7 +614,9 @@ def run_fabric_focused(args: argparse.Namespace, config: RunConfig) -> int:
                         worst=verdict["worst"],
                     )
             if args.slo_strict:
-                exit_code = 1
+                # don't mask a paused run's exit 3 (its verdicts are
+                # interim — the run has not seen every epoch yet)
+                exit_code = exit_code or 1
     return exit_code
 
 
@@ -585,6 +723,67 @@ def run_traced(args: argparse.Namespace, config: RunConfig) -> int:
     return 0
 
 
+def run_cache_mode(argv: List[str]) -> int:
+    """``repro cache [--gc] [--max-age D] [--max-bytes N]``: stats and
+    eviction for the content-addressed result cache."""
+    from repro.runner.cache import ResultCache
+
+    parser = argparse.ArgumentParser(
+        prog="hal-repro cache",
+        description="result-cache stats and garbage collection",
+    )
+    parser.add_argument(
+        "--cache-dir", type=str, default=DEFAULT_CACHE_DIR,
+        help=f"result cache directory (default {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--gc", action="store_true",
+        help="evict entries (stale code-salt tiers always go; add "
+        "--max-age/--max-bytes for age/size limits)",
+    )
+    parser.add_argument(
+        "--max-age", type=float, default=None, metavar="DAYS",
+        help="with --gc: evict entries older than DAYS (fractional ok)",
+    )
+    parser.add_argument(
+        "--max-bytes", type=int, default=None, metavar="N",
+        help="with --gc: evict oldest-first until the cache fits in N bytes",
+    )
+    args = parser.parse_args(argv)
+    if (args.max_age is not None or args.max_bytes is not None) and not args.gc:
+        print("--max-age/--max-bytes only apply with --gc", file=sys.stderr)
+        return 2
+    cache = ResultCache(args.cache_dir)
+    if args.gc:
+        summary = cache.gc(
+            max_age_s=None if args.max_age is None else args.max_age * 86400.0,
+            max_bytes=args.max_bytes,
+        )
+        print(
+            f"gc: removed {summary['removed']} entries "
+            f"({summary['freed_bytes']:,} bytes); "
+            f"{summary['remaining_entries']} entries "
+            f"({summary['remaining_bytes']:,} bytes) remain"
+        )
+        return 0
+    stats = cache.stats()
+    print(f"cache {stats['root']} (code salt {stats['code_salt']})")
+    print(
+        f"  {stats['entries']} entries, {stats['bytes']:,} bytes "
+        f"({stats['stale_entries']} stale — unreachable until --gc)"
+    )
+    last = stats["last_batch"]
+    if last:
+        print(
+            f"  last run: {last['jobs']} jobs, {last['cached']} cached, "
+            f"{last['executed']} executed "
+            f"(hit rate {last['hit_rate']:.0%})"
+        )
+    else:
+        print("  last run: none recorded")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "lint":
@@ -593,6 +792,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.lint.cli import main as lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "serve":
+        # `hal-repro serve` likewise owns its flags (--state-dir, --port)
+        from repro.serve.daemon import main as serve_main
+
+        return serve_main(argv[1:])
+    if argv and argv[0] == "cache":
+        return run_cache_mode(argv[1:])
     args = build_parser().parse_args(argv)
     if args.verbose:
         obs_log.set_level("debug")

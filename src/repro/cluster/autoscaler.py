@@ -25,13 +25,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.cluster.fronttier import FrontTierPort
 from repro.cluster.policies import ServerSlot
 from repro.cluster.power import RackPowerModel
 from repro.core.systems import ServerSystem
-from repro.sim.engine import Simulator
+from repro.sim.engine import EventHandle, Simulator
 
 STATE_AWAKE = "awake"
 STATE_DRAINING = "draining"
@@ -124,6 +124,9 @@ class RackAutoscaler:
         self._capacity_mean = sum(s.capacity_gbps for s in self.servers) / len(
             self.servers
         )
+        # in-flight wake completions by server index — named (not closure)
+        # events so checkpoint code can snapshot and re-arm them
+        self._pending_wakes: Dict[int, EventHandle] = {}
         self._stop = sim.every(config.period_s, self._tick)
 
     def stop(self) -> None:
@@ -160,20 +163,23 @@ class RackAutoscaler:
                 {"rate_gbps": round(self.rate_ewma_gbps, 3)},
             )
 
-        def finish_wake() -> None:
-            self._advance_integral()
-            self.rack_power.wake_server(index)
-            for engine in server.system.engines():
-                # engines with their own sleep management (HAL host cores)
-                # stay parked until traffic demands them; everything else
-                # resumes polling immediately
-                if engine.sleeping and not engine.sleep_enabled:
-                    engine.sleeping = False
-                    engine._notify_power()
-            server.state = STATE_AWAKE
-            server.slot.routable = True
+        self._pending_wakes[index] = self.sim.schedule(
+            self.config.wake_latency_s, self._finish_wake, server
+        )
 
-        self.sim.schedule(self.config.wake_latency_s, finish_wake)
+    def _finish_wake(self, server: ManagedServer) -> None:
+        self._pending_wakes.pop(server.slot.index, None)
+        self._advance_integral()
+        self.rack_power.wake_server(server.slot.index)
+        for engine in server.system.engines():
+            # engines with their own sleep management (HAL host cores)
+            # stay parked until traffic demands them; everything else
+            # resumes polling immediately
+            if engine.sleeping and not engine.sleep_enabled:
+                engine.sleeping = False
+                engine._notify_power()
+        server.state = STATE_AWAKE
+        server.slot.routable = True
 
     def _drain(self, server: ManagedServer) -> None:
         self._advance_integral()

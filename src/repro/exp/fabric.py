@@ -55,7 +55,7 @@ COLUMNS = (
 )
 
 
-def _fabric_config(
+def fabric_config(
     config: RunConfig,
     system: str,
     racks: int,
@@ -66,6 +66,9 @@ def _fabric_config(
     policy: str = "packing",
     power_cap_w: float = 0.0,
 ) -> FabricConfig:
+    """One member system's :class:`FabricConfig` for a fabric shape
+    (shared by :func:`run_focused` and the resumable serve driver, which
+    must build byte-identical configs)."""
     return FabricConfig(
         racks=racks,
         servers=servers,
@@ -84,7 +87,7 @@ def _fabric_config(
     )
 
 
-def _add_fabric_row(
+def add_fabric_row(
     result: ExperimentResult, cfg: FabricConfig, outcome: FabricResult
 ) -> None:
     fleet = outcome.fleet
@@ -125,6 +128,36 @@ def _add_ee_notes(result: ExperimentResult) -> None:
         )
 
 
+def focused_result(
+    racks: int,
+    servers: int,
+    dispatch: str,
+    mix: str,
+    model_hours: float,
+) -> ExperimentResult:
+    """The empty result shell of one focused fabric run.  Split out of
+    :func:`run_focused` so the resumable driver in
+    :mod:`repro.serve.checkpoint` assembles the identical payload."""
+    return ExperimentResult(
+        experiment="fabric",
+        title=(
+            f"Fabric-scale: {racks} racks x {servers} servers, "
+            f"{dispatch} dispatch, {model_hours:g} h of the {mix!r} mix"
+        ),
+        columns=COLUMNS,
+    )
+
+
+def finalize_focused(result: ExperimentResult) -> ExperimentResult:
+    """Stamp the focused run's closing notes (counterpart of
+    :func:`focused_result`; see there)."""
+    _add_ee_notes(result)
+    result.add_note(
+        "fabric numbers are derived, not paper-anchored (see EXPERIMENTS.md)"
+    )
+    return result
+
+
 def run(
     config: RunConfig = DEFAULT_CONFIG,
     systems: Sequence[str] = SYSTEMS,
@@ -138,7 +171,7 @@ def run(
         columns=COLUMNS,
     )
     for system in systems:
-        cfg = _fabric_config(
+        cfg = fabric_config(
             config,
             system,
             racks=GRID_RACKS,
@@ -147,7 +180,7 @@ def run(
             mix="mix",
             model_hours=24.0,
         )
-        _add_fabric_row(result, cfg, run_fabric(cfg, shard_jobs=1))
+        add_fabric_row(result, cfg, run_fabric(cfg, shard_jobs=1))
     _add_ee_notes(result)
     result.add_note(
         "fabric numbers are derived, not paper-anchored: diurnal phases, "
@@ -180,19 +213,12 @@ def run_focused(
     ``telemetry`` attaches the fleet telemetry plane to every member
     system's run (labelled by system); the payload is unchanged.
     """
-    result = ExperimentResult(
-        experiment="fabric",
-        title=(
-            f"Fabric-scale: {racks} racks x {servers} servers, "
-            f"{dispatch} dispatch, {model_hours:g} h of the {mix!r} mix"
-        ),
-        columns=COLUMNS,
-    )
+    result = focused_result(racks, servers, dispatch, mix, model_hours)
     from repro.fabric.shard import SHARD_FACTORY
     from repro.runner.sharded import ShardedRunner
 
     for system in systems:
-        cfg = _fabric_config(
+        cfg = fabric_config(
             config,
             system,
             racks=racks,
@@ -216,9 +242,5 @@ def run_focused(
                 wall_out[system] = runner.step_wall_s
         finally:
             runner.close()
-        _add_fabric_row(result, cfg, outcome)
-    _add_ee_notes(result)
-    result.add_note(
-        "fabric numbers are derived, not paper-anchored (see EXPERIMENTS.md)"
-    )
-    return result
+        add_fabric_row(result, cfg, outcome)
+    return finalize_focused(result)

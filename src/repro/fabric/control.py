@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Sequence, Tuple
 
 #: cross-rack dispatch policies
 FABRIC_DISPATCH: Tuple[str, ...] = ("spread", "packing", "headroom")
@@ -220,6 +220,42 @@ class FleetBalancer:
             "power_ewma_w": self.power_ewma_w,
             "rate_ewma_gbps": self.rate_ewma_gbps,
         }
+
+    # -- checkpoint/restore ----------------------------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        """The balancer's full mutable state, JSON-safe (capacities are
+        rebuilt from the shard specs, so they travel only as a check)."""
+        return {
+            "capacities_gbps": list(self.capacities_gbps),
+            "rate_ewma_gbps": self.rate_ewma_gbps,
+            "power_ewma_w": self.power_ewma_w,
+            "dispatched_ewma_gbps": list(self.dispatched_ewma_gbps),
+            "hot_racks": self.hot_racks,
+            "throttle": self.throttle,
+            "throttled_bits": self.throttled_bits,
+            "epochs": self.epochs,
+            "hot_epoch_sum": self._hot_epoch_sum,
+            "surplus_epochs": self._surplus_epochs,
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        if list(state["capacities_gbps"]) != self.capacities_gbps:
+            raise ValueError(
+                "checkpoint rack capacities do not match this fabric "
+                "(different config or shard layout)"
+            )
+        self.rate_ewma_gbps = float(state["rate_ewma_gbps"])
+        self.power_ewma_w = float(state["power_ewma_w"])
+        self.dispatched_ewma_gbps = [
+            float(v) for v in state["dispatched_ewma_gbps"]
+        ]
+        self.hot_racks = int(state["hot_racks"])
+        self.throttle = float(state["throttle"])
+        self.throttled_bits = float(state["throttled_bits"])
+        self.epochs = int(state["epochs"])
+        self._hot_epoch_sum = float(state["hot_epoch_sum"])
+        self._surplus_epochs = int(state["surplus_epochs"])
 
 
 def spawn_rack_name(index: int) -> str:

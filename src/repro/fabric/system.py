@@ -23,7 +23,7 @@ in-process included).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
 import repro.exp  # noqa: F401  (import order: exp must load before runner)
 from repro.fabric.control import (
@@ -243,12 +243,45 @@ def _aggregate_fleet(
     return fleet
 
 
+class FabricPaused(Exception):
+    """Raised by :func:`run_fabric` when the ``pause`` hook fired at an
+    epoch barrier.  Carries the parent-side loop state a checkpoint
+    needs; the per-rack shard states are the caller's to snapshot (the
+    caller owns the runner whenever ``pause`` is in play).
+    """
+
+    def __init__(
+        self,
+        epoch: int,
+        offered_bits: List[float],
+        awake_sums: List[float],
+        balancer_state: Dict[str, Any],
+    ) -> None:
+        super().__init__(f"fabric run paused after epoch {epoch}")
+        #: epochs fully completed (resume starts here)
+        self.epoch = epoch
+        self.offered_bits = offered_bits
+        self.awake_sums = awake_sums
+        self.balancer_state = balancer_state
+
+    def resume_state(self) -> Dict[str, Any]:
+        """The ``resume=`` argument for the continuing :func:`run_fabric`."""
+        return {
+            "epoch": self.epoch,
+            "offered_bits": list(self.offered_bits),
+            "awake_sums": list(self.awake_sums),
+            "balancer": self.balancer_state,
+        }
+
+
 def run_fabric(
     config: FabricConfig,
     shard_jobs: int = 1,
     runner: Optional[ShardedRunner] = None,
     telemetry: Optional["FleetTelemetry"] = None,
     label: str = "fleet",
+    pause: Optional[Callable[[int], bool]] = None,
+    resume: Optional[Dict[str, Any]] = None,
 ) -> FabricResult:
     """Run one fabric simulation, sharded over ``shard_jobs`` workers.
 
@@ -260,9 +293,22 @@ def run_fabric(
     deltas at every barrier and the plane journals / monitors / exports
     the aggregated series.  Telemetry is strictly read-only — the result
     payload is byte-identical with or without it, at every worker count.
+
+    ``pause`` is the checkpoint hook: called with the just-completed
+    epoch index at each barrier (except the last — a fully-run fabric
+    just finishes); returning True raises :class:`FabricPaused` with the
+    parent-side loop state.  ``resume`` restarts the loop from a prior
+    pause's :meth:`FabricPaused.resume_state` — the caller must pass a
+    runner whose shards were already restored to the same barrier.  Both
+    require a caller-owned ``runner`` (the caller snapshots its shards).
     """
     specs = config.shard_specs(telemetry=telemetry is not None)
     owns_runner = runner is None
+    if owns_runner and (pause is not None or resume is not None):
+        raise ValueError(
+            "pause/resume need a caller-owned runner (its shards carry "
+            "the checkpointed state)"
+        )
     if runner is None:
         runner = ShardedRunner(specs, SHARD_FACTORY, jobs=shard_jobs)
     try:
@@ -289,7 +335,19 @@ def run_fabric(
             )
         offered_bits = [0.0] * config.racks
         awake_sums = [0.0] * config.racks
-        for epoch, fleet_gbps in enumerate(schedule):
+        start_epoch = 0
+        if resume is not None:
+            start_epoch = int(resume["epoch"])
+            if not 0 <= start_epoch < len(schedule):
+                raise ValueError(
+                    f"resume epoch {start_epoch} outside the schedule "
+                    f"({len(schedule)} epochs)"
+                )
+            offered_bits = [float(v) for v in resume["offered_bits"]]
+            awake_sums = [float(v) for v in resume["awake_sums"]]
+            balancer.restore_state(resume["balancer"])
+        for epoch in range(start_epoch, len(schedule)):
+            fleet_gbps = schedule[epoch]
             shares = balancer.split(fleet_gbps, config.epoch_s)
             summaries = runner.step(shares)
             balancer.observe(fleet_gbps, summaries)
@@ -306,6 +364,17 @@ def run_fabric(
                     summaries,
                     balancer.hot_racks,
                     balancer.throttle,
+                )
+            if (
+                pause is not None
+                and epoch + 1 < len(schedule)
+                and pause(epoch)
+            ):
+                raise FabricPaused(
+                    epoch + 1,
+                    list(offered_bits),
+                    list(awake_sums),
+                    balancer.state_dict(),
                 )
         duration_s = config.measured_duration_s
         payloads = runner.finish(

@@ -31,7 +31,21 @@ SIM_DOMAIN_PACKAGES: FrozenSet[str] = frozenset(
 #: telemetry code that reports wall time but never feeds it back into
 #: simulated results
 WALL_CLOCK_ZONES: FrozenSet[str] = frozenset(
-    {"runner", "obs", "cli", "bench", "__main__", "lint"}
+    {"runner", "obs", "cli", "bench", "__main__", "lint", "serve"}
+)
+
+#: module-level overrides inside otherwise wall-clock packages: the
+#: ``repro.serve`` package is a wall-clock zone (daemon, client — real
+#: sockets and threads), but its checkpoint/restore half produces and
+#: replays simulation state, so those modules carry the full sim-domain
+#: discipline (a wall-clock read there would leak into payload bytes)
+SIM_DOMAIN_MODULES: FrozenSet[Tuple[str, str]] = frozenset(
+    {
+        ("serve", "snapshot"),
+        ("serve", "state"),
+        ("serve", "checkpoint"),
+        ("serve", "planner"),
+    }
 )
 
 #: the one module allowed to construct raw ``random`` streams — it is
@@ -84,10 +98,15 @@ class FileContext:
 
     @property
     def in_sim_domain(self) -> bool:
-        return self.package in SIM_DOMAIN_PACKAGES
+        return (
+            self.package in SIM_DOMAIN_PACKAGES
+            or self.module_parts[:2] in SIM_DOMAIN_MODULES
+        )
 
     @property
     def in_wall_clock_zone(self) -> bool:
+        if self.module_parts[:2] in SIM_DOMAIN_MODULES:
+            return False
         return self.package in WALL_CLOCK_ZONES or not self.module_parts
 
     @property

@@ -441,9 +441,14 @@ class FleetTelemetry:
         prom_path: Optional[str] = None,
         prom_every_epochs: int = 10,
         max_points: int = 2048,
+        journal_append: bool = False,
     ) -> None:
         self.rules = list(rules)
-        self.journal = RunJournal(journal_path) if journal_path else None
+        self.journal = (
+            RunJournal(journal_path, append=journal_append)
+            if journal_path
+            else None
+        )
         self.ticker = LiveTicker(stream=live_stream) if live else None
         self.prom_path = prom_path
         self.prom_every_epochs = max(1, prom_every_epochs)
@@ -506,6 +511,28 @@ class FleetTelemetry:
             or epoch + 1 == run.epochs
         ):
             self.write_prometheus(self.prom_path)
+
+    def interrupt(
+        self, epoch: int, signame: str = "", resumable: bool = False
+    ) -> None:
+        """Journal a drain-at-barrier interruption as the run's final
+        record (kind ``interrupt``): the epoch count the run completed,
+        which signal asked for the drain, and whether a checkpoint makes
+        it resumable.  The journal reader renders it in place of the
+        ``finish`` record an uninterrupted run would have written."""
+        run = self._current_run()
+        if self.ticker is not None:
+            self.ticker.close()
+        if self.journal is not None:
+            self.journal.write(
+                {
+                    "kind": "interrupt",
+                    "label": run.label,
+                    "epoch": epoch,
+                    "signal": signame,
+                    "resumable": bool(resumable),
+                }
+            )
 
     def end_run(self, fleet_summary: Dict[str, Any]) -> None:
         run = self._current_run()

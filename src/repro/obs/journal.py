@@ -28,6 +28,10 @@ Record kinds (all carry ``"kind"``):
     threshold).
 ``finish``
     One per run: final fleet aggregates and the SLO verdict list.
+``interrupt``
+    At most one per run, *instead of* ``finish``: the run drained to an
+    epoch barrier and stopped early (signal name, epochs completed,
+    whether a checkpoint makes it resumable).
 """
 
 from __future__ import annotations
@@ -46,10 +50,10 @@ def encode_record(record: Dict[str, Any]) -> str:
 class RunJournal:
     """Append-only JSONL writer, flushed per record (crash-safe)."""
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str, append: bool = False) -> None:
         self.path = path
         self.records_written = 0
-        self._fh: Optional[TextIO] = open(path, "w")
+        self._fh: Optional[TextIO] = open(path, "a" if append else "w")
 
     def write(self, record: Dict[str, Any]) -> None:
         if self._fh is None:
@@ -109,7 +113,15 @@ def summarize_journal(
     for record in records:
         kind = record.get("kind")
         if kind == "meta":
-            runs.append({"meta": record, "epochs": [], "slo": [], "finish": None})
+            runs.append(
+                {
+                    "meta": record,
+                    "epochs": [],
+                    "slo": [],
+                    "finish": None,
+                    "interrupt": None,
+                }
+            )
         elif not runs:
             continue  # tolerate a journal whose head was truncated away
         elif kind == "epoch":
@@ -118,6 +130,8 @@ def summarize_journal(
             runs[-1]["slo"].append(record)
         elif kind == "finish":
             runs[-1]["finish"] = record
+        elif kind == "interrupt":
+            runs[-1]["interrupt"] = record
     for run in runs:
         meta = run["meta"]
         epochs = run["epochs"]
@@ -155,6 +169,18 @@ def summarize_journal(
                     f"{verdict.get('epochs', 0)} epochs violated, "
                     f"worst {verdict.get('worst', 0.0):.4g})"
                 )
+        elif run["interrupt"] is not None:
+            interrupt = run["interrupt"]
+            tail = (
+                "checkpointed, resumable"
+                if interrupt.get("resumable")
+                else "no checkpoint"
+            )
+            signame = interrupt.get("signal") or "pause"
+            lines.append(
+                f"  interrupted by {signame} after epoch "
+                f"{interrupt.get('epoch', '?')} ({tail})"
+            )
         elif epochs:
             lines.append("  (no finish record: run interrupted)")
     if truncated:

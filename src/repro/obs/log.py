@@ -103,7 +103,12 @@ class StructuredLogger:
         if _capture is not None:
             _capture((self.name, level, event, dict(fields)))
             return
-        print(kv_line(self.name, event, fields), file=_stream, flush=True)
+        try:
+            print(kv_line(self.name, event, fields), file=_stream, flush=True)
+        except ValueError:
+            # the stream can close under a logging thread (a daemon job
+            # finishing while the process tears down); drop, don't die
+            pass
 
     def emit_at(self, level: int, event: str, **fields: Any) -> None:
         """Emit at an explicit numeric level (the replay path for records

@@ -139,6 +139,12 @@ class Runner:
             self._run_pool(report, specs, pending)
 
         report.wall_s = time.time() - started
+        if self.cache is not None:
+            # persisted next to the entries so `repro cache` can report
+            # the last run's hit rate after the process is gone
+            self.cache.record_batch(
+                len(specs), report.cached_count, report.executed_count
+            )
         if strict and report.failures:
             first = report.failures[0]
             raise RunnerError(

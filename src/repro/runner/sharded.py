@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import importlib
 import multiprocessing as mp
+import signal
 import traceback
 from time import perf_counter
 from typing import Any, Callable, List, Optional, Sequence, Tuple
@@ -74,6 +75,13 @@ def _shard_worker(conn: Any, factory_path: str, specs: Sequence[Any]) -> None:
     Every reply ships the log records buffered since the previous reply
     so the parent can replay them on its own stream in order.
     """
+    # a terminal Ctrl-C delivers SIGINT to the whole foreground process
+    # group; workers ignore it so in-flight epochs complete and the
+    # *parent* decides how to drain (see DrainSignal)
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except ValueError:  # pragma: no cover - not the main thread
+        pass
     records: List[LogRecord] = []
     obs_log.set_capture(records.append)
 
@@ -101,6 +109,10 @@ def _shard_worker(conn: Any, factory_path: str, specs: Sequence[Any]) -> None:
                     reply = [s.step(x) for s, x in zip(shards, payload)]
                 elif op == "finish":
                     reply = [s.finish(x) for s, x in zip(shards, payload)]
+                elif op == "apply":
+                    func_path, items = payload
+                    func = resolve_factory(func_path)
+                    reply = [func(s, x) for s, x in zip(shards, items)]
                 else:
                     conn.send(("error", f"unknown op {op!r}", drain()))
                     continue
@@ -173,7 +185,12 @@ class ShardedRunner:
 
     # -- protocol ops ----------------------------------------------------
 
-    def _scatter_gather(self, op: str, inputs: Optional[Sequence[Any]]) -> List[Any]:
+    def _scatter_gather(
+        self,
+        op: str,
+        inputs: Optional[Sequence[Any]],
+        func_path: Optional[str] = None,
+    ) -> List[Any]:
         if self._closed:
             raise ShardWorkerError("runner already closed")
         if self.jobs == 1:
@@ -182,10 +199,16 @@ class ShardedRunner:
             assert inputs is not None
             if op == "step":
                 return [s.step(x) for s, x in zip(self._shards, inputs)]
+            if op == "apply":
+                assert func_path is not None
+                func = resolve_factory(func_path)
+                return [func(s, x) for s, x in zip(self._shards, inputs)]
             return [s.finish(x) for s, x in zip(self._shards, inputs)]
         # scatter to every worker first so the blocks advance concurrently
         for conn, (start, stop) in zip(self._conns, self._blocks):
             payload = None if inputs is None else list(inputs[start:stop])
+            if op == "apply":
+                payload = (func_path, payload)
             try:
                 conn.send((op, payload))
             except (BrokenPipeError, OSError) as exc:
@@ -255,6 +278,26 @@ class ShardedRunner:
             )
         return self._scatter_gather("finish", inputs)
 
+    def apply(
+        self, func_path: str, inputs: Optional[Sequence[Any]] = None
+    ) -> List[Any]:
+        """Apply ``"module:function"(shard, input)`` to every shard, in
+        shard order — the extension point checkpointing uses to snapshot
+        (``repro.serve.state:shard_state``) and restore shard state
+        without teaching the barrier protocol about any one shard type.
+
+        The function must be resolvable in the worker process (a
+        module-level callable), and inputs/outputs must be picklable.
+        """
+        if inputs is None:
+            inputs = [None] * len(self.specs)
+        if len(inputs) != len(self.specs):
+            raise ValueError(
+                f"apply needs one input per shard "
+                f"({len(inputs)} != {len(self.specs)})"
+            )
+        return self._scatter_gather("apply", inputs, func_path=func_path)
+
     # -- lifecycle -------------------------------------------------------
 
     def close(self) -> None:
@@ -279,3 +322,45 @@ class ShardedRunner:
 
     def __exit__(self, *exc: Any) -> None:
         self.close()
+
+
+class DrainSignal:
+    """Flag-setting SIGINT/SIGTERM trap for barrier-drained shutdown.
+
+    Shard workers ignore SIGINT (see :func:`_shard_worker`), so a Ctrl-C
+    never kills a rack mid-epoch; the parent installs this trap and polls
+    ``triggered`` at each epoch barrier to drain, checkpoint, and exit
+    cleanly instead of dying with half a fleet in flight.  A second
+    signal while draining raises :class:`KeyboardInterrupt` — the
+    escape hatch when the drain itself hangs.
+
+    Outside the main thread (where ``signal.signal`` is unavailable) the
+    trap degrades to an inert flag, so service-mode job threads can share
+    the same pause plumbing.
+    """
+
+    def __init__(self, signals: Sequence[int] = (signal.SIGINT, signal.SIGTERM)) -> None:
+        self.signals = tuple(signals)
+        self.triggered = False
+        self.signame = ""
+        self._previous: List[Tuple[int, Any]] = []
+
+    def _handle(self, signum: int, frame: Any) -> None:
+        if self.triggered:
+            raise KeyboardInterrupt
+        self.triggered = True
+        self.signame = signal.Signals(signum).name
+        log.info("drain_requested", signal=self.signame)
+
+    def __enter__(self) -> "DrainSignal":
+        for sig in self.signals:
+            try:
+                self._previous.append((sig, signal.signal(sig, self._handle)))
+            except ValueError:  # pragma: no cover - not the main thread
+                pass
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        for sig, handler in self._previous:
+            signal.signal(sig, handler)
+        self._previous = []

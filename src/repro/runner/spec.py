@@ -120,6 +120,28 @@ class JobSpec:
             params=_freeze_params(params),
         )
 
+    @classmethod
+    def from_canonical(cls, data: Dict[str, Any]) -> "JobSpec":
+        """Inverse of :meth:`canonical` — the wire format the serve
+        daemon accepts sweep cells in (``spec.canonical()`` round-trips
+        to an equal spec with the identical content hash)."""
+        try:
+            params = tuple(
+                (str(key), value) for key, value in data.get("params", [])
+            )
+            return cls(
+                op=data["op"],
+                config=RunConfig(**data["config"]),
+                kind=data.get("kind"),
+                function=data.get("function"),
+                rate_gbps=data.get("rate_gbps"),
+                trace=data.get("trace"),
+                name=data.get("name"),
+                params=params,
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise ValueError(f"not a canonical job spec: {error}") from error
+
     # -- identity -------------------------------------------------------
 
     def canonical(self) -> Dict[str, Any]:

@@ -1,0 +1,32 @@
+"""Service mode: checkpoint/restore, the ``repro serve`` daemon, and
+incremental sweep planning.
+
+The package splits along the simulation/wall-clock boundary:
+
+* :mod:`repro.serve.snapshot` — the versioned, integrity-checked
+  checkpoint container (pure data, simulation domain);
+* :mod:`repro.serve.state` — per-shard state walkers that snapshot a
+  :class:`~repro.fabric.shard.RackShard` at an epoch barrier and
+  restore it into a freshly built shard (simulation domain);
+* :mod:`repro.serve.checkpoint` — the resumable fabric-experiment
+  driver: pause at a barrier, persist, resume in a fresh process with a
+  byte-identical final payload (simulation domain);
+* :mod:`repro.serve.planner` — incremental sweep planning over the
+  content-addressed result cache (simulation domain);
+* :mod:`repro.serve.daemon` / :mod:`repro.serve.client` — the local
+  HTTP job service (wall-clock zone: real sockets, threads and files).
+"""
+
+from repro.serve.snapshot import (
+    SNAPSHOT_VERSION,
+    CheckpointError,
+    read_checkpoint,
+    write_checkpoint,
+)
+
+__all__ = [
+    "SNAPSHOT_VERSION",
+    "CheckpointError",
+    "read_checkpoint",
+    "write_checkpoint",
+]

@@ -1,0 +1,160 @@
+"""Thin stdlib client for the ``repro serve`` HTTP API.
+
+Wall-clock zone (real sockets and polling).  Used by the serve tests,
+the CI ``serve-smoke`` gate, and any local tooling that wants to talk
+to the daemon without hand-rolling HTTP.  :func:`connect` discovers a
+running daemon from its ``state_dir/daemon.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from http.client import HTTPConnection
+from typing import Any, Dict, List, Optional, Tuple
+
+
+class ServeError(RuntimeError):
+    """The daemon answered with an error (or not at all)."""
+
+    def __init__(self, code: int, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+
+
+class ServeClient:
+    """One daemon endpoint; every call opens a short-lived connection."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 0, timeout: float = 30.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- transport -------------------------------------------------------
+
+    def request(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            payload = None if body is None else json.dumps(body)
+            headers = {"Content-Type": "application/json"} if payload else {}
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            data = json.loads(response.read().decode("utf-8"))
+            if response.status >= 400:
+                raise ServeError(
+                    response.status, data.get("error", "unknown error")
+                )
+            return data
+        finally:
+            conn.close()
+
+    # -- API calls -------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return self.request("GET", "/health")
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self.request("GET", "/jobs")["jobs"]
+
+    def submit(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        return self.request("POST", "/jobs", body)["job"]
+
+    def submit_fabric(
+        self,
+        run_config: Optional[Dict[str, Any]] = None,
+        params: Optional[Dict[str, Any]] = None,
+        shard_jobs: int = 1,
+    ) -> Dict[str, Any]:
+        return self.submit(
+            {
+                "kind": "fabric",
+                "run_config": run_config or {},
+                "params": params or {},
+                "shard_jobs": shard_jobs,
+            }
+        )
+
+    def submit_sweep(
+        self, specs: List[Dict[str, Any]], jobs: int = 1
+    ) -> Dict[str, Any]:
+        return self.submit({"kind": "sweep", "specs": specs, "jobs": jobs})
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self.request("GET", f"/jobs/{job_id}")["job"]
+
+    def checkpoint(self, job_id: str) -> Dict[str, Any]:
+        return self.request("POST", f"/jobs/{job_id}/checkpoint")["job"]
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self.request("POST", f"/jobs/{job_id}/cancel")["job"]
+
+    def resume(self, job_id: str) -> Dict[str, Any]:
+        return self.request("POST", f"/jobs/{job_id}/resume")["job"]
+
+    def journal(
+        self, job_id: str, since: int = 0
+    ) -> Tuple[List[Dict[str, Any]], int]:
+        data = self.request("GET", f"/jobs/{job_id}/journal?since={since}")
+        return data["records"], data["next"]
+
+    def shutdown(self) -> None:
+        self.request("POST", "/shutdown")
+
+    # -- polling helpers -------------------------------------------------
+
+    def wait(
+        self,
+        job_id: str,
+        statuses: Tuple[str, ...] = ("done", "failed", "paused", "cancelled"),
+        timeout: float = 120.0,
+        poll_s: float = 0.05,
+    ) -> Dict[str, Any]:
+        """Poll until the job reaches one of ``statuses``."""
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.status(job_id)
+            if job["status"] in statuses:
+                return job
+            if time.monotonic() > deadline:
+                raise ServeError(
+                    408,
+                    f"job {job_id} still {job['status']!r} after {timeout}s",
+                )
+            time.sleep(poll_s)
+
+
+def read_daemon_info(state_dir: str) -> Dict[str, Any]:
+    """The ``daemon.json`` a live daemon writes (pid/host/port)."""
+    with open(os.path.join(state_dir, "daemon.json")) as fh:
+        info = json.load(fh)
+    if not isinstance(info, dict) or "port" not in info:
+        raise ValueError(f"{state_dir}/daemon.json is not a daemon record")
+    return info
+
+
+def connect(
+    state_dir: str, timeout: float = 30.0, wait_s: float = 10.0
+) -> ServeClient:
+    """Discover the daemon behind ``state_dir`` and wait until its API
+    answers (a freshly spawned daemon needs a beat to bind)."""
+    deadline = time.monotonic() + wait_s
+    last_error: Optional[Exception] = None
+    while time.monotonic() < deadline:
+        try:
+            info = read_daemon_info(state_dir)
+            client = ServeClient(
+                host=info.get("host", "127.0.0.1"),
+                port=int(info["port"]),
+                timeout=timeout,
+            )
+            client.health()
+            return client
+        except Exception as error:  # noqa: BLE001 - retried until deadline
+            last_error = error
+            time.sleep(0.05)
+    raise ServeError(503, f"no daemon behind {state_dir!r}: {last_error}")

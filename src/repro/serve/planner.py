@@ -1,0 +1,92 @@
+"""Incremental sweep planning over the content-addressed result cache.
+
+A parameter sweep is a list of :class:`~repro.runner.spec.JobSpec`
+cells.  Because a spec's content hash closes over *everything* that
+determines its result (shape knobs, :class:`RunConfig`, seed — plus the
+cache's code salt over the simulator sources), an edited grid needs no
+diffing machinery: unchanged cells still hit the cache, changed or new
+cells miss, and deleted cells simply stop being asked for.  The planner
+makes that incrementality **observable** — it classifies every cell
+before anything runs and reports planned vs cached vs run counts, so
+"re-simulate only what changed" is an asserted property rather than a
+hopeful one.
+
+:func:`plan_sweep` is the read-only half (safe to call from a status
+endpoint); :func:`run_sweep` executes the plan through a caller-provided
+:class:`~repro.runner.runner.Runner` and folds what actually happened
+back into the report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.runner.cache import ResultCache
+from repro.runner.runner import Runner
+from repro.runner.spec import JobSpec
+
+
+@dataclass
+class SweepPlan:
+    """The pre-execution classification of one sweep's cells."""
+
+    specs: List[JobSpec] = field(default_factory=list)
+    cached: List[JobSpec] = field(default_factory=list)
+    to_run: List[JobSpec] = field(default_factory=list)
+
+    def counts(self) -> Dict[str, int]:
+        return {
+            "planned": len(self.specs),
+            "cached": len(self.cached),
+            "to_run": len(self.to_run),
+        }
+
+    def summary(self) -> str:
+        c = self.counts()
+        return (
+            f"{c['planned']} cells planned: {c['cached']} cached, "
+            f"{c['to_run']} to run"
+        )
+
+
+def plan_sweep(
+    specs: List[JobSpec], cache: Optional[ResultCache]
+) -> SweepPlan:
+    """Classify every cell as cached or to-run without executing or
+    touching the cache's hit/miss counters.  With no cache every cell
+    is to-run (the degenerate but honest plan)."""
+    plan = SweepPlan(specs=list(specs))
+    for spec in specs:
+        if cache is not None and cache.peek(spec):
+            plan.cached.append(spec)
+        else:
+            plan.to_run.append(spec)
+    return plan
+
+
+def run_sweep(specs: List[JobSpec], runner: Runner) -> Dict[str, Any]:
+    """Plan, execute, and report one sweep as a JSON-safe payload.
+
+    ``counts`` carries both the plan (``planned``/``cached``/``to_run``)
+    and the execution truth (``ran``/``failed``) — under a racing writer
+    they can legitimately differ, which is why both are reported.  Each
+    cell row carries the spec's label and content hash so callers can
+    line results up against their grid.
+    """
+    plan = plan_sweep(specs, runner.cache)
+    report = runner.run(specs, strict=False)
+    counts = plan.counts()
+    counts["ran"] = report.executed_count
+    counts["failed"] = len(report.failures)
+    cells: List[Dict[str, Any]] = []
+    for spec, outcome in zip(specs, report.outcomes):
+        cells.append(
+            {
+                "label": spec.label(),
+                "hash": spec.content_hash(),
+                "cached": outcome.cached,
+                "ok": outcome.ok,
+            }
+        )
+    return {"counts": counts, "cells": cells}

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import itertools
 from heapq import heapify as _heapify, heappop as _heappop, heappush as _heappush
-from typing import Any, Callable, Iterable, List, Optional, cast
+from typing import Any, Callable, Dict, Iterable, List, Optional, cast
 
 # event slot indices
 _TIME = 0
@@ -55,6 +55,19 @@ class EventHandle:
     @property
     def time(self) -> float:
         return cast(float, self._event[_TIME])
+
+    @property
+    def seq(self) -> int:
+        """Insertion sequence number (the heap's final tie-break).
+
+        Checkpoint code records it to re-arm coexisting pending events in
+        their original relative order; the absolute value is meaningless.
+        """
+        return cast(int, self._event[_SEQ])
+
+    @property
+    def pending(self) -> bool:
+        return bool(self._event[_STATUS] == _PENDING)
 
     @property
     def cancelled(self) -> bool:
@@ -100,6 +113,48 @@ class BatchHandle:
                 cancelled += 1
         if cancelled:
             self._sim._note_cancelled(cancelled)
+
+
+class RecurrenceHandle:
+    """Stop/inspect handle for a recurrence built by :meth:`Simulator.every`.
+
+    Calling the handle stops the recurrence (the historical contract:
+    ``every()`` used to return a bare stop closure, and every call site
+    just invokes it).  On top of that it exposes the *currently pending*
+    firing — next time and insertion seq — which is what lets checkpoint
+    code snapshot a recurrence and re-arm it phase-exactly at restore
+    (``sim.every(period, cb, start=next_time, priority=priority)``).
+    """
+
+    __slots__ = ("period", "priority", "stopped", "_event")
+
+    def __init__(self, period: float, priority: int) -> None:
+        self.period = period
+        self.priority = priority
+        self.stopped = False
+        self._event: Optional[List[Any]] = None
+
+    def __call__(self) -> None:
+        self.stop()
+
+    def stop(self) -> None:
+        self.stopped = True
+
+    @property
+    def next_time(self) -> Optional[float]:
+        """Absolute time of the next firing; None once stopped/expired."""
+        event = self._event
+        if self.stopped or event is None or event[_STATUS] != _PENDING:
+            return None
+        return cast(float, event[_TIME])
+
+    @property
+    def next_seq(self) -> Optional[int]:
+        """Insertion seq of the next firing; None once stopped/expired."""
+        event = self._event
+        if self.stopped or event is None or event[_STATUS] != _PENDING:
+            return None
+        return cast(int, event[_SEQ])
 
 
 class Simulator:
@@ -244,30 +299,27 @@ class Simulator:
         *args: Any,
         start: Optional[float] = None,
         priority: int = PRIORITY_CONTROL,
-    ) -> Callable[[], None]:
+    ) -> RecurrenceHandle:
         """Run ``callback(*args)`` every ``period`` seconds.
 
-        Returns a function that stops the recurrence when called. The first
-        firing is at ``start`` (absolute) if given, else one period from now.
+        Returns a :class:`RecurrenceHandle`; calling it stops the
+        recurrence. The first firing is at ``start`` (absolute) if given,
+        else one period from now.
         """
         if period <= 0:
             raise SimulationError(f"period must be positive (got {period})")
-        stopped = {"flag": False}
+        handle = RecurrenceHandle(period, priority)
 
         def fire() -> None:
-            if stopped["flag"]:
+            if handle.stopped:
                 return
             callback(*args)
-            if not stopped["flag"]:
-                self.schedule(period, fire, priority=priority)
+            if not handle.stopped:
+                handle._event = self.schedule(period, fire, priority=priority)._event
 
         first = start if start is not None else self._now + period
-        self.schedule_at(first, fire, priority=priority)
-
-        def stop() -> None:
-            stopped["flag"] = True
-
-        return stop
+        handle._event = self.schedule_at(first, fire, priority=priority)._event
+        return handle
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Run events until the heap is empty, ``until`` is reached, or
@@ -342,3 +394,47 @@ class Simulator:
     def pending(self) -> int:
         """Number of scheduled, not-yet-cancelled events."""
         return len(self._heap) - self._cancelled_in_heap
+
+    # -- checkpoint/restore primitives ----------------------------------
+    #
+    # The heap itself is deliberately *not* serialized: pending events
+    # hold closures (recurrence ``fire`` wrappers, wake completions), so
+    # a checkpoint records component state + timer phases instead and a
+    # restore rebuilds the components and re-arms their timers.  Only the
+    # relative seq order of coexisting pending events affects pop order,
+    # so re-arming in ascending original-seq order on a fresh counter
+    # reproduces the identical event sequence (see repro.serve.state).
+
+    def clock_state(self) -> Dict[str, Any]:
+        """The restorable clock portion of the engine's state."""
+        return {"now": self._now, "events_processed": self._events_processed}
+
+    def clear_events(self) -> int:
+        """Drop every scheduled event; returns how many were live.
+
+        Checkpoint-restore preamble: a freshly built component tree has
+        construction-time timers in the heap that the restore re-arms
+        with snapshot phases instead.
+        """
+        if self._running:
+            raise SimulationError("cannot clear events while running")
+        live = self.pending()
+        self._heap = []
+        self._cancelled_in_heap = 0
+        return live
+
+    def restore_clock(self, now: float, events_processed: int = 0) -> None:
+        """Reset the clock to a snapshot taken by :meth:`clock_state`.
+
+        Requires an empty heap (``clear_events`` first): rewinding or
+        advancing the clock under pending events would fire them at the
+        wrong instants.
+        """
+        if self._running:
+            raise SimulationError("cannot restore the clock while running")
+        if self._heap:
+            raise SimulationError(
+                "restore_clock requires an empty heap (call clear_events first)"
+            )
+        self._now = now
+        self._events_processed = events_processed

@@ -134,6 +134,25 @@ class LatencyReservoir:
         reservoir._max = float(data["max"])
         return reservoir
 
+    def state_dict(self) -> Dict[str, Any]:
+        """Mid-run checkpoint form: :meth:`to_dict` plus the sampling RNG
+        state, so a restored reservoir that keeps recording past
+        ``max_samples`` stays byte-identical to the uninterrupted one
+        (the ``from_dict`` caveat does not apply)."""
+        from repro.sim.rng import rng_state
+
+        state = self.to_dict()
+        state["rng"] = rng_state(self._rng)
+        return state
+
+    @classmethod
+    def restore_state(cls, state: Dict[str, Any]) -> "LatencyReservoir":
+        from repro.sim.rng import set_rng_state
+
+        reservoir = cls.from_dict(state)
+        set_rng_state(reservoir._rng, state["rng"])
+        return reservoir
+
 
 class ThroughputMeter:
     """Counts delivered packets/bytes and converts to rates."""
@@ -218,6 +237,26 @@ class PowerIntegrator:
 
     def components(self) -> Tuple[str, ...]:
         return tuple(sorted(set(self._levels) | set(self._energy)))
+
+    def state_dict(self) -> Dict[str, Any]:
+        """JSON-safe checkpoint of levels, accumulated energy and clocks.
+
+        Component order is *insertion* order, not sorted: totals are
+        float sums over ``dict.values()``, so a restored integrator must
+        iterate its components in the original order to reproduce
+        bit-identical sums."""
+        return {
+            "levels": dict(self._levels),
+            "energy": dict(self._energy),
+            "last_update": self._last_update,
+            "start_time": self._start_time,
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        self._levels = {k: float(v) for k, v in state["levels"].items()}
+        self._energy = {k: float(v) for k, v in state["energy"].items()}
+        self._last_update = float(state["last_update"])
+        self._start_time = float(state["start_time"])
 
 
 @dataclass

@@ -11,7 +11,7 @@ from __future__ import annotations
 import hashlib
 import random
 import zlib
-from typing import Dict
+from typing import Any, Dict, List
 
 
 def derive_seed(root_seed: int, stream: str) -> int:
@@ -31,6 +31,22 @@ def spawn_seed(root_seed: int, name: str) -> int:
     """
     salt = zlib.crc32(name.encode()) & 0xFFFFFFFF
     return derive_seed(root_seed, f"spawn:{salt:08x}:{name}")
+
+
+def rng_state(rng: random.Random) -> List[Any]:
+    """``rng.getstate()`` as a JSON-safe list (tuples become lists)."""
+    version, internal, gauss_next = rng.getstate()
+    return [version, list(internal), gauss_next]
+
+
+def set_rng_state(rng: random.Random, state: List[Any]) -> None:
+    """Restore a stream from :func:`rng_state` output (JSON round-trip
+    safe: the inner list is converted back to the tuple ``setstate``
+    requires)."""
+    version, internal, gauss_next = state
+    rng.setstate(
+        (int(version), tuple(int(word) for word in internal), gauss_next)
+    )
 
 
 class RngRegistry:
@@ -71,3 +87,44 @@ class RngRegistry:
             self._streams[name] = random.Random(derive_seed(self.root_seed, name))
         for child in self._children.values():
             child.reset()
+
+    # -- checkpoint/restore ---------------------------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Every materialised stream's Mersenne state, recursively over
+        spawned children — JSON-safe, suitable for a checkpoint file.
+
+        Streams first requested *after* a restore are not in the dict;
+        they derive freshly from the (restored) root seed, exactly as
+        they would have in the uninterrupted run.
+        """
+        return {
+            "root_seed": self.root_seed,
+            "streams": {
+                name: rng_state(stream)
+                for name, stream in sorted(self._streams.items())
+            },
+            "children": {
+                key: child.state_dict()
+                for key, child in sorted(self._children.items())
+            },
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        """Restore from :meth:`state_dict` output.
+
+        Existing streams are re-wound in place; streams/children only
+        present in the snapshot are materialised first (so a restore into
+        a freshly built registry works even before any draws).
+        """
+        if int(state["root_seed"]) != self.root_seed:
+            raise ValueError(
+                f"snapshot root seed {state['root_seed']} does not match "
+                f"registry root seed {self.root_seed}"
+            )
+        for name, stream_state in state["streams"].items():
+            set_rng_state(self.stream(name), stream_state)
+        for key, child_state in state["children"].items():
+            # keys carry the "spawn:" memo prefix; strip for spawn()
+            child = self.spawn(key.split(":", 1)[1])
+            child.restore_state(child_state)

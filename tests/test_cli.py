@@ -306,3 +306,69 @@ class TestClusterFlags:
             assert kind in out
         assert "roundrobin" in out
         assert out_file.read_text().strip()
+
+
+class TestFabricCheckpointFlags:
+    ARGS = ["fabric", "--racks", "2", "--servers", "2", "--duration", "0.1"]
+
+    def test_pause_then_resume_identical_output(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "ck.json")
+        baseline = tmp_path / "base.txt"
+        assert main(self.ARGS + ["--out", str(baseline)]) == 0
+        capsys.readouterr()
+
+        rc = main(self.ARGS + ["--checkpoint", ckpt, "--pause-at-epoch", "2"])
+        assert rc == 3
+        err = capsys.readouterr().err
+        assert "resumable" in err and ckpt in err
+
+        resumed = tmp_path / "resumed.txt"
+        rc = main(["fabric", "--resume", ckpt, "--shard-jobs", "2",
+                   "--out", str(resumed)])
+        assert rc == 0
+        assert resumed.read_text() == baseline.read_text()
+
+    def test_pause_without_checkpoint_is_usage_error(self, capsys):
+        assert main(self.ARGS + ["--pause-at-epoch", "2"]) == 2
+
+    def test_scaling_conflicts_with_checkpoint(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "ck.json")
+        assert main(self.ARGS + ["--scaling", "--checkpoint", ckpt]) == 2
+
+    def test_resume_from_garbage_checkpoint(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["fabric", "--resume", str(bad)]) == 2
+        assert "checkpoint" in capsys.readouterr().err.lower()
+
+
+class TestCacheMode:
+    def test_stats_on_empty_cache(self, tmp_path, capsys):
+        assert main(["cache", "--cache-dir", str(tmp_path / "c")]) == 0
+        out = capsys.readouterr().out
+        assert "0 entries" in out and "none recorded" in out
+
+    def test_stats_after_a_run(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "c")
+        assert main(["fig5", "--cache", "--cache-dir", cache_dir,
+                     "--duration", "0.02"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "hit rate" in out and "0 entries" not in out
+
+    def test_gc_evicts_everything_with_zero_budget(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "c")
+        assert main(["fig5", "--cache", "--cache-dir", cache_dir,
+                     "--duration", "0.02"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "--cache-dir", cache_dir, "--gc",
+                     "--max-bytes", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "removed" in out
+        assert main(["cache", "--cache-dir", cache_dir]) == 0
+        assert "0 entries" in capsys.readouterr().out
+
+    def test_gc_knobs_require_gc_flag(self, tmp_path, capsys):
+        assert main(["cache", "--cache-dir", str(tmp_path / "c"),
+                     "--max-age", "7"]) == 2

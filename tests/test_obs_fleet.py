@@ -259,6 +259,56 @@ class TestJournal:
         assert "interrupted" in text
         assert "truncated" in text
 
+    def test_summarize_interrupt_record(self):
+        records = [
+            {"kind": "meta", "label": "hal", "racks": 2, "epochs": 10,
+             "epoch_s": 0.02},
+            {"kind": "epoch", "epoch": 0, "power_w": 100.0,
+             "shed_gbps": 0.0, "p99_us": 40.0},
+            {"kind": "interrupt", "label": "hal", "epoch": 1,
+             "signal": "SIGINT", "resumable": True},
+        ]
+        text = "\n".join(summarize_journal(records))
+        assert "interrupted by SIGINT after epoch 1" in text
+        assert "checkpointed, resumable" in text
+        assert "(no finish record" not in text
+
+    def test_summarize_interrupt_without_checkpoint(self):
+        records = [
+            {"kind": "meta", "label": "hal", "racks": 2, "epochs": 10,
+             "epoch_s": 0.02},
+            {"kind": "interrupt", "label": "hal", "epoch": 2,
+             "signal": "", "resumable": False},
+        ]
+        text = "\n".join(summarize_journal(records))
+        assert "interrupted by pause after epoch 2 (no checkpoint)" in text
+
+    def test_interrupt_then_resumed_run_renders_both(self):
+        """An interrupt block followed by the resumed run's records is
+        exactly what the serve daemon's appended journal looks like."""
+        records = [
+            {"kind": "meta", "label": "hal", "racks": 1, "epochs": 5,
+             "epoch_s": 0.02},
+            {"kind": "interrupt", "label": "hal", "epoch": 2,
+             "signal": "SIGTERM", "resumable": True},
+            {"kind": "meta", "label": "hal", "racks": 1, "epochs": 5,
+             "epoch_s": 0.02},
+            {"kind": "finish", "label": "hal", "fleet": {}, "slo": []},
+        ]
+        text = "\n".join(summarize_journal(records))
+        assert "interrupted by SIGTERM" in text
+        assert text.count("run hal:") == 2
+
+    def test_journal_append_mode_preserves_existing_records(self, tmp_path):
+        path = str(tmp_path / "resume.jsonl")
+        with RunJournal(path) as journal:
+            journal.write({"kind": "meta", "label": "first"})
+        with RunJournal(path, append=True) as journal:
+            journal.write({"kind": "meta", "label": "second"})
+        records, truncated = read_journal(path)
+        assert [r["label"] for r in records] == ["first", "second"]
+        assert not truncated
+
     def test_summarize_finished_run_with_verdicts(self):
         records = [
             {"kind": "meta", "label": "hal", "racks": 1, "epochs": 1,

@@ -263,3 +263,85 @@ class TestPoolSizing:
         monkeypatch.setattr(runner_mod, "ProcessPoolExecutor", no_pool)
         report = Runner(jobs=8, cache=cache).run(specs)
         assert all(outcome.cached for outcome in report.outcomes)
+
+
+class TestFromCanonical:
+    def test_round_trips_every_constructor(self):
+        specs = [
+            JobSpec.at_rate("snic", "nat", 10.0, FAST, slb_cores=4),
+            JobSpec.for_trace("hal", "rem", "web", FAST),
+            JobSpec.experiment("fig4", FAST),
+            JobSpec.rack("hal", "rem", "web", FAST, servers=2),
+        ]
+        for spec in specs:
+            rebuilt = JobSpec.from_canonical(spec.canonical())
+            assert rebuilt == spec
+            assert rebuilt.content_hash() == spec.content_hash()
+
+    def test_survives_json_wire_trip(self):
+        spec = JobSpec.at_rate("hal", "rem", 12.0, FAST, slb_cores=2)
+        wire = json.loads(json.dumps(spec.canonical()))
+        assert JobSpec.from_canonical(wire).content_hash() == spec.content_hash()
+
+    def test_rejects_garbage(self):
+        for bad in ({}, {"op": "bogus"}, {"op": "at_rate"}, {"op": "at_rate", "config": {"nope": 1}}):
+            with pytest.raises(ValueError, match="not a canonical job spec"):
+                JobSpec.from_canonical(bad)
+
+
+class TestCacheMaintenance:
+    def test_peek_does_not_count(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        spec = sweep_specs()[0]
+        assert cache.peek(spec) is False
+        Runner(jobs=1, cache=cache).run([spec])
+        hits, misses = cache.hits, cache.misses
+        assert cache.peek(spec) is True
+        assert (cache.hits, cache.misses) == (hits, misses)
+
+    def test_stats_counts_entries_and_last_batch(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        stats = cache.stats()
+        assert stats["entries"] == 0 and stats["last_batch"] is None
+        Runner(jobs=1, cache=cache).run(sweep_specs())
+        stats = cache.stats()
+        assert stats["entries"] == len(RATES)
+        assert stats["bytes"] > 0
+        assert stats["last_batch"]["executed"] == len(RATES)
+        assert stats["last_batch"]["hit_rate"] == 0.0
+        Runner(jobs=1, cache=cache).run(sweep_specs())
+        assert cache.stats()["last_batch"]["hit_rate"] == 1.0
+
+    def test_gc_by_age(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        Runner(jobs=1, cache=cache).run(sweep_specs())
+        untouched = cache.gc(max_age_s=3600)
+        assert untouched["removed"] == 0
+        swept = cache.gc(max_age_s=0.0, now=os.path.getmtime(str(tmp_path)) + 10)
+        assert swept["removed"] == len(RATES)
+        assert cache.stats()["entries"] == 0
+
+    def test_gc_by_bytes_keeps_newest(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        specs = sweep_specs()
+        Runner(jobs=1, cache=cache).run(specs[:1])
+        os.utime(cache.path_for(specs[0]), (1, 1))  # make it the oldest
+        Runner(jobs=1, cache=cache).run(specs[1:])
+        one_entry = os.path.getsize(cache.path_for(specs[1]))
+        report = cache.gc(max_bytes=one_entry)
+        assert report["removed"] == 1
+        assert cache.peek(specs[0]) is False  # the oldest went
+        assert cache.peek(specs[1]) is True
+
+    def test_gc_always_removes_stale_salt(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        Runner(jobs=1, cache=cache).run(sweep_specs())
+        stale_dir = tmp_path / "0123456789abcdef" / "aa"
+        stale_dir.mkdir(parents=True)
+        (stale_dir / "deadbeef.json").write_text("{}")
+        assert cache.stats()["stale_entries"] == 1
+        report = cache.gc()
+        assert report["removed"] == 1
+        assert cache.stats()["stale_entries"] == 0
+        assert not (tmp_path / "0123456789abcdef").exists()  # dir pruned
+        assert cache.stats()["entries"] == len(RATES)  # live tier kept

@@ -1,0 +1,151 @@
+"""Tests for the resumable fabric driver (pause / persist / resume)."""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.exp.server import RunConfig
+from repro.serve.checkpoint import (
+    EXPERIMENT_KIND,
+    FabricJobParams,
+    load_checkpoint_job,
+    pause_at_epoch,
+    run_resumable,
+)
+from repro.serve.snapshot import CheckpointError, read_checkpoint, write_checkpoint
+
+CFG = RunConfig(duration_s=0.1)
+SMALL = FabricJobParams(racks=2, servers=2)
+
+
+def payload_sha(result):
+    blob = json.dumps(result.to_dict(), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+@pytest.fixture(scope="module")
+def uninterrupted_sha():
+    outcome = run_resumable(CFG, SMALL)
+    assert not outcome.paused
+    return payload_sha(outcome.result)
+
+
+class TestRunResumable:
+    def test_no_pause_matches_plain_run(self, uninterrupted_sha):
+        outcome = run_resumable(CFG, SMALL, shard_jobs=2)
+        assert payload_sha(outcome.result) == uninterrupted_sha
+
+    @pytest.mark.parametrize("pause_epoch", [1, 3])
+    def test_pause_resume_byte_identical(
+        self, tmp_path, uninterrupted_sha, pause_epoch
+    ):
+        path = str(tmp_path / "ck.json")
+        paused = run_resumable(
+            CFG,
+            SMALL,
+            shard_jobs=2,
+            checkpoint_path=path,
+            should_pause=pause_at_epoch(pause_epoch),
+        )
+        assert paused.paused
+        assert paused.checkpoint_sha256 is not None
+
+        body = read_checkpoint(path, EXPERIMENT_KIND)
+        run_config, params = load_checkpoint_job(body)
+        # resume with a different worker count than the pausing run
+        resumed = run_resumable(
+            run_config, params, shard_jobs=1, checkpoint_path=path, resume_body=body
+        )
+        assert not resumed.paused
+        assert payload_sha(resumed.result) == uninterrupted_sha
+
+    def test_pause_mid_second_system(self, tmp_path, uninterrupted_sha):
+        path = str(tmp_path / "ck.json")
+
+        def pause_in_host(system, epoch):
+            return system == "host" and epoch >= 2
+
+        paused = run_resumable(
+            CFG, SMALL, checkpoint_path=path, should_pause=pause_in_host
+        )
+        assert paused.paused
+        assert paused.paused_system == "host"
+        body = read_checkpoint(path, EXPERIMENT_KIND)
+        assert list(body["completed"]) == ["hal"]
+
+        run_config, params = load_checkpoint_job(body)
+        resumed = run_resumable(
+            run_config, params, checkpoint_path=path, resume_body=body
+        )
+        assert payload_sha(resumed.result) == uninterrupted_sha
+
+    def test_double_interruption_still_identical(self, tmp_path, uninterrupted_sha):
+        """Pause, resume, pause again, resume again — two generations of
+        checkpoint through the same file."""
+        path = str(tmp_path / "ck.json")
+        first = run_resumable(
+            CFG, SMALL, checkpoint_path=path, should_pause=pause_at_epoch(2)
+        )
+        assert first.paused
+        body = read_checkpoint(path, EXPERIMENT_KIND)
+        run_config, params = load_checkpoint_job(body)
+
+        def pause_in_host(system, epoch):
+            return system == "host" and epoch >= 1
+
+        second = run_resumable(
+            run_config,
+            params,
+            checkpoint_path=path,
+            resume_body=body,
+            should_pause=pause_in_host,
+        )
+        assert second.paused and second.paused_system == "host"
+        body2 = read_checkpoint(path, EXPERIMENT_KIND)
+        run_config2, params2 = load_checkpoint_job(body2)
+        final = run_resumable(
+            run_config2, params2, checkpoint_path=path, resume_body=body2
+        )
+        assert payload_sha(final.result) == uninterrupted_sha
+
+    def test_pause_without_checkpoint_path_drains_cleanly(self, tmp_path):
+        outcome = run_resumable(CFG, SMALL, should_pause=pause_at_epoch(1))
+        assert outcome.paused
+        assert outcome.checkpoint_sha256 is None
+        assert outcome.paused_epoch is not None
+
+    def test_wall_clock_never_in_checkpoint(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        run_resumable(
+            CFG, SMALL, checkpoint_path=path, should_pause=pause_at_epoch(1)
+        )
+        body = read_checkpoint(path, EXPERIMENT_KIND)
+        assert "wall" not in json.dumps(body)
+
+
+class TestFabricJobParams:
+    def test_round_trip(self):
+        params = FabricJobParams(racks=3, servers=4, systems=("hal",))
+        assert FabricJobParams.from_dict(params.to_dict()) == params
+
+    def test_to_dict_is_json_safe(self):
+        data = FabricJobParams().to_dict()
+        assert json.loads(json.dumps(data)) == data
+
+    def test_defaults_fill_missing_systems(self):
+        params = FabricJobParams.from_dict({"racks": 2})
+        assert params.racks == 2
+        assert params.systems == FabricJobParams().systems
+
+
+class TestLoadCheckpointJob:
+    def test_rejects_bodyless_checkpoint(self):
+        with pytest.raises(CheckpointError):
+            load_checkpoint_job({})
+
+    def test_rejects_wrong_kind_envelope(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        write_checkpoint(path, "rack-shard", {"spec": {}})
+        with pytest.raises(CheckpointError, match="kind"):
+            read_checkpoint(path, EXPERIMENT_KIND)

@@ -1,0 +1,85 @@
+"""Tests for the incremental sweep planner over the result cache."""
+
+from repro.exp.server import RunConfig
+from repro.runner import JobSpec, ResultCache, Runner
+from repro.serve.planner import plan_sweep, run_sweep
+
+FAST = RunConfig(duration_s=0.02)
+
+
+def grid(rates=(5.0, 10.0, 20.0)):
+    return [JobSpec.at_rate("hal", "rem", r, FAST) for r in rates]
+
+
+class TestPlanSweep:
+    def test_no_cache_everything_to_run(self):
+        plan = plan_sweep(grid(), None)
+        assert plan.counts() == {"planned": 3, "cached": 0, "to_run": 3}
+
+    def test_cold_cache_everything_to_run(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        plan = plan_sweep(grid(), cache)
+        assert plan.counts() == {"planned": 3, "cached": 0, "to_run": 3}
+
+    def test_warm_cache_everything_cached(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        runner = Runner(jobs=1, cache=cache)
+        runner.run(grid())
+        plan = plan_sweep(grid(), cache)
+        assert plan.counts() == {"planned": 3, "cached": 3, "to_run": 0}
+
+    def test_changed_cell_is_the_only_rerun(self, tmp_path):
+        """The incremental property: editing one cell of the grid plans
+        exactly one re-simulation."""
+        cache = ResultCache(str(tmp_path))
+        runner = Runner(jobs=1, cache=cache)
+        runner.run(grid())
+        edited = grid(rates=(5.0, 10.0, 25.0))  # one rate changed
+        plan = plan_sweep(edited, cache)
+        assert plan.counts() == {"planned": 3, "cached": 2, "to_run": 1}
+        assert [s.rate_gbps for s in plan.to_run] == [25.0]
+
+    def test_new_and_deleted_cells(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        Runner(jobs=1, cache=cache).run(grid())
+        shrunk_plus_new = grid(rates=(5.0, 40.0))
+        plan = plan_sweep(shrunk_plus_new, cache)
+        assert plan.counts() == {"planned": 2, "cached": 1, "to_run": 1}
+
+    def test_planning_does_not_touch_hit_counters(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        Runner(jobs=1, cache=cache).run(grid())
+        before = (cache.hits, cache.misses)
+        plan_sweep(grid(), cache)
+        assert (cache.hits, cache.misses) == before
+
+    def test_summary_text(self):
+        plan = plan_sweep(grid(), None)
+        assert plan.summary() == "3 cells planned: 0 cached, 3 to run"
+
+
+class TestRunSweep:
+    def test_counts_reflect_execution(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        runner = Runner(jobs=1, cache=cache)
+        first = run_sweep(grid(), runner)
+        assert first["counts"] == {
+            "planned": 3, "cached": 0, "to_run": 3, "ran": 3, "failed": 0,
+        }
+        second = run_sweep(grid(rates=(5.0, 10.0, 25.0)), runner)
+        assert second["counts"] == {
+            "planned": 3, "cached": 2, "to_run": 1, "ran": 1, "failed": 0,
+        }
+
+    def test_cells_carry_hash_and_outcome(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        runner = Runner(jobs=1, cache=cache)
+        report = run_sweep(grid(rates=(5.0,)), runner)
+        (cell,) = report["cells"]
+        assert cell["hash"] == grid(rates=(5.0,))[0].content_hash()
+        assert cell["ok"] and not cell["cached"]
+
+    def test_uncached_runner_runs_everything(self):
+        report = run_sweep(grid(rates=(5.0, 10.0)), Runner(jobs=1))
+        assert report["counts"]["to_run"] == 2
+        assert report["counts"]["ran"] == 2
