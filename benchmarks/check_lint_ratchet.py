@@ -16,6 +16,11 @@ per-rule finding counts against the committed baseline:
 
 Failing the *stale* direction is what makes the baseline monotone: it
 can never silently re-grow to its old size after a fix lands.
+
+The report's ``rules`` list is also checked against the families the
+ratchet is meant to cover (DET, MUT, OBS, UNIT, SNAP, THR, BAR): a
+refactor that silently drops a rule family from the default run would
+otherwise make the ratchet vacuously green.
 """
 
 from __future__ import annotations
@@ -28,6 +33,12 @@ import sys
 
 REPO_ROOT = pathlib.Path(__file__).parent.parent
 DEFAULT_BASELINE = str(REPO_ROOT / "lint_baseline.json")
+
+#: every rule family the ratchet must see in the default run
+REQUIRED_RULES = frozenset({
+    "DET01", "DET02", "DET03", "DET04", "MUT01", "OBS01", "UNIT01",
+    "SNAP01", "THR01", "THR02", "BAR01",
+})
 
 
 def run_lint_json(paths):
@@ -65,6 +76,13 @@ def main(argv=None) -> int:
     actual = report.get("counts", {})
 
     failures = []
+    dropped = REQUIRED_RULES - set(report.get("rules", []))
+    if dropped:
+        failures.append(
+            f"MISSING FAMILIES: the default lint run no longer reports "
+            f"{sorted(dropped)}; the ratchet cannot vouch for rules it "
+            "never ran"
+        )
     keys = {
         (path, rule)
         for path, rules in list(allowed.items()) + list(actual.items())

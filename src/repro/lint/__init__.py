@@ -1,12 +1,15 @@
 """Determinism & invariant static analysis for the HAL reproduction.
 
 Every load-bearing guarantee in this repo — the runner's
-content-addressed cache, the fig5/rack payload-identity gates, the
-"untraced runs are bit-identical" obs contract, and the crc32-salted
-RNG spawn tree — holds only while the simulated domain never leaks
-nondeterminism (wall clock, randomized ``hash()``, shared mutable
-defaults, unguarded tracer emission).  :mod:`repro.lint` turns those
-rules from code comments into an enforced, AST-based analysis:
+content-addressed cache, the fig5/rack/fabric payload-identity gates,
+the "untraced runs are bit-identical" obs contract, the byte-identical
+checkpoint/resume promise, and the crc32-salted RNG spawn tree — holds
+only while the code never leaks nondeterminism or unguarded shared
+state.  :mod:`repro.lint` turns those rules from code comments into an
+enforced analysis: a **two-phase engine** whose phase 1 runs per-file
+AST rules (and can fan out over ``--jobs`` processes), and whose
+phase 2 merges per-file symbol summaries into a project-wide
+:class:`~repro.lint.index.SymbolIndex` for the cross-module rules.
 
 ========  ==========================================================
 rule id   protects
@@ -18,6 +21,10 @@ DET02     no randomized ``builtins.hash()`` / unordered-set iteration
           change results)
 DET03     no global/unseeded ``random`` outside ``sim.rng`` (all
           stochastic draws come from named ``RngRegistry`` streams)
+DET04     no float accumulation (``sum``/``+=``) over sets or
+          ``.values()`` views in sim-domain code (float addition is
+          not associative; iteration order becomes part of the
+          payload)
 MUT01     no mutable or config-object default arguments (the exact
           shared-``LbpConfig``/``PowerConfig`` bug class PR 4 fixed)
 OBS01     tracer emission in hot paths guarded by ``is not None``
@@ -25,23 +32,47 @@ OBS01     tracer emission in hot paths guarded by ``is not None``
 UNIT01    unit-suffix consistency (``*_s`` vs ``*_us`` vs ``*_w``)
           in assignments, so latency/power math cannot silently mix
           scales
+SNAP01    snapshot completeness: every mutable field of a component
+          walked by ``serve/state.py`` is captured by each of its
+          walkers (byte-identical checkpoint resume)  [project]
+THR01     writes to lock-guarded attributes of threaded serve classes
+          hold the lock  [project]
+THR02     reads of lock-guarded attributes of threaded serve classes
+          hold the lock  [project]
+BAR01     fabric fleet-control state only accessed from epoch-barrier
+          hooks (lockstep cross-rack determinism)  [project]
 ========  ==========================================================
 
 Run it as ``hal-repro lint [paths]`` or ``python -m repro.lint``;
-suppress a deliberate exception inline with ``# lint: disable=RULE-ID``
-(always pair it with a justification), and ratchet existing debt with
-the committed ``lint_baseline.json`` (see :mod:`repro.lint.baseline`).
+``--explain RULE-ID`` prints a rule's long-form rationale, ``--format
+sarif``/``github`` emit machine formats for CI.  Suppress a deliberate
+exception inline with ``# lint: disable=RULE-ID`` (always pair it with
+a justification — for project rules, at the line the finding points
+at), and ratchet existing debt with the committed
+``lint_baseline.json`` (see :mod:`repro.lint.baseline`).
 """
 
-from repro.lint.engine import FileContext, Finding, lint_file, lint_paths, lint_source
-from repro.lint.rules import ALL_RULES, Rule
+from repro.lint.engine import (
+    FileContext,
+    Finding,
+    ProjectRule,
+    Rule,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from repro.lint.index import SymbolIndex, summarize_module
+from repro.lint.rules import ALL_RULES
 
 __all__ = [
     "ALL_RULES",
     "FileContext",
     "Finding",
+    "ProjectRule",
     "Rule",
+    "SymbolIndex",
     "lint_file",
     "lint_paths",
     "lint_source",
+    "summarize_module",
 ]

@@ -1,7 +1,9 @@
 """``hal-repro lint`` / ``python -m repro.lint`` command line.
 
-Exit codes: 0 — clean (modulo the baseline); 1 — findings (or, with
-``--strict-stale``, a stale baseline); 2 — usage error.
+Exit codes follow the canonical table in EXPERIMENTS.md: 0 — clean
+(modulo the baseline); 1 — findings (or, with ``--strict-stale``, a
+stale baseline); 2 — usage error (unknown rule id, missing path,
+unknown ``--explain`` target).
 """
 
 from __future__ import annotations
@@ -10,7 +12,7 @@ import argparse
 import json
 import os
 import sys
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from repro.lint.baseline import (
     DEFAULT_BASELINE_PATH,
@@ -19,8 +21,11 @@ from repro.lint.baseline import (
     load_baseline,
     save_baseline,
 )
-from repro.lint.engine import Finding, lint_paths
-from repro.lint.rules import ALL_RULES
+from repro.lint.engine import Finding, Rule, lint_paths
+from repro.lint.rules import ALL_RULES, RULES_BY_ID
+
+#: advertised in SARIF output so viewers can link back to the docs
+_INFO_URI = "https://github.com/hal-repro/hal-repro/blob/main/docs/ARCHITECTURE.md"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -28,7 +33,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="hal-repro lint",
         description=(
             "Determinism & invariant static analysis for the HAL "
-            "reproduction (DET01..UNIT01; see docs/ARCHITECTURE.md)"
+            "reproduction (DET01..BAR01; see docs/ARCHITECTURE.md)"
         ),
     )
     parser.add_argument(
@@ -36,9 +41,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories to lint (default: src)",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="output format (json is what benchmarks/check_lint_ratchet.py "
-        "consumes)",
+        "--format", choices=("text", "json", "sarif", "github"), default="text",
+        help="output format: json is what benchmarks/check_lint_ratchet.py "
+        "consumes, sarif uploads as a CI artifact, github prints workflow "
+        "::error annotations",
     )
     parser.add_argument(
         "--baseline", default=None, metavar="FILE",
@@ -62,6 +68,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule ids to run (default: all)",
     )
     parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="fan per-file analysis out over N processes (0 = one per CPU; "
+        "default 1 = in-process; output is identical either way)",
+    )
+    parser.add_argument(
+        "--explain", default=None, metavar="RULE-ID",
+        help="print the long-form rationale for one rule and exit",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true",
         help="print the rule ids and one-line summaries, then exit",
     )
@@ -75,15 +90,90 @@ def _emit_text(findings: List[Finding], comparison_notes: List[str]) -> None:
         print(f"note: {note}", file=sys.stderr)
 
 
-def _emit_json(all_findings: List[Finding], new_findings: List[Finding]) -> None:
+def _emit_json(
+    all_findings: List[Finding],
+    new_findings: List[Finding],
+    rules: Sequence[Rule],
+) -> None:
     payload = {
-        "schema": 1,
+        "schema": 2,
+        "rules": sorted(rule.rule_id for rule in rules),
         "findings": [f.to_dict() for f in all_findings],
         "new_findings": [f.to_dict() for f in new_findings],
         "counts": count_findings(all_findings),
     }
     json.dump(payload, sys.stdout, indent=2, sort_keys=True)
     sys.stdout.write("\n")
+
+
+def _emit_sarif(findings: List[Finding], rules: Sequence[Rule]) -> None:
+    """SARIF 2.1.0, the exchange format GitHub code scanning ingests."""
+    payload = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": _INFO_URI,
+                        "rules": [
+                            {
+                                "id": rule.rule_id,
+                                "shortDescription": {"text": rule.summary},
+                                "fullDescription": {"text": rule.explain()},
+                            }
+                            for rule in rules
+                        ],
+                    }
+                },
+                "results": [
+                    {
+                        "ruleId": finding.rule,
+                        "level": "error",
+                        "message": {"text": finding.message},
+                        "locations": [
+                            {
+                                "physicalLocation": {
+                                    "artifactLocation": {"uri": finding.path},
+                                    "region": {
+                                        "startLine": finding.line,
+                                        "startColumn": finding.col,
+                                    },
+                                }
+                            }
+                        ],
+                    }
+                    for finding in findings
+                ],
+            }
+        ],
+    }
+    json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+    sys.stdout.write("\n")
+
+
+def _annotation_escape(text: str, properties: bool = False) -> str:
+    """GitHub workflow-command escaping (%, CR, LF; , and : in props)."""
+    text = text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    if properties:
+        text = text.replace(":", "%3A").replace(",", "%2C")
+    return text
+
+
+def _emit_github(findings: List[Finding]) -> None:
+    """``::error`` workflow commands: annotations on the PR diff."""
+    for finding in findings:
+        print(
+            "::error "
+            f"file={_annotation_escape(finding.path, properties=True)},"
+            f"line={finding.line},col={finding.col},"
+            f"title={_annotation_escape(finding.rule, properties=True)}"
+            f"::{_annotation_escape(finding.message)}"
+        )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -94,7 +184,20 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{rule.rule_id}  {rule.summary}")
         return 0
 
-    rules = None
+    if args.explain is not None:
+        rule = RULES_BY_ID.get(args.explain.strip().upper())
+        if rule is None:
+            print(
+                f"unknown rule id {args.explain!r}; known: "
+                f"{' '.join(sorted(RULES_BY_ID))}",
+                file=sys.stderr,
+            )
+            return 2
+        print(f"{rule.rule_id} — {rule.summary}\n")
+        print(rule.explain())
+        return 0
+
+    rules: Optional[List[Rule]] = None
     if args.select:
         wanted = {r.strip().upper() for r in args.select.split(",") if r.strip()}
         unknown = wanted - {rule.rule_id for rule in ALL_RULES}
@@ -108,7 +211,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"no such path: {missing}", file=sys.stderr)
         return 2
 
-    findings = lint_paths(args.paths, rules=rules)
+    findings = lint_paths(args.paths, rules=rules, jobs=args.jobs)
 
     baseline_path = args.baseline
     if baseline_path is None and os.path.exists(DEFAULT_BASELINE_PATH):
@@ -129,8 +232,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         new_findings = comparison.new_findings
         notes.extend(comparison.stale)
 
+    active = list(ALL_RULES) if rules is None else rules
     if args.format == "json":
-        _emit_json(findings, new_findings)
+        _emit_json(findings, new_findings, active)
+    elif args.format == "sarif":
+        _emit_sarif(new_findings, active)
+    elif args.format == "github":
+        _emit_github(new_findings)
     else:
         _emit_text(new_findings, notes)
         if new_findings:

@@ -1,10 +1,20 @@
-"""Lint driver: file contexts, suppression comments, rule dispatch.
+"""Lint driver: file contexts, suppression comments, two-phase dispatch.
 
 The engine owns everything that is not rule logic: discovering files,
 parsing, mapping paths onto the repo's package domains (sim-domain vs
 allowlisted wall-clock zones), collecting ``# lint: disable=RULE-ID``
-comments, and filtering findings through them.  Rules receive a
-:class:`FileContext` and yield :class:`Finding` objects.
+comments, and filtering findings through them.
+
+Since PR 10 the run is **two-phase**.  Phase 1 visits every file once:
+it runs the per-file rules (each receives a :class:`FileContext`) and
+summarises the file into a picklable
+:class:`~repro.lint.index.ModuleSummary` — so phase 1 can fan out over
+a process pool (``--jobs``).  Phase 2 merges the summaries into a
+:class:`~repro.lint.index.SymbolIndex` and runs the *project* rules
+(:class:`ProjectRule`), which see the whole tree at once: snapshot
+completeness, lock discipline, barrier protocol.  A project finding is
+filtered through the suppression map of the file it *points at*, so an
+exemption lives next to the field or access it excuses.
 """
 
 from __future__ import annotations
@@ -13,11 +23,10 @@ import ast
 import io
 import os
 import tokenize
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
 
-if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
-    from repro.lint.rules import Rule
+from repro.lint.index import ModuleSummary, SymbolIndex, summarize_module
 
 #: first path component after ``repro`` that puts a module in the
 #: simulated domain, where wall clock / randomized hashing / global
@@ -81,8 +90,48 @@ class Finding:
         return (self.path, self.line, self.col, self.rule)
 
 
+class Rule:
+    """Per-file rule: ``applies(ctx)`` + ``check(ctx)`` over one file."""
+
+    rule_id: str = ""
+    summary: str = ""
+    #: project rules run in phase 2 against the merged index
+    is_project: bool = False
+
+    def applies(self, ctx: "FileContext") -> bool:
+        return True
+
+    def check(self, ctx: "FileContext") -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def explain(self) -> str:
+        """Long-form rationale shown by ``--explain`` (the docstring)."""
+        import inspect
+
+        doc = inspect.getdoc(self) or self.summary
+        return doc
+
+
+class ProjectRule(Rule):
+    """Cross-module rule: consumes the phase-2 :class:`SymbolIndex`.
+
+    ``check_project`` may yield findings located in *any* analyzed
+    file; the engine applies that file's suppression map, so
+    ``# lint: disable=`` works at the field definition or access site
+    the finding points at, exactly like a per-file finding.
+    """
+
+    is_project = True
+
+    def check(self, ctx: "FileContext") -> Iterator[Finding]:  # pragma: no cover
+        return iter(())
+
+    def check_project(self, index: SymbolIndex) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
 class FileContext:
-    """Everything a rule may ask about one source file."""
+    """Everything a per-file rule may ask about one source file."""
 
     def __init__(self, path: str, source: str, tree: ast.Module) -> None:
         self.path = path.replace(os.sep, "/")
@@ -204,28 +253,120 @@ def _is_suppressed(finding: Finding, suppressions: Dict[int, Set[str]]) -> bool:
     return "ALL" in rules or finding.rule in rules
 
 
+# ---------------------------------------------------------------------------
+# phase 1: per-file analysis (parallelisable)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FileAnalysis:
+    """Everything phase 1 learns about one file — picklable, AST-free."""
+
+    path: str
+    #: per-file rule findings, already suppression-filtered
+    findings: List[Finding] = field(default_factory=list)
+    #: expanded line -> disabled-rule-ids map, for phase-2 filtering
+    suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+    summary: Optional[ModuleSummary] = None
+
+
+def _split_rules(
+    rules: Optional[Sequence[Rule]],
+) -> Tuple[List[Rule], List[Rule]]:
+    from repro.lint.rules import ALL_RULES
+
+    selected = list(ALL_RULES if rules is None else rules)
+    return (
+        [r for r in selected if not r.is_project],
+        [r for r in selected if r.is_project],
+    )
+
+
+def analyze_source(
+    source: str,
+    path: str,
+    per_file_rules: Sequence[Rule],
+) -> FileAnalysis:
+    """Run phase 1 on one source string: per-file rules + summary."""
+    tree = ast.parse(source, filename=path)
+    ctx = FileContext(path, source, tree)
+    suppressions = _expand_scoped(tree, suppressed_rules(source))
+    findings: List[Finding] = []
+    for rule in per_file_rules:
+        if not rule.applies(ctx):
+            continue
+        findings.extend(rule.check(ctx))
+    findings = [f for f in findings if not _is_suppressed(f, suppressions)]
+    return FileAnalysis(
+        path=ctx.path,
+        findings=findings,
+        suppressions=suppressions,
+        summary=summarize_module(tree, ctx.path, ctx.module_parts),
+    )
+
+
+def _read_and_analyze(
+    path: str, root: str, per_file_rules: Sequence[Rule]
+) -> FileAnalysis:
+    with open(path, encoding="utf-8") as handle:
+        source = handle.read()
+    rel = os.path.relpath(path, root).replace(os.sep, "/")
+    return analyze_source(source, rel, per_file_rules)
+
+
+def _analyze_one(task: Tuple[str, str, Tuple[str, ...]]) -> FileAnalysis:
+    """Pool worker: (file path, root, per-file rule ids) -> analysis."""
+    path, root, rule_ids = task
+    from repro.lint.rules import RULES_BY_ID
+
+    return _read_and_analyze(path, root, [RULES_BY_ID[r] for r in rule_ids])
+
+
+# ---------------------------------------------------------------------------
+# phase 2: project rules over the merged index
+# ---------------------------------------------------------------------------
+
+
+def _project_findings(
+    analyses: Sequence[FileAnalysis],
+    project_rules: Sequence[Rule],
+) -> List[Finding]:
+    if not project_rules:
+        return []
+    index = SymbolIndex([a.summary for a in analyses if a.summary is not None])
+    by_path = {a.path: a.suppressions for a in analyses}
+    findings: List[Finding] = []
+    for rule in project_rules:
+        assert isinstance(rule, ProjectRule)
+        for finding in rule.check_project(index):
+            if not _is_suppressed(finding, by_path.get(finding.path, {})):
+                findings.append(finding)
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# entry points
+# ---------------------------------------------------------------------------
+
+
 def lint_source(
     source: str,
     path: str = "<string>",
-    rules: Optional[Sequence["Rule"]] = None,
+    rules: Optional[Sequence[Rule]] = None,
 ) -> List[Finding]:
     """Lint one source string as if it lived at ``path``.
 
     ``path`` drives the domain logic (sim-domain vs wall-clock zone),
     which is what makes the fixture corpus in the test suite able to
     exercise allowlist boundaries without touching the real tree.
+    Project rules run against an index built from this one file, so a
+    self-contained fixture (walker + component class in one module)
+    exercises them too.
     """
-    from repro.lint.rules import ALL_RULES
-
-    tree = ast.parse(source, filename=path)
-    ctx = FileContext(path, source, tree)
-    suppressions = _expand_scoped(tree, suppressed_rules(source))
-    findings: List[Finding] = []
-    for rule in ALL_RULES if rules is None else rules:
-        if not rule.applies(ctx):
-            continue
-        findings.extend(rule.check(ctx))
-    findings = [f for f in findings if not _is_suppressed(f, suppressions)]
+    per_file, project = _split_rules(rules)
+    analysis = analyze_source(source, path, per_file)
+    findings = list(analysis.findings)
+    findings.extend(_project_findings([analysis], project))
     findings.sort(key=Finding.sort_key)
     return findings
 
@@ -233,7 +374,7 @@ def lint_source(
 def lint_file(
     path: str,
     root: str = ".",
-    rules: Optional[Sequence["Rule"]] = None,
+    rules: Optional[Sequence[Rule]] = None,
 ) -> List[Finding]:
     """Lint one file; finding paths are relative to ``root``."""
     with open(path, encoding="utf-8") as handle:
@@ -265,11 +406,43 @@ def discover_files(paths: Sequence[str]) -> List[str]:
 def lint_paths(
     paths: Sequence[str],
     root: str = ".",
-    rules: Optional[Sequence["Rule"]] = None,
+    rules: Optional[Sequence[Rule]] = None,
+    jobs: int = 1,
 ) -> List[Finding]:
-    """Lint every ``.py`` file under ``paths`` (files or directories)."""
+    """Lint every ``.py`` file under ``paths`` (files or directories).
+
+    ``jobs > 1`` fans phase 1 (parse + per-file rules + summarise) out
+    over a process pool; phase 2 always runs in-process on the merged
+    index, whose inputs are byte-identical either way — parallel output
+    equals sequential output, the same contract the runner pool keeps.
+    ``jobs=0`` means one worker per CPU.
+    """
+    per_file, project = _split_rules(rules)
+    files = discover_files(paths)
+    from repro.lint.rules import RULES_BY_ID
+
+    # the pool ships rule *ids* (cheap, picklable) and rebuilds the rule
+    # objects in the worker; ad-hoc rule instances that are not in the
+    # registry (test doubles) fall back to in-process analysis
+    poolable = all(
+        RULES_BY_ID.get(r.rule_id) is r for r in per_file
+    )
+    if jobs == 1 or len(files) < 2 or not poolable:
+        analyses = [
+            _read_and_analyze(path, root, per_file) for path in files
+        ]
+    else:
+        import multiprocessing
+
+        tasks = [
+            (path, root, tuple(r.rule_id for r in per_file)) for path in files
+        ]
+        workers = jobs if jobs > 0 else (os.cpu_count() or 1)
+        with multiprocessing.Pool(min(workers, len(files))) as pool:
+            analyses = pool.map(_analyze_one, tasks)
     findings: List[Finding] = []
-    for path in discover_files(paths):
-        findings.extend(lint_file(path, root=root, rules=rules))
+    for analysis in analyses:
+        findings.extend(analysis.findings)
+    findings.extend(_project_findings(analyses, project))
     findings.sort(key=Finding.sort_key)
     return findings

@@ -1,0 +1,453 @@
+"""Cross-module rule families (phase 2): SNAP01, THR01/THR02, BAR01.
+
+These rules consume the merged :class:`~repro.lint.index.SymbolIndex`
+instead of a single file's AST, because the invariants they protect
+span modules by construction:
+
+* a snapshot walker in ``serve/state.py`` captures fields of classes
+  defined in ``flow/``, ``cluster/``, ``fabric/``;
+* the daemon's job table is guarded in ``serve/daemon.py`` methods
+  *and* in the HTTP handler that borrows the daemon through a
+  parameter;
+* fleet-control state lives in ``fabric/control.py`` but is only legal
+  to touch from the epoch loop in ``fabric/system.py`` (and the
+  checkpoint resume path), which the index's call edges identify.
+
+Like the per-file rules, each one over-approximates syntactically and
+leaves ``# lint: disable=RULE-ID reason`` as the justified escape
+hatch — placed at the line the finding points at (the field definition
+for SNAP01, the access site for THR01/THR02/BAR01).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.engine import Finding, ProjectRule
+from repro.lint.index import (
+    AttrAccess,
+    ClassKey,
+    ClassSummary,
+    FunctionSummary,
+    ModuleParts,
+    SymbolIndex,
+    dotted_key,
+)
+
+# ---------------------------------------------------------------------------
+# SNAP01 — snapshot completeness
+# ---------------------------------------------------------------------------
+
+#: the module whose walkers define the checkpoint wire format
+_WALKER_MODULE: ModuleParts = ("serve", "state")
+
+
+def _is_walker(fn: FunctionSummary) -> bool:
+    """Walker naming convention: ``*_state`` captures, ``restore_*`` /
+    ``_restore_*`` replays.  Helpers like ``_collect_timers`` fall
+    outside it on purpose — they visit *parts* of a component and must
+    not be mistaken for its capture set."""
+    return (
+        fn.name.endswith("_state")
+        or fn.name.startswith("restore_")
+        or fn.name.startswith("_restore_")
+    )
+
+
+class SnapshotCompletenessRule(ProjectRule):
+    """SNAP01: every mutable field of a walked component is captured.
+
+    ``serve/state.py`` promises byte-identical resume: a checkpoint
+    holds *all* evolving state of every shard component.  The promise
+    breaks silently — a field added to ``FlowStation`` or
+    ``RackAutoscaler`` and forgotten in its walker produces a
+    checkpoint that restores to a subtly different simulation, which
+    the identity gate only catches if a smoke test happens to cross a
+    checkpoint at the right epoch.
+
+    The rule finds every walker (a ``serve.state`` function named
+    ``*_state``/``restore_*`` whose first parameter is annotated with
+    an index-resolvable class), unions the attributes each walker
+    touches on that parameter, and then requires every *mutable*
+    attribute of the walked class (written anywhere outside
+    ``__init__`` — plain stores, ``+=``, ``d[k] =``, and in-place
+    mutator calls all count) to appear in that union.  A miss is
+    reported **at the field's definition line** in the component's own
+    file, which is where the exemption belongs when state is carried by
+    another mechanism (e.g. wake timers re-armed via the timer
+    walkers): ``# lint: disable=SNAP01 reason``.
+    """
+
+    rule_id = "SNAP01"
+    summary = (
+        "mutable fields of serve/state.py-walked components must be captured "
+        "by their walker"
+    )
+
+    def check_project(self, index: SymbolIndex) -> Iterator[Finding]:
+        # each walker's own capture set: the state and restore halves are
+        # symmetric by design, so a field present in capture but missing
+        # from restore (or vice versa) is exactly the resume-divergence
+        # bug — per-walker coverage, not the union, is what is checked
+        captured: Dict[ClassKey, Dict[str, Set[str]]] = {}
+        for fn in index.iter_functions():
+            if fn.module != _WALKER_MODULE or fn.cls is not None:
+                continue
+            if not _is_walker(fn):
+                continue
+            first = fn.first_param()
+            if first is None:
+                continue
+            param, annotation = first
+            key = index.resolve_type(fn.module, annotation)
+            if index.get_class(key) is None:
+                continue  # Any / unresolvable — nothing to check against
+            assert key is not None
+            captured.setdefault(key, {})[fn.name] = {
+                a.attr for a in fn.accesses if a.root == param
+            }
+
+        for key in sorted(captured):
+            cls = index.get_class(key)
+            assert cls is not None
+            walkers = captured[key]
+            for attr_name in sorted(cls.attrs):
+                attr = cls.attrs[attr_name]
+                if not attr.mutable or attr_name in cls.lock_attrs:
+                    continue
+                missing = sorted(
+                    name
+                    for name, touched in walkers.items()
+                    if attr_name not in touched
+                )
+                if not missing:
+                    continue
+                yield Finding(
+                    path=cls.path,
+                    line=attr.line,
+                    col=attr.col,
+                    rule=self.rule_id,
+                    message=(
+                        f"mutable attribute {cls.name}.{attr_name} is not "
+                        f"captured by serve/state walker(s) "
+                        f"[{', '.join(missing)}]; a checkpointed run would "
+                        "resume without it and diverge from the "
+                        "uninterrupted payload — capture it, or exempt the "
+                        "field here with a reason"
+                    ),
+                )
+
+
+# ---------------------------------------------------------------------------
+# THR01 / THR02 — lock discipline in threaded serve code
+# ---------------------------------------------------------------------------
+
+#: modules whose classes run methods on real threads
+_THREADED_MODULES: Tuple[ModuleParts, ...] = (("serve", "daemon"), ("serve", "client"))
+
+
+def _init_only_methods(
+    cls: ClassSummary, methods: List[FunctionSummary]
+) -> Set[str]:
+    """Methods reachable *only* from ``__init__`` (least fixpoint over
+    intraclass ``self.m()`` edges).  They run before any worker thread
+    exists, so their bare accesses are not races — ``_load``/
+    ``_recover`` style constructors-by-other-names.  Thread targets are
+    never exempt: handing a method to ``Thread(target=...)`` is a call
+    site the edge scan cannot see."""
+    names = {fn.name for fn in methods}
+    thread_targets: Set[str] = set()
+    callers: Dict[str, Set[str]] = {}
+    for fn in methods:
+        thread_targets.update(fn.thread_targets)
+        for call in fn.calls:
+            if call.startswith("self."):
+                callee = call[len("self."):]
+                if callee in names:
+                    callers.setdefault(callee, set()).add(fn.name)
+    exempt: Set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for name in names:
+            if name in exempt or name == "__init__" or name in thread_targets:
+                continue
+            sites = callers.get(name)
+            if sites and sites <= ({"__init__"} | exempt):
+                exempt.add(name)
+                changed = True
+    return exempt
+
+
+def _under_lock(access: AttrAccess, cls: ClassSummary) -> bool:
+    """Is the access inside ``with <same-root>.<lock-attr>:``?"""
+    for key in access.locks:
+        root, _, attr = key.partition(".")
+        if root == access.root and attr in cls.lock_attrs:
+            return True
+    return False
+
+
+def _lock_violations(
+    index: SymbolIndex,
+) -> Iterator[Tuple[ClassSummary, FunctionSummary, AttrAccess]]:
+    """Shared analysis behind THR01 (writes) and THR02 (reads).
+
+    For each lock-owning class (a ``threading.Lock/RLock`` assigned to
+    ``self.*`` in ``__init__``) in the threaded serve modules, an
+    attribute is *shared* once it is mutable and either (a) accessed at
+    least once under the lock anywhere — the code itself declares it
+    lock-protected — or (b) written from a thread-target method.  Every
+    other access to a shared attribute must hold the same lock, whether
+    it goes through ``self`` or through a parameter annotated with the
+    class (the HTTP handler borrowing the daemon).
+    """
+    for cls in index.iter_classes():
+        if cls.module not in _THREADED_MODULES or not cls.lock_attrs:
+            continue
+        key = (cls.module, cls.name)
+        methods = index.functions_of_class(cls)
+        thread_entries: Set[str] = set()
+        for fn in methods:
+            thread_entries.update(fn.thread_targets)
+        exempt = _init_only_methods(cls, methods)
+
+        records: List[Tuple[FunctionSummary, AttrAccess]] = []
+        for fn in index.iter_functions():
+            for access in fn.accesses:
+                if access.attr not in cls.attrs:
+                    continue
+                if index.resolve_local(fn, access.root) != key:
+                    continue
+                records.append((fn, access))
+
+        locked: Set[str] = set()
+        thread_written: Set[str] = set()
+        for fn, access in records:
+            if access.attr in cls.lock_attrs:
+                continue
+            if _under_lock(access, cls):
+                locked.add(access.attr)
+            if (
+                fn.cls == cls.name
+                and fn.name in thread_entries
+                and access.kind == "write"
+            ):
+                thread_written.add(access.attr)
+        shared = {
+            name
+            for name in locked | thread_written
+            if name in cls.attrs and cls.attrs[name].mutable
+        }
+
+        for fn, access in records:
+            if access.attr not in shared or access.kind == "call":
+                continue
+            if fn.cls == cls.name and (fn.name == "__init__" or fn.name in exempt):
+                continue
+            if _under_lock(access, cls):
+                continue
+            yield cls, fn, access
+
+
+class LockedWriteRule(ProjectRule):
+    """THR01: writes to lock-protected shared state must hold the lock.
+
+    ``ServeDaemon`` runs jobs on worker threads; its job table
+    (``_jobs``/``_order``/``_controls``/``_next_id``) is guarded by
+    ``self._lock``.  One bare write — say a status flip in a worker —
+    races the HTTP thread's reads and corrupts ``--state-dir``
+    persistence.  An attribute opts into protection the moment any
+    access to it appears under ``with self._lock:`` (or is written from
+    a ``Thread(target=...)`` method); from then on every write must
+    hold the same lock, through ``self`` or through a
+    daemon-annotated parameter.  ``__init__`` and methods reachable
+    only from it run before threads exist and are exempt.
+    """
+
+    rule_id = "THR01"
+    summary = (
+        "writes to lock-guarded attributes of threaded serve classes must "
+        "hold the lock"
+    )
+
+    def check_project(self, index: SymbolIndex) -> Iterator[Finding]:
+        for cls, fn, access in _lock_violations(index):
+            if access.kind != "write":
+                continue
+            yield Finding(
+                path=fn.path,
+                line=access.line,
+                col=access.col,
+                rule=self.rule_id,
+                message=(
+                    f"write to {cls.name}.{access.attr} outside `with "
+                    f"{access.root}.{sorted(cls.lock_attrs)[0]}:` — the "
+                    "attribute is lock-guarded elsewhere, so this store "
+                    "races the worker threads"
+                ),
+            )
+
+
+class LockedReadRule(ProjectRule):
+    """THR02: reads of lock-protected shared state must hold the lock.
+
+    The read half of THR01 — an unguarded read of the job table sees a
+    half-applied update (a job in ``_jobs`` but not ``_order``, a
+    control without its thread).  Python's GIL makes single attribute
+    loads atomic, but every invariant here spans *several* attributes,
+    which only the lock makes atomic together.  Same shared-attribute
+    definition, same exemptions, same escape hatch at the access site:
+    ``# lint: disable=THR02 reason``.
+    """
+
+    rule_id = "THR02"
+    summary = (
+        "reads of lock-guarded attributes of threaded serve classes must "
+        "hold the lock"
+    )
+
+    def check_project(self, index: SymbolIndex) -> Iterator[Finding]:
+        for cls, fn, access in _lock_violations(index):
+            if access.kind != "read":
+                continue
+            yield Finding(
+                path=fn.path,
+                line=access.line,
+                col=access.col,
+                rule=self.rule_id,
+                message=(
+                    f"read of {cls.name}.{access.attr} outside `with "
+                    f"{access.root}.{sorted(cls.lock_attrs)[0]}:` — the "
+                    "attribute is lock-guarded elsewhere, so this load can "
+                    "observe a half-applied update"
+                ),
+            )
+
+
+# ---------------------------------------------------------------------------
+# BAR01 — barrier protocol for fleet-control state
+# ---------------------------------------------------------------------------
+
+_RUNNER_KEY: ClassKey = (("runner", "sharded"), "ShardedRunner")
+_BARRIER_VERBS = frozenset({"step", "finish", "describe", "apply"})
+_STATE_MODULE: ModuleParts = ("fabric", "control")
+#: interprocedural budget: a helper called (transitively, this deep)
+#: from a barrier function is part of the epoch loop
+_CALL_BUDGET = 2
+
+
+def _resolve_call(
+    index: SymbolIndex, fn: FunctionSummary, call: str
+) -> Optional[Tuple[ModuleParts, str]]:
+    if call.startswith("self."):
+        if fn.cls is None:
+            return None
+        return (fn.module, f"{fn.cls}.{call[len('self.'):]}")
+    if "." in call:
+        return None  # obj.method on a non-self receiver: not an edge we track
+    summary = index.modules.get(fn.module)
+    if summary is None:
+        return None
+    if call in summary.functions:
+        return (fn.module, call)
+    origin = summary.imports.get(call)
+    if origin is not None:
+        key = dotted_key(origin)
+        if key is not None:
+            return key
+    return None
+
+
+class BarrierProtocolRule(ProjectRule):
+    """BAR01: fleet-control state is only touched inside barrier hooks.
+
+    The fabric's determinism story (PR 8) is lockstep: every rack
+    advances one epoch, the barrier collects summaries, and only then
+    does the :class:`FleetBalancer` observe and re-split.  Touching
+    balancer state from anywhere else — a telemetry callback, a
+    daemon poll — reads mid-epoch garbage or, worse, steers racks
+    that have not reached the barrier, and the divergence depends on
+    shard scheduling (exactly what ``--shard-jobs`` identity forbids).
+
+    Mechanically: mutable classes defined in ``fabric/control.py`` are
+    the protected state; a *barrier hook* is any function that calls a
+    barrier verb (``step``/``finish``/``describe``/``apply``) on a
+    ``ShardedRunner``-typed name, plus helpers reachable from one
+    through the index's call edges within a small budget (the epoch
+    loop's aggregation helpers).  Any other function that reads,
+    writes, or calls methods on a ``FleetBalancer``-typed name is
+    flagged at the access site.
+    """
+
+    rule_id = "BAR01"
+    summary = (
+        "fabric fleet-control state may only be accessed from epoch-barrier "
+        "hooks"
+    )
+
+    def check_project(self, index: SymbolIndex) -> Iterator[Finding]:
+        state_keys = {
+            (cls.module, cls.name)
+            for cls in index.iter_classes()
+            if cls.module == _STATE_MODULE and not cls.frozen
+        }
+        if not state_keys:
+            return
+
+        hooks: Set[Tuple[ModuleParts, str]] = set()
+        for fn in index.iter_functions():
+            for access in fn.accesses:
+                if (
+                    access.kind == "call"
+                    and access.attr in _BARRIER_VERBS
+                    and index.resolve_local(fn, access.root) == _RUNNER_KEY
+                ):
+                    hooks.add((fn.module, fn.qualname))
+                    break
+        frontier = set(hooks)
+        for _ in range(_CALL_BUDGET):
+            grown: Set[Tuple[ModuleParts, str]] = set()
+            for module, qualname in frontier:
+                fn = index.get_function(module, qualname)
+                if fn is None:
+                    continue
+                for call in fn.calls:
+                    callee = _resolve_call(index, fn, call)
+                    if callee is not None and callee not in hooks:
+                        grown.add(callee)
+            hooks |= grown
+            frontier = grown
+
+        for fn in index.iter_functions():
+            if (fn.module, fn.qualname) in hooks:
+                continue
+            if fn.cls is not None and (fn.module, fn.cls) in state_keys:
+                continue  # the state class manages itself
+            for access in fn.accesses:
+                key = index.resolve_local(fn, access.root)
+                if key not in state_keys:
+                    continue
+                cls = index.get_class(key)
+                yield Finding(
+                    path=fn.path,
+                    line=access.line,
+                    col=access.col,
+                    rule=self.rule_id,
+                    message=(
+                        f"fleet-control state {cls.name if cls else key[1]}."
+                        f"{access.attr} accessed in {fn.qualname}, which is "
+                        "not an epoch-barrier hook (no ShardedRunner "
+                        "step/finish/describe/apply on its call path); "
+                        "cross-rack state is only coherent at the barrier"
+                    ),
+                )
+
+
+#: phase-2 registry, consumed by repro.lint.rules.ALL_RULES
+PROJECT_RULES: Tuple[ProjectRule, ...] = (
+    SnapshotCompletenessRule(),
+    LockedWriteRule(),
+    LockedReadRule(),
+    BarrierProtocolRule(),
+)

@@ -15,7 +15,10 @@ import ast
 import re
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
-from repro.lint.engine import FileContext, Finding
+from repro.lint.engine import FileContext, Finding, ProjectRule, Rule
+from repro.lint.project_rules import PROJECT_RULES
+
+__all__ = ["ALL_RULES", "RULES_BY_ID", "Rule", "ProjectRule"]
 
 # ---------------------------------------------------------------------------
 # shared AST helpers
@@ -72,19 +75,6 @@ def _expr_key(node: ast.expr) -> str:
         return ast.unparse(node)
     except Exception:  # pragma: no cover - unparse covers all exprs we meet
         return ast.dump(node)
-
-
-class Rule:
-    """Base class; subclasses define ``rule_id``/``summary``/``check``."""
-
-    rule_id: str = ""
-    summary: str = ""
-
-    def applies(self, ctx: FileContext) -> bool:
-        return True
-
-    def check(self, ctx: FileContext) -> Iterator[Finding]:
-        raise NotImplementedError
 
 
 # ---------------------------------------------------------------------------
@@ -275,6 +265,97 @@ class GlobalRandomRule(Rule):
                     "every other caller; draw from a named "
                     "sim.rng.RngRegistry stream instead",
                 )
+
+
+# ---------------------------------------------------------------------------
+# DET04 — float-accumulation order over unordered iterables
+# ---------------------------------------------------------------------------
+
+
+class FloatAccumulationRule(Rule):
+    """DET04: folds must run in a stated order, not a container's.
+
+    Float addition is not associative: ``sum()`` over a ``set`` (order
+    depends on PYTHONHASHSEED and insertion history) or a ``+=`` loop
+    over one can differ in the last ulp between runs — which the
+    payload-identity gates amplify into a full sha mismatch.  PR 9
+    documented the power-integrator case: its per-station sums are
+    float-order-sensitive, so the *insertion order* of the dicts being
+    summed is part of the snapshot contract.
+
+    The rule flags ``sum(...)`` and ``for ...: acc += ...`` whose
+    iterable is a set (literal, comprehension, ``set()``/
+    ``frozenset()``) or a ``.values()`` view, in sim-domain packages.
+    ``dict.values()`` *is* insertion-ordered — the rule still flags it
+    because the order is an implicit contract the reader cannot see at
+    the fold; the fix is ``sorted(...)`` / ``math.fsum`` where the
+    order is incidental, and a ``# lint: disable=DET04`` exemption
+    stating the contract where it is load-bearing (integer counters,
+    or an order the snapshot format pins).
+    """
+
+    rule_id = "DET04"
+    summary = (
+        "no float accumulation (sum/+=) over sets or .values() views in "
+        "sim-domain code"
+    )
+
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.in_sim_domain and not ctx.in_wall_clock_zone
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        aliases = _import_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Name)
+                    and func.id == "sum"
+                    and func.id not in aliases
+                    and node.args
+                ):
+                    reason = self._unordered(node.args[0])
+                    if reason is not None:
+                        yield ctx.finding(
+                            node,
+                            self.rule_id,
+                            f"sum() over {reason}: float addition is not "
+                            "associative, so the container's iteration "
+                            "order becomes part of the result — iterate "
+                            "sorted(...) (or state the order contract with "
+                            "an exemption)",
+                        )
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                reason = self._unordered(node.iter)
+                if reason is None:
+                    continue
+                if any(
+                    isinstance(sub, ast.AugAssign) and isinstance(sub.op, ast.Add)
+                    for body_stmt in node.body
+                    for sub in ast.walk(body_stmt)
+                ):
+                    yield ctx.finding(
+                        node,
+                        self.rule_id,
+                        f"+= accumulation over {reason}: float addition is "
+                        "not associative, so the container's iteration "
+                        "order becomes part of the result — iterate "
+                        "sorted(...) (or state the order contract with an "
+                        "exemption)",
+                    )
+
+    def _unordered(self, it: ast.expr) -> Optional[str]:
+        """Describe why the iterable's order is a hidden input, if so."""
+        if isinstance(it, (ast.Set, ast.SetComp)):
+            return "a set"
+        if isinstance(it, ast.Call):
+            if isinstance(it.func, ast.Name) and it.func.id in _SET_CONSTRUCTORS:
+                return f"{it.func.id}(...)"
+            if isinstance(it.func, ast.Attribute) and it.func.attr == "values":
+                return "a .values() view"
+        if isinstance(it, ast.GeneratorExp) and it.generators:
+            return self._unordered(it.generators[0].iter)
+        return None
 
 
 # ---------------------------------------------------------------------------
@@ -595,14 +676,16 @@ class UnitSuffixRule(Rule):
                     return
 
 
-#: registry, in reporting order
+#: registry, in reporting order: per-file families, then the phase-2
+#: project families (SNAP01/THR01/THR02/BAR01) from project_rules
 ALL_RULES: Tuple[Rule, ...] = (
     WallClockRule(),
     RandomizedHashRule(),
     GlobalRandomRule(),
+    FloatAccumulationRule(),
     MutableDefaultRule(),
     UnguardedTracerRule(),
     UnitSuffixRule(),
-)
+) + PROJECT_RULES
 
 RULES_BY_ID: Dict[str, Rule] = {rule.rule_id: rule for rule in ALL_RULES}

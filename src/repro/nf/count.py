@@ -59,6 +59,7 @@ class CountFunction(StatefulFunction):
         return self._counts.get(item, 0)
 
     def total(self) -> int:
+        # lint: disable=DET04 integer counters: addition is exact, order cannot change the total
         return sum(self._counts.values())
 
     def make_request(self, seq: int, flow: int) -> CountRequest:

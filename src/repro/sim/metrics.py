@@ -224,6 +224,7 @@ class PowerIntegrator:
         self._advance(now)
         if component is not None:
             return self._energy.get(component, 0.0)
+        # lint: disable=DET04 component insertion order is fixed at registration and part of the payload contract (PR 9); reordering would change the float sum and every identity sha
         return sum(self._energy.values())
 
     def average_watts(self, now: float, component: Optional[str] = None) -> float:
@@ -233,6 +234,7 @@ class PowerIntegrator:
         return self.energy_joules(now, component) / elapsed
 
     def instantaneous_watts(self) -> float:
+        # lint: disable=DET04 same registration-order contract as energy_joules
         return sum(self._levels.values())
 
     def components(self) -> Tuple[str, ...]:

@@ -227,8 +227,61 @@ class TestCliAndDiscovery:
     def test_cli_list_rules(self, capsys):
         assert lint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("DET01", "DET02", "DET03", "MUT01", "OBS01", "UNIT01"):
+        for rule_id in (
+            "DET01", "DET02", "DET03", "DET04", "MUT01", "OBS01", "UNIT01",
+            "SNAP01", "THR01", "THR02", "BAR01",
+        ):
             assert rule_id in out
+
+    def test_cli_explain(self, capsys):
+        assert lint_main(["--explain", "SNAP01"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("SNAP01 — ")
+        assert "byte-identical" in out  # the docstring rationale, not just the summary
+
+    def test_cli_explain_unknown_is_usage_error(self, capsys):
+        assert lint_main(["--explain", "NOPE"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown rule id" in err
+        assert "SNAP01" in err  # lists the known ids
+
+    def test_cli_sarif_format(self, dirty_tree, monkeypatch, capsys):
+        monkeypatch.chdir(dirty_tree)
+        assert lint_main(["src", "--format=sarif", "--no-baseline"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == "2.1.0"
+        run = payload["runs"][0]
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert {"DET01", "SNAP01", "THR01", "BAR01"} <= rule_ids
+        result = run["results"][0]
+        assert result["ruleId"] == "DET01"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "src/repro/sim/clock.py"
+        assert location["region"]["startLine"] == 5
+
+    def test_cli_github_format(self, dirty_tree, monkeypatch, capsys):
+        monkeypatch.chdir(dirty_tree)
+        assert lint_main(["src", "--format=github", "--no-baseline"]) == 1
+        out = capsys.readouterr().out
+        assert out.startswith("::error file=src/repro/sim/clock.py,line=5,")
+        assert "title=DET01::" in out
+
+    def test_cli_jobs_matches_serial(self, dirty_tree, monkeypatch, capsys):
+        monkeypatch.chdir(dirty_tree)
+        assert lint_main(["src", "--format=json", "--no-baseline"]) == 1
+        serial = capsys.readouterr().out
+        assert lint_main(["src", "--format=json", "--no-baseline", "--jobs", "2"]) == 1
+        assert capsys.readouterr().out == serial
+
+    def test_cli_json_lists_active_rules(self, dirty_tree, monkeypatch, capsys):
+        monkeypatch.chdir(dirty_tree)
+        assert lint_main(["src", "--format=json", "--no-baseline"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        # the ratchet check keys off this list to prove family coverage
+        assert {"DET04", "SNAP01", "THR01", "THR02", "BAR01"} <= set(
+            payload["rules"]
+        )
+        assert payload["schema"] == 2
 
     def test_module_entry_point(self, dirty_tree):
         repo_src = str(pathlib.Path(__file__).parent.parent / "src")
